@@ -1,0 +1,231 @@
+//! The gadget-step adversary of **Lemma 3.6**.
+//!
+//! Given `C(S, F)` at time `τ` (gadget `F` holds `S` packets spread over
+//! its `e`-path buffers plus `S` packets at its ingress, all destined to
+//! cross its egress `a'`), this adversary produces `C(S', F')` at time
+//! `τ + 2S + n` with `S' = 2S(1 − R_n) ≥ S(1+ε)`, and leaves `F` empty.
+//!
+//! The four parts of the paper's adversary, verbatim:
+//!
+//! 1. extend the routes of all packets stored in `F` by
+//!    `e'_1, …, e'_n, a''` (rerouting, Lemma 3.3);
+//! 2. for each `e'_i`, inject single-edge packets at rate `r` during
+//!    steps `[τ+i, τ+i+t_i]`, `t_i = 2S/(r + R_i)` — these thin the old
+//!    packets so they pile up in the `e'` buffers at rates `R_i`;
+//! 3. during `[τ+1, τ+S]`, inject `rS` packets with route
+//!    `a, f_1…f_n, a', f'_1…f'_n, a''` — the future ingress queue of
+//!    `F'`;
+//! 4. inject `X = S' − rS + n` packets with route `a', f'_1…f'_n, a''`
+//!    at rate `r` starting at `τ + S + n + 1` — the top-up.
+//!
+//! All streams use the floor pattern, so each is individually rate-r
+//! legal; gaps of at least one step separate any two streams sharing an
+//! edge, which makes their composition legal too (the engine's
+//! validator re-checks everything at run time).
+
+use aqt_graph::{GadgetHandles, Graph, Route, RouteError};
+use aqt_sim::{Schedule, Time};
+
+use crate::params::GadgetParams;
+
+/// Cohort tags assigned by [`build`], offset from a caller base tag.
+#[derive(Debug, Clone, Copy)]
+pub struct StepTags {
+    /// Part (2): the thinning single-edge packets.
+    pub short: u32,
+    /// Part (3): the new long packets routed through both `f`-paths.
+    pub long: u32,
+    /// Part (4): the top-up packets injected at `a'`.
+    pub topup: u32,
+}
+
+impl StepTags {
+    /// Derive the three cohort tags from a base value.
+    pub fn from_base(base: u32) -> Self {
+        StepTags {
+            short: base,
+            long: base + 1,
+            topup: base + 2,
+        }
+    }
+}
+
+/// The built gadget-step adversary.
+#[derive(Debug)]
+pub struct GadgetStep {
+    /// The injection/extension plan.
+    pub schedule: Schedule,
+    /// Time at which `C(S', F')` is predicted to hold: `τ + 2S + n`.
+    pub finish: Time,
+    /// The theoretical amplified queue `S' = ⌊2S(1 − R_n)⌋`.
+    pub s_prime: u64,
+    /// Cohort tags used.
+    pub tags: StepTags,
+}
+
+/// Build the Lemma 3.6 adversary moving the queue from gadget `from`
+/// to gadget `to` (which must be daisy-chained: `from.egress ==
+/// to.ingress`), given that `C(s, from)` holds at time `tau`.
+pub fn build(
+    graph: &Graph,
+    from: &GadgetHandles,
+    to: &GadgetHandles,
+    params: &GadgetParams,
+    s: u64,
+    tau: Time,
+    tag_base: u32,
+) -> Result<GadgetStep, RouteError> {
+    assert_eq!(
+        from.egress, to.ingress,
+        "gadgets must be daisy-chained (egress of `from` = ingress of `to`)"
+    );
+    assert_eq!(from.n(), params.n, "gadget size must match parameters");
+    assert_eq!(to.n(), params.n, "gadget size must match parameters");
+    assert!(s >= params.s0, "need S >= S0 = {} (got {s})", params.s0);
+
+    let n = params.n;
+    let rate = params.rate;
+    let tags = StepTags::from_base(tag_base);
+    let mut schedule = Schedule::new();
+
+    // Part (1): extend routes of everything stored in F — the S packets
+    // in the e-path buffers and the S packets at the ingress — by the
+    // e'-path of F' followed by F's... F'-egress a''.
+    let mut old_buffers = Vec::with_capacity(n + 1);
+    old_buffers.push(from.ingress);
+    old_buffers.extend_from_slice(&from.e_path);
+    let mut suffix = to.e_path.clone();
+    suffix.push(to.egress);
+    schedule.extend_ending_at(tau + 1, old_buffers, suffix, from.egress);
+
+    // Part (2): thinning singles on each e'_i during [τ+i, τ+i+t_i].
+    for i in 1..=n {
+        let t_i = params.t_i(s, i);
+        let route = Route::single(graph, to.e_path[i - 1])?;
+        schedule.inject_stream(tau + i as u64, t_i + 1, rate, &route, tags.short);
+    }
+
+    // Part (3): rS long packets a, f-path, a', f'-path, a'' in [τ+1, τ+S].
+    let mut long_edges = Vec::with_capacity(2 * n + 3);
+    long_edges.push(from.ingress);
+    long_edges.extend_from_slice(&from.f_path);
+    long_edges.push(from.egress);
+    long_edges.extend_from_slice(&to.f_path);
+    long_edges.push(to.egress);
+    let long_route = Route::new(graph, long_edges)?;
+    schedule.inject_stream(tau + 1, s, rate, &long_route, tags.long);
+
+    // Part (4): X top-up packets a', f'-path, a'' at rate r from
+    // τ + S + n + 1.
+    let x = params.x(s);
+    let mut topup_edges = Vec::with_capacity(n + 2);
+    topup_edges.push(to.ingress);
+    topup_edges.extend_from_slice(&to.f_path);
+    topup_edges.push(to.egress);
+    let topup_route = Route::new(graph, topup_edges)?;
+    let last = schedule.inject_count(tau + s + n as u64 + 1, x, rate, &topup_route, tags.topup);
+
+    let finish = tau + params.step_horizon(s);
+    debug_assert!(
+        last <= finish,
+        "part (4) must finish within the step horizon (last={last}, finish={finish})"
+    );
+
+    Ok(GadgetStep {
+        schedule,
+        finish,
+        s_prime: params.s_prime(s),
+        tags,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqt_graph::DaisyChain;
+
+    fn setup() -> (DaisyChain, GadgetParams) {
+        let p = GadgetParams::new(1, 4); // r = 3/4
+        (DaisyChain::new(p.n, 2), p)
+    }
+
+    #[test]
+    fn builds_with_expected_counts() {
+        let (chain, p) = setup();
+        let s = p.s0 + 10;
+        let step = build(
+            &chain.graph,
+            &chain.gadgets[0],
+            &chain.gadgets[1],
+            &p,
+            s,
+            0,
+            100,
+        )
+        .expect("valid build");
+        // Injections: n thinning streams + rS longs + X top-ups.
+        let expected: u64 = (1..=p.n)
+            .map(|i| p.rate.floor_mul(p.t_i(s, i) + 1))
+            .sum::<u64>()
+            + p.rate.floor_mul(s)
+            + p.x(s);
+        assert_eq!(step.schedule.injection_count() as u64, expected);
+        assert_eq!(step.finish, 2 * s + p.n as u64);
+        assert_eq!(step.s_prime, p.s_prime(s));
+    }
+
+    #[test]
+    fn horizon_contains_all_ops() {
+        let (chain, p) = setup();
+        let s = p.s0 + 3;
+        let step = build(
+            &chain.graph,
+            &chain.gadgets[0],
+            &chain.gadgets[1],
+            &p,
+            s,
+            50,
+            0,
+        )
+        .expect("valid build");
+        assert!(step.schedule.horizon() <= step.finish);
+    }
+
+    #[test]
+    #[should_panic(expected = "daisy-chained")]
+    fn rejects_non_adjacent_gadgets() {
+        let p = GadgetParams::new(1, 4);
+        let chain = DaisyChain::new(p.n, 3);
+        // gadget 0 and 2 are not adjacent
+        let _ = build(
+            &chain.graph,
+            &chain.gadgets[0],
+            &chain.gadgets[2],
+            &p,
+            p.s0 + 1,
+            0,
+            0,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "S >= S0")]
+    fn rejects_small_s() {
+        let (chain, p) = setup();
+        let _ = build(
+            &chain.graph,
+            &chain.gadgets[0],
+            &chain.gadgets[1],
+            &p,
+            p.s0 - 1,
+            0,
+            0,
+        );
+    }
+
+    #[test]
+    fn tags_are_distinct() {
+        let t = StepTags::from_base(9);
+        assert_eq!((t.short, t.long, t.topup), (9, 10, 11));
+    }
+}

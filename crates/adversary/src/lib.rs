@@ -1,0 +1,36 @@
+//! # aqt-adversary
+//!
+//! Adversary constructions for adversarial queuing experiments:
+//!
+//! * [`params`] — the parameter algebra of the paper's Section 3:
+//!   `ε → (r, n, S₀, R_i, t_i, S′, X, M)` with the exact identities the
+//!   proofs rely on (equation (3.1), Claim 3.7, the appendix
+//!   asymptotics).
+//! * [`lemma36`], [`lemma315`], [`lemma316`] — schedule builders for
+//!   the three sub-adversaries of the instability proof: the
+//!   gadget-step amplifier, the bootstrap, and the stitch.
+//! * [`stochastic`] — saturating `(w,r)` adversaries for the stability
+//!   side (Section 4): random-route generators that inject as much as
+//!   Definition 2.1 permits.
+//! * [`periodic`] — deterministic multi-stream rate adversaries for
+//!   threshold mapping.
+//! * [`adaptive`] — a feedback adversary that aims its windowed budget
+//!   at the currently most-loaded buffers.
+//! * [`baselines`] — prior-art comparison adversaries: a
+//!   pumping-adversary family on the baseball graph (the network of
+//!   the earlier FIFO instability results \[4, 11, 15\]) and starvation
+//!   workloads for NTG/LIFO on trap networks.
+//!
+//! Every builder produces schedules that are replayed through the
+//! engine's exact validators — legality is *checked*, never assumed.
+
+pub mod adaptive;
+pub mod baselines;
+pub mod lemma315;
+pub mod lemma316;
+pub mod lemma36;
+pub mod params;
+pub mod periodic;
+pub mod stochastic;
+
+pub use params::GadgetParams;

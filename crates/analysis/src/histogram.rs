@@ -1,0 +1,145 @@
+//! Integer histograms with exponentially growing buckets.
+//!
+//! Used for per-buffer wait and latency distributions: Theorems
+//! 4.1/4.3 bound the *maximum* wait, and the histogram shows how far
+//! below the bound the bulk of the traffic sits.
+
+/// A histogram over `u64` values with buckets
+/// `\[0\], \[1\], \[2,3\], \[4,7\], \[8,15\], …` (powers of two).
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+    max: u64,
+    sum: u128,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bucket_of(value: u64) -> usize {
+        match value {
+            0 => 0,
+            v => (64 - v.leading_zeros()) as usize,
+        }
+    }
+
+    /// Lower bound of bucket `b`.
+    pub fn bucket_floor(b: usize) -> u64 {
+        match b {
+            0 => 0,
+            _ => 1u64 << (b - 1),
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, value: u64) {
+        let b = Self::bucket_of(value);
+        if self.counts.len() <= b {
+            self.counts.resize(b + 1, 0);
+        }
+        self.counts[b] += 1;
+        self.total += 1;
+        self.max = self.max.max(value);
+        self.sum += value as u128;
+    }
+
+    /// Number of observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Maximum observed value.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of observations (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Smallest bucket floor `f` such that at least `q` (0..=1) of the
+    /// mass lies in buckets at or below it — a coarse quantile.
+    pub fn quantile_floor(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q));
+        if self.total == 0 {
+            return 0;
+        }
+        let want = (q * self.total as f64).ceil() as u64;
+        let mut acc = 0;
+        for (b, &c) in self.counts.iter().enumerate() {
+            acc += c;
+            if acc >= want {
+                return Self::bucket_floor(b);
+            }
+        }
+        Self::bucket_floor(self.counts.len().saturating_sub(1))
+    }
+
+    /// `(bucket_floor, count)` pairs for nonempty buckets.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(b, &c)| (Self::bucket_floor(b), c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(7), 3);
+        assert_eq!(Histogram::bucket_of(8), 4);
+        assert_eq!(Histogram::bucket_floor(0), 0);
+        assert_eq!(Histogram::bucket_floor(3), 4);
+    }
+
+    #[test]
+    fn record_and_stats() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 1, 2, 5, 9] {
+            h.record(v);
+        }
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.max(), 9);
+        assert!((h.mean() - 3.0).abs() < 1e-12);
+        let buckets: Vec<_> = h.buckets().collect();
+        assert_eq!(buckets, vec![(0, 1), (1, 2), (2, 1), (4, 1), (8, 1)]);
+    }
+
+    #[test]
+    fn quantiles() {
+        let mut h = Histogram::new();
+        for v in 0..100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile_floor(0.01), 0);
+        assert!(h.quantile_floor(0.5) <= 64);
+        assert_eq!(h.quantile_floor(1.0), 64);
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new();
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile_floor(0.5), 0);
+    }
+}

@@ -1,0 +1,94 @@
+//! Terminal-friendly series rendering: sparklines and downsampling.
+//!
+//! The instability demos print the diverging backlog straight into the
+//! terminal; a sparkline makes the exponential blow-up visible at a
+//! glance without any plotting dependency.
+
+/// Downsample `xs` to at most `buckets` points by taking the maximum of
+/// each bucket (peaks are what stability analysis cares about).
+pub fn downsample_max(xs: &[u64], buckets: usize) -> Vec<u64> {
+    assert!(buckets > 0);
+    if xs.len() <= buckets {
+        return xs.to_vec();
+    }
+    let mut out = Vec::with_capacity(buckets);
+    for b in 0..buckets {
+        let lo = b * xs.len() / buckets;
+        let hi = ((b + 1) * xs.len() / buckets).max(lo + 1);
+        out.push(
+            *xs[lo..hi.min(xs.len())]
+                .iter()
+                .max()
+                .expect("nonempty bucket"),
+        );
+    }
+    out
+}
+
+const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Render a series as a unicode sparkline, scaled to its own range.
+pub fn sparkline(xs: &[u64]) -> String {
+    if xs.is_empty() {
+        return String::new();
+    }
+    let max = *xs.iter().max().expect("nonempty");
+    let min = *xs.iter().min().expect("nonempty");
+    let span = (max - min).max(1);
+    xs.iter()
+        .map(|&x| {
+            let idx = ((x - min) as u128 * (BARS.len() as u128 - 1) / span as u128) as usize;
+            BARS[idx]
+        })
+        .collect()
+}
+
+/// Sparkline capped at `width` characters (max-downsampled first).
+pub fn sparkline_fit(xs: &[u64], width: usize) -> String {
+    sparkline(&downsample_max(xs, width.max(1)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn downsample_keeps_peaks() {
+        let xs: Vec<u64> = (0..100).map(|i| if i == 57 { 1000 } else { i }).collect();
+        let d = downsample_max(&xs, 10);
+        assert_eq!(d.len(), 10);
+        assert!(d.contains(&1000), "the peak must survive downsampling");
+    }
+
+    #[test]
+    fn downsample_short_input_passthrough() {
+        let xs = vec![1, 2, 3];
+        assert_eq!(downsample_max(&xs, 10), xs);
+    }
+
+    #[test]
+    fn sparkline_shape() {
+        let s = sparkline(&[0, 1, 2, 3, 4, 5, 6, 7]);
+        assert_eq!(s.chars().count(), 8);
+        assert!(s.starts_with('▁'));
+        assert!(s.ends_with('█'));
+    }
+
+    #[test]
+    fn sparkline_constant_series() {
+        let s = sparkline(&[5, 5, 5]);
+        assert_eq!(s, "▁▁▁");
+    }
+
+    #[test]
+    fn sparkline_empty() {
+        assert_eq!(sparkline(&[]), "");
+    }
+
+    #[test]
+    fn fit_respects_width() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let s = sparkline_fit(&xs, 40);
+        assert_eq!(s.chars().count(), 40);
+    }
+}

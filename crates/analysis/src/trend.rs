@@ -1,0 +1,121 @@
+//! Nonparametric trend detection: the Mann–Kendall test.
+//!
+//! The linear-regression verdict in [`crate::stability`] is fast and
+//! adequate for the clear-cut regimes the paper creates; Mann–Kendall
+//! complements it for noisy series (no distributional assumptions, no
+//! sensitivity to single spikes). Used by the stability sweeps as a
+//! second opinion.
+
+/// Result of a Mann–Kendall test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MannKendall {
+    /// The S statistic: #concordant − #discordant pairs.
+    pub s: i64,
+    /// Normalized Z score (0 when `|S| ≤ 1`).
+    pub z: f64,
+    /// Kendall's tau in `[-1, 1]`.
+    pub tau: f64,
+}
+
+impl MannKendall {
+    /// Is there a significant increasing trend at ~99% confidence
+    /// (`Z > 2.326`)?
+    pub fn increasing(&self) -> bool {
+        self.z > 2.326
+    }
+
+    /// Is there a significant decreasing trend at ~99% confidence?
+    pub fn decreasing(&self) -> bool {
+        self.z < -2.326
+    }
+}
+
+/// Run the Mann–Kendall test. O(n²) pair comparison — fine for the
+/// ≤ few-thousand-point series the experiments sample. Returns `None`
+/// for fewer than 4 points.
+pub fn mann_kendall(xs: &[f64]) -> Option<MannKendall> {
+    let n = xs.len();
+    if n < 4 {
+        return None;
+    }
+    let mut s: i64 = 0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            s += match xs[j].partial_cmp(&xs[i])? {
+                std::cmp::Ordering::Greater => 1,
+                std::cmp::Ordering::Less => -1,
+                std::cmp::Ordering::Equal => 0,
+            };
+        }
+    }
+    // Variance without tie correction (ties only shrink variance, so
+    // this is conservative for detection).
+    let nf = n as f64;
+    let var = nf * (nf - 1.0) * (2.0 * nf + 5.0) / 18.0;
+    let z = if s > 0 {
+        (s as f64 - 1.0) / var.sqrt()
+    } else if s < 0 {
+        (s as f64 + 1.0) / var.sqrt()
+    } else {
+        0.0
+    };
+    let pairs = nf * (nf - 1.0) / 2.0;
+    Some(MannKendall {
+        s,
+        z,
+        tau: s as f64 / pairs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotone_series_detected() {
+        let xs: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        let mk = mann_kendall(&xs).unwrap();
+        assert!(mk.increasing());
+        assert!(!mk.decreasing());
+        assert!((mk.tau - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn decreasing_series_detected() {
+        let xs: Vec<f64> = (0..64).map(|i| -(i as f64)).collect();
+        let mk = mann_kendall(&xs).unwrap();
+        assert!(mk.decreasing());
+        assert!((mk.tau + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flat_series_no_trend() {
+        let xs = vec![5.0; 64];
+        let mk = mann_kendall(&xs).unwrap();
+        assert_eq!(mk.s, 0);
+        assert!(!mk.increasing() && !mk.decreasing());
+    }
+
+    #[test]
+    fn noisy_flat_no_trend() {
+        // deterministic pseudo-noise around a constant
+        let xs: Vec<f64> = (0..128)
+            .map(|i| 100.0 + ((i * 2654435761u64 % 17) as f64) - 8.0)
+            .collect();
+        let mk = mann_kendall(&xs).unwrap();
+        assert!(!mk.increasing() && !mk.decreasing(), "z = {}", mk.z);
+    }
+
+    #[test]
+    fn noisy_growth_detected() {
+        let xs: Vec<f64> = (0..128)
+            .map(|i| i as f64 * 0.5 + ((i * 2654435761u64 % 13) as f64))
+            .collect();
+        assert!(mann_kendall(&xs).unwrap().increasing());
+    }
+
+    #[test]
+    fn short_series_none() {
+        assert!(mann_kendall(&[1.0, 2.0, 3.0]).is_none());
+    }
+}

@@ -1,0 +1,48 @@
+//! **E10 — protocol landscape**: replay the FIFO-tuned Theorem 3.17
+//! adversary against the whole protocol zoo.
+
+use aqt_analysis::Table;
+use aqt_bench::print_table;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn table() {
+    // Reduced chain: the replays against priority protocols scan whole
+    // buffers per step (quadratic in queue size), so the landscape uses
+    // a moderate construction — the behavioral contrast is identical.
+    let mut cfg = aqt_core::instability::InstabilityConfig::new(1, 4);
+    cfg.iterations = 1;
+    cfg.s0_safety = 2.0;
+    let rows = aqt_core::experiments::e10_landscape_with(cfg).expect("legal");
+    let mut t = Table::new(
+        "E10 — the 1/2+ε adversary vs. every protocol (FIFO should diverge; LIS/FTG should not)",
+        &["protocol", "final backlog", "peak backlog", "verdict"],
+    );
+    for r in &rows {
+        t.row(&[
+            r.protocol.clone(),
+            r.final_backlog.to_string(),
+            r.max_backlog.to_string(),
+            r.verdict.to_string(),
+        ]);
+    }
+    print_table(&t);
+}
+
+fn bench(c: &mut Criterion) {
+    table();
+    let mut g = c.benchmark_group("e10_protocol_landscape");
+    g.sample_size(10);
+    g.bench_function("record_and_replay_small", |b| {
+        b.iter(|| {
+            let mut cfg = aqt_core::instability::InstabilityConfig::new(1, 4);
+            cfg.iterations = 1;
+            cfg.s0_safety = 1.0;
+            cfg.m_override = Some(4);
+            aqt_core::experiments::e10_landscape_with(cfg).expect("legal")
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

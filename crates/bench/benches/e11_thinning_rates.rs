@@ -1,0 +1,41 @@
+//! **E11 — Claim 3.9**: during a gadget step, old packets arrive at
+//! the tail of `e'_i` at rate `R_i = (1−r)/(1−r^i)` — the geometric
+//! thinning that drives the whole amplification.
+
+use aqt_analysis::report::f3;
+use aqt_analysis::Table;
+use aqt_bench::print_table;
+use aqt_core::experiments::e11_thinning_rates;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn table() {
+    for (num, den) in [(1u64, 4u64), (1, 10)] {
+        let rows = e11_thinning_rates(num, den, 2.0).expect("legal");
+        let mut t = Table::new(
+            format!("E11 / Claim 3.9 — thinning rates at ε = {num}/{den} (measured vs R_i)"),
+            &["i", "R_i (paper)", "measured rate", "rel. error"],
+        );
+        for r in &rows {
+            t.row(&[
+                r.i.to_string(),
+                f3(r.r_i),
+                f3(r.measured),
+                format!("{:+.2}%", 100.0 * (r.measured - r.r_i) / r.r_i),
+            ]);
+        }
+        print_table(&t);
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    table();
+    let mut g = c.benchmark_group("e11_thinning_rates");
+    g.sample_size(10);
+    g.bench_function("gadget_step_with_rate_measurement", |b| {
+        b.iter(|| e11_thinning_rates(1, 4, 1.0).expect("legal"));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! **E12 — ablation**: the inter-stage settling pass. Without it, the
+//! exact-arithmetic lag compounds geometrically down the gadget chain
+//! (≈ ×1.3 per gadget) and long chains collapse — with it, the lag
+//! stays additive and Theorem 3.17's loop grows as the paper predicts.
+
+use aqt_analysis::Table;
+use aqt_bench::print_table;
+use aqt_core::experiments::e12_settling_ablation;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn table() {
+    let rows = e12_settling_ablation(1, 10, 2).expect("legal");
+    let mut t = Table::new(
+        "E12 — settling ablation at ε = 1/10 (M is long: lag has room to compound)",
+        &["settling", "S₀ safety", "queue per iteration", "diverged"],
+    );
+    for r in &rows {
+        t.row(&[
+            r.settle.to_string(),
+            format!("{:.1}", r.s0_safety),
+            format!("{:?}", r.s_series),
+            r.diverged.to_string(),
+        ]);
+    }
+    print_table(&t);
+}
+
+fn bench(c: &mut Criterion) {
+    table();
+    let mut g = c.benchmark_group("e12_settling_ablation");
+    g.sample_size(10);
+    g.bench_function("one_iteration_settled_eps_1_4_reduced", |b| {
+        b.iter(|| {
+            let mut cfg = aqt_core::instability::InstabilityConfig::new(1, 4);
+            cfg.iterations = 1;
+            cfg.s0_safety = 1.5;
+            cfg.m_margin = 1.2;
+            aqt_core::instability::InstabilityConstruction::new(cfg)
+                .run()
+                .expect("legal")
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! **E13 — sharpness of the `⌈wr⌉` bound** (Theorem 4.3 boundary):
+//! sweep the rate across `1/d` and watch the guarantee hold exactly up
+//! to the threshold and erode beyond it.
+
+use aqt_analysis::report::f3;
+use aqt_analysis::Table;
+use aqt_bench::print_table;
+use aqt_core::experiments::e13_threshold_sharpness;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn table() {
+    let rows = e13_threshold_sharpness(3, 12, 60_000).expect("legal");
+    let mut t = Table::new(
+        "E13 — FIFO wait vs rate around r = 1/d (d = 3, w = 12; bound applies iff r ≤ 1/d)",
+        &["r / (1/d)", "r", "bound ⌈wr⌉", "max wait", "peak queue"],
+    );
+    for r in &rows {
+        t.row(&[
+            f3(r.rate_over_threshold),
+            f3(r.rate),
+            r.bound.map_or("(silent)".into(), |b| b.to_string()),
+            r.max_wait.to_string(),
+            r.max_queue.to_string(),
+        ]);
+    }
+    print_table(&t);
+}
+
+fn bench(c: &mut Criterion) {
+    table();
+    let mut g = c.benchmark_group("e13_threshold_sharpness");
+    g.sample_size(10);
+    g.bench_function("sweep_4k_steps", |b| {
+        b.iter(|| e13_threshold_sharpness(3, 12, 4_000).expect("legal"));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

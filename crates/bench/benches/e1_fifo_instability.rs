@@ -1,0 +1,63 @@
+//! **E1 — Theorem 3.17**: FIFO is unstable at every rate `1/2 + ε`.
+//!
+//! Prints the headline table (queue blow-up per iteration for a sweep
+//! of ε) and benches one closed-loop iteration at ε = 1/4.
+
+use aqt_analysis::report::f3;
+use aqt_analysis::Table;
+use aqt_bench::print_table;
+use aqt_core::experiments::e1_fifo_instability;
+use aqt_core::instability::{InstabilityConfig, InstabilityConstruction};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn headline_table() {
+    let rows =
+        e1_fifo_instability(&[(1, 10), (1, 5), (1, 4), (3, 10)], 3).expect("legal adversaries");
+    let mut t = Table::new(
+        "E1 / Theorem 3.17 — FIFO instability at r = 1/2 + ε (paper: unstable for every ε > 0)",
+        &[
+            "ε",
+            "r",
+            "n",
+            "M",
+            "S*",
+            "queue per iteration",
+            "growth/iter",
+            "diverged",
+            "steps",
+        ],
+    );
+    for r in &rows {
+        t.row(&[
+            format!("{}/{}", r.eps.0, r.eps.1),
+            f3(r.rate),
+            r.n.to_string(),
+            r.m.to_string(),
+            r.s_star.to_string(),
+            format!("{:?}", r.s_series),
+            f3(r.growth),
+            r.diverged.to_string(),
+            r.steps.to_string(),
+        ]);
+    }
+    print_table(&t);
+}
+
+fn bench(c: &mut Criterion) {
+    headline_table();
+    let mut g = c.benchmark_group("e1_fifo_instability");
+    g.sample_size(10);
+    g.bench_function("one_iteration_eps_1_4_reduced", |b| {
+        b.iter(|| {
+            let mut cfg = InstabilityConfig::new(1, 4);
+            cfg.iterations = 1;
+            cfg.s0_safety = 1.5;
+            cfg.m_margin = 1.2;
+            InstabilityConstruction::new(cfg).run().expect("legal")
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! **E2 — Lemma 3.6**: one gadget step amplifies the queue by
+//! `S'/S = 2(1 − R_n) ≥ 1 + ε` within `2S + n` steps.
+
+use aqt_analysis::report::f3;
+use aqt_analysis::Table;
+use aqt_bench::print_table;
+use aqt_core::experiments::e2_gadget_amplification;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn table() {
+    let rows = e2_gadget_amplification(&[(1, 10), (1, 5), (1, 4), (3, 10)], &[1.0, 2.0, 4.0])
+        .expect("legal adversaries");
+    let mut t = Table::new(
+        "E2 / Lemma 3.6 — gadget-step amplification (paper: S' ≥ S(1+ε))",
+        &[
+            "ε",
+            "S",
+            "S' measured",
+            "S' theory",
+            "amp measured",
+            "amp promised",
+            "C(S',F') exact",
+        ],
+    );
+    for r in &rows {
+        t.row(&[
+            format!("{}/{}", r.eps.0, r.eps.1),
+            r.s.to_string(),
+            r.s_prime_measured.to_string(),
+            r.s_prime_theory.to_string(),
+            f3(r.amp_measured),
+            f3(r.amp_promised),
+            r.invariant_exact.to_string(),
+        ]);
+    }
+    print_table(&t);
+}
+
+fn bench(c: &mut Criterion) {
+    table();
+    let mut g = c.benchmark_group("e2_gadget_amplification");
+    g.sample_size(10);
+    g.bench_function("one_step_eps_1_4", |b| {
+        b.iter(|| e2_gadget_amplification(&[(1, 4)], &[1.0]).expect("legal"));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

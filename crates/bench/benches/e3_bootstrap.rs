@@ -1,0 +1,49 @@
+//! **E3 — Lemma 3.15**: the bootstrap turns `2S` flat-queued packets
+//! into `C(S', F_n)` with `S' ≥ S(1+ε)`.
+
+use aqt_analysis::report::f3;
+use aqt_analysis::Table;
+use aqt_bench::print_table;
+use aqt_core::experiments::e3_bootstrap;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn table() {
+    let rows = e3_bootstrap(&[(1, 10), (1, 5), (1, 4), (3, 10)], &[1.0, 2.0, 4.0]).expect("legal");
+    let mut t = Table::new(
+        "E3 / Lemma 3.15 — bootstrap from a flat queue (paper: S' ≥ S(1+ε))",
+        &[
+            "ε",
+            "S",
+            "S' measured",
+            "S' theory",
+            "amp measured",
+            "amp promised",
+            "C(S',F) exact",
+        ],
+    );
+    for r in &rows {
+        t.row(&[
+            format!("{}/{}", r.eps.0, r.eps.1),
+            r.s.to_string(),
+            r.s_prime_measured.to_string(),
+            r.s_prime_theory.to_string(),
+            f3(r.amp_measured),
+            f3(r.amp_promised),
+            r.invariant_exact.to_string(),
+        ]);
+    }
+    print_table(&t);
+}
+
+fn bench(c: &mut Criterion) {
+    table();
+    let mut g = c.benchmark_group("e3_bootstrap");
+    g.sample_size(10);
+    g.bench_function("bootstrap_eps_1_4", |b| {
+        b.iter(|| e3_bootstrap(&[(1, 4)], &[1.0]).expect("legal"));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! **E4 — Lemma 3.16**: the stitch converts a queue of `S` old packets
+//! into `≈ r³S` *fresh* packets three edges downstream.
+
+use aqt_analysis::report::f3;
+use aqt_analysis::Table;
+use aqt_bench::print_table;
+use aqt_core::experiments::e4_stitch;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn table() {
+    let rows =
+        e4_stitch(&[(11, 20), (3, 5), (7, 10), (3, 4), (4, 5), (9, 10)], 2000).expect("legal");
+    let mut t = Table::new(
+        "E4 / Lemma 3.16 — stitch retention (paper: r³·S fresh packets)",
+        &[
+            "r",
+            "S",
+            "fresh measured",
+            "fresh scheduled",
+            "retention",
+            "r³",
+        ],
+    );
+    for r in &rows {
+        t.row(&[
+            f3(r.rate),
+            r.s.to_string(),
+            r.fresh_measured.to_string(),
+            r.fresh_scheduled.to_string(),
+            f3(r.retention),
+            f3(r.r_cubed),
+        ]);
+    }
+    print_table(&t);
+}
+
+fn bench(c: &mut Criterion) {
+    table();
+    let mut g = c.benchmark_group("e4_stitch");
+    g.sample_size(20);
+    g.bench_function("stitch_r_3_4_s_2000", |b| {
+        b.iter(|| e4_stitch(&[(3, 4)], 2000).expect("legal"));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

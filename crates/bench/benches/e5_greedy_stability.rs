@@ -1,0 +1,58 @@
+//! **E5 — Theorem 4.1**: every greedy protocol is stable at
+//! `r = 1/(d+1)`, with per-buffer waits bounded by `⌈wr⌉`.
+
+use aqt_analysis::Table;
+use aqt_bench::print_table;
+use aqt_core::experiments::e5_greedy_stability;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn table() {
+    let rows = e5_greedy_stability(3, 12, 60_000).expect("legal");
+    let mut t = Table::new(
+        "E5 / Theorem 4.1 — greedy stability at r = 1/(d+1) (paper: max wait ≤ ⌈wr⌉, here 3)",
+        &[
+            "protocol",
+            "topology",
+            "d",
+            "bound",
+            "max wait",
+            "peak queue",
+            "verdict",
+            "bound ok",
+        ],
+    );
+    let mut violations = 0;
+    for r in &rows {
+        if !r.bound_respected {
+            violations += 1;
+        }
+        t.row(&[
+            r.protocol.clone(),
+            r.topology.clone(),
+            r.d.to_string(),
+            r.bound.map_or("—".into(), |b| b.to_string()),
+            r.max_wait.to_string(),
+            r.max_queue.to_string(),
+            r.verdict.to_string(),
+            r.bound_respected.to_string(),
+        ]);
+    }
+    print_table(&t);
+    println!(
+        "bound violations: {violations} / {} (paper promises 0)",
+        rows.len()
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    table();
+    let mut g = c.benchmark_group("e5_greedy_stability");
+    g.sample_size(10);
+    g.bench_function("sweep_4k_steps", |b| {
+        b.iter(|| e5_greedy_stability(3, 12, 4_000).expect("legal"));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

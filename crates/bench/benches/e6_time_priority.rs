@@ -1,0 +1,51 @@
+//! **E6 — Theorem 4.3**: time-priority protocols (FIFO, LIS) keep the
+//! `⌈wr⌉` bound at the higher rate `r = 1/d`.
+
+use aqt_analysis::Table;
+use aqt_bench::print_table;
+use aqt_core::experiments::e6_time_priority;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn table() {
+    let rows = e6_time_priority(3, 12, 60_000).expect("legal");
+    let mut t = Table::new(
+        "E6 / Theorem 4.3 — time-priority stability at r = 1/d (FIFO & LIS bound = ⌈wr⌉ = 4)",
+        &[
+            "protocol",
+            "topology",
+            "bound",
+            "max wait",
+            "peak queue",
+            "verdict",
+        ],
+    );
+    for r in &rows {
+        t.row(&[
+            r.protocol.clone(),
+            r.topology.clone(),
+            r.bound.map_or("(theorem silent)".into(), |b| b.to_string()),
+            r.max_wait.to_string(),
+            r.max_queue.to_string(),
+            r.verdict.to_string(),
+        ]);
+    }
+    print_table(&t);
+    let bad: Vec<_> = rows
+        .iter()
+        .filter(|r| matches!(r.protocol.as_str(), "FIFO" | "LIS") && !r.bound_respected)
+        .collect();
+    println!("FIFO/LIS violations: {} (paper promises 0)", bad.len());
+}
+
+fn bench(c: &mut Criterion) {
+    table();
+    let mut g = c.benchmark_group("e6_time_priority");
+    g.sample_size(10);
+    g.bench_function("sweep_4k_steps", |b| {
+        b.iter(|| e6_time_priority(3, 12, 4_000).expect("legal"));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! **E7 — Corollaries 4.5/4.6**: S-initial-configurations keep
+//! stability for rates strictly below the thresholds, with the
+//! degraded bound `⌈w*·r*⌉`.
+
+use aqt_analysis::Table;
+use aqt_bench::print_table;
+use aqt_core::experiments::e7_initial_config;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn table() {
+    let rows = e7_initial_config(3, 12, 200, 60_000).expect("legal");
+    let mut t = Table::new(
+        "E7 / Corollaries 4.5-4.6 — S-initial-configuration (S=200, r=1/(d+2) < 1/(d+1))",
+        &[
+            "protocol",
+            "topology",
+            "bound",
+            "max wait",
+            "peak queue",
+            "verdict",
+            "bound ok",
+        ],
+    );
+    let mut violations = 0;
+    for r in &rows {
+        if !r.bound_respected {
+            violations += 1;
+        }
+        t.row(&[
+            r.protocol.clone(),
+            r.topology.clone(),
+            r.bound.map_or("—".into(), |b| b.to_string()),
+            r.max_wait.to_string(),
+            r.max_queue.to_string(),
+            r.verdict.to_string(),
+            r.bound_respected.to_string(),
+        ]);
+    }
+    print_table(&t);
+    println!(
+        "bound violations: {violations} / {} (paper promises 0)",
+        rows.len()
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    table();
+    let mut g = c.benchmark_group("e7_initial_config");
+    g.sample_size(10);
+    g.bench_function("sweep_4k_steps", |b| {
+        b.iter(|| e7_initial_config(3, 12, 200, 4_000).expect("legal"));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! **E8 — Appendix**: `n = Θ(log 1/ε)` and `S₀ = Θ((1/ε)·log(1/ε))`.
+
+use aqt_analysis::report::f3;
+use aqt_analysis::Table;
+use aqt_bench::print_table;
+use aqt_core::experiments::e8_asymptotics;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn table() {
+    let rows = e8_asymptotics(&[4, 8, 16, 32, 64, 128, 256, 512, 1024]);
+    let mut t = Table::new(
+        "E8 / Appendix — parameter asymptotics (paper: n = Θ(log 1/ε), S₀ = Θ((1/ε)log(1/ε)))",
+        &[
+            "ε",
+            "n",
+            "S₀",
+            "log₂(1/ε)",
+            "n / log₂(1/ε)",
+            "S₀ / ((1/ε)log₂(1/ε))",
+        ],
+    );
+    for r in &rows {
+        t.row(&[
+            format!("{:.5}", r.eps),
+            r.n.to_string(),
+            r.s0.to_string(),
+            f3(r.log_inv_eps),
+            f3(r.n_ratio),
+            f3(r.s0_ratio),
+        ]);
+    }
+    print_table(&t);
+    println!("both ratio columns must stay Θ(1) as ε → 0 — the sandwich of (5.5)/(5.9).");
+}
+
+fn bench(c: &mut Criterion) {
+    table();
+    let mut g = c.benchmark_group("e8_asymptotics");
+    g.bench_function("param_derivation_sweep", |b| {
+        b.iter(|| e8_asymptotics(&[4, 8, 16, 32, 64, 128, 256, 512, 1024]));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

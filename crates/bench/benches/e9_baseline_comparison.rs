@@ -1,0 +1,64 @@
+//! **E9 — the comparison of Section 1/5**: our `1/2 + ε` construction
+//! vs. the baseball-pump family of the prior FIFO instability results
+//! ([4] r > 0.85, [11] 0.8357, [15] 0.749).
+
+use aqt_analysis::report::f3;
+use aqt_analysis::Table;
+use aqt_bench::print_table;
+use aqt_core::experiments::e9_comparison;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn table() {
+    let rows = e9_comparison(
+        &[
+            (11, 20),
+            (3, 5),
+            (13, 20),
+            (7, 10),
+            (3, 4),
+            (4, 5),
+            (17, 20),
+            (9, 10),
+        ],
+        600,
+        4,
+        2,
+    )
+    .expect("legal");
+    let mut t = Table::new(
+        "E9 — who destabilizes FIFO at which rate (growth > 1 = diverging)",
+        &[
+            "rate",
+            "baseball pump growth/round",
+            "our G_ε growth/iteration",
+        ],
+    );
+    for r in &rows {
+        t.row(&[
+            f3(r.rate),
+            f3(r.baseline_growth),
+            r.ours_growth.map_or("n/a".into(), f3),
+        ]);
+    }
+    print_table(&t);
+    println!(
+        "shape check: our construction grows at every r > 1/2; the pump family needs far \
+         higher rates (prior art: 0.749–0.85)."
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    table();
+    let mut g = c.benchmark_group("e9_baseline_comparison");
+    g.sample_size(10);
+    g.bench_function("pump_round_r_9_10", |b| {
+        b.iter(|| {
+            aqt_adversary::baselines::run_baseball_pump(aqt_sim::Ratio::new(9, 10), 600, 2)
+                .expect("legal")
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

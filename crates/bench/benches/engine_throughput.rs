@@ -1,0 +1,51 @@
+//! Engine microbenchmarks: steps/second under load, per protocol.
+//!
+//! Not a paper experiment — this is the simulator's own performance
+//! baseline (packet-hops per second), used to size the experiment
+//! sweeps.
+
+use std::sync::Arc;
+
+use aqt_adversary::stochastic::{random_routes, InjectionStyle, SaturatingAdversary};
+use aqt_graph::topologies;
+use aqt_protocols::by_name;
+use aqt_sim::{Engine, EngineConfig, Ratio};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn run_steps(proto: &str, steps: u64) -> u64 {
+    let graph = Arc::new(topologies::torus(4, 4));
+    let routes = random_routes(&graph, 4, 64, 11);
+    let mut adv = SaturatingAdversary::new(
+        &graph,
+        16,
+        Ratio::new(1, 5),
+        routes,
+        InjectionStyle::Burst,
+        5,
+    );
+    let mut eng = Engine::new(
+        Arc::clone(&graph),
+        by_name(proto, 3).expect("protocol"),
+        EngineConfig::default(),
+    );
+    for t in 1..=steps {
+        eng.step(adv.injections_for(t)).expect("no validators on");
+    }
+    eng.metrics().absorbed
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_throughput");
+    let steps = 20_000u64;
+    g.throughput(Throughput::Elements(steps));
+    g.sample_size(10);
+    for proto in ["FIFO", "LIFO", "LIS", "FTG", "NTG", "RANDOM"] {
+        g.bench_with_input(BenchmarkId::from_parameter(proto), proto, |b, p| {
+            b.iter(|| run_steps(p, steps));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,985 @@
+//! Typed runners for every reproduced claim (`EXPERIMENTS.md` E1–E10).
+//!
+//! The integration tests run these at reduced scale, the Criterion
+//! benches at full scale; both print the same table rows so
+//! paper-vs-measured comparisons live in one place.
+
+use std::sync::Arc;
+
+use aqt_adversary::baselines::run_baseball_pump;
+use aqt_adversary::stochastic::{random_routes, InjectionStyle, SaturatingAdversary};
+use aqt_adversary::{lemma315, lemma316, lemma36, GadgetParams};
+use aqt_analysis::stability::{classify_series, Verdict};
+use aqt_graph::{topologies, DaisyChain, FnGadget, Graph, Route};
+use aqt_protocols::{by_name, protocol_names, Fifo};
+use aqt_sim::{Engine, EngineConfig, EngineError, Protocol, Ratio, Time};
+
+use crate::instability::{InstabilityConfig, InstabilityConstruction};
+use crate::theory::StabilityCertificate;
+use crate::verify::check_c_invariant;
+
+// ---------------------------------------------------------------------
+// E1 — Theorem 3.17: FIFO unstable at r = 1/2 + ε.
+// ---------------------------------------------------------------------
+
+/// One row of experiment E1.
+#[derive(Debug, Clone)]
+pub struct E1Row {
+    /// `ε` as (num, den).
+    pub eps: (u64, u64),
+    /// The rate `r = 1/2 + ε`.
+    pub rate: f64,
+    /// Gadget length `n`, chain length `M`, seed `S*`.
+    pub n: usize,
+    /// Chain length `M`.
+    pub m: usize,
+    /// Initial queue `S*`.
+    pub s_star: u64,
+    /// Fresh-queue sizes at iteration boundaries (`S₁, S₄, S₄', …`).
+    pub s_series: Vec<u64>,
+    /// Geometric-mean per-iteration growth.
+    pub growth: f64,
+    /// Did every iteration grow?
+    pub diverged: bool,
+    /// Steps simulated.
+    pub steps: Time,
+}
+
+/// Run E1 for each `ε`, `iterations` closed-loop iterations each.
+pub fn e1_fifo_instability(
+    eps_list: &[(u64, u64)],
+    iterations: usize,
+) -> Result<Vec<E1Row>, EngineError> {
+    let mut rows = Vec::new();
+    for &(num, den) in eps_list {
+        let mut cfg = InstabilityConfig::new(num, den);
+        cfg.iterations = iterations;
+        let c = InstabilityConstruction::new(cfg);
+        let run = c.run()?;
+        let mut s_series = vec![run.s_star];
+        s_series.extend(run.iterations.iter().map(|it| it.s_end));
+        let growth = aqt_analysis::stats::geometric_growth(
+            &s_series.iter().map(|&s| s as f64).collect::<Vec<_>>(),
+        )
+        .unwrap_or(0.0);
+        rows.push(E1Row {
+            eps: (num, den),
+            rate: run.params.rate.as_f64(),
+            n: run.params.n,
+            m: run.m,
+            s_star: run.s_star,
+            s_series,
+            growth,
+            diverged: run.diverged,
+            steps: run.total_steps,
+        });
+    }
+    Ok(rows)
+}
+
+// ---------------------------------------------------------------------
+// E2 — Lemma 3.6: one gadget step amplifies by ≥ (1 + ε).
+// ---------------------------------------------------------------------
+
+/// One row of experiment E2 (and E3, which shares the shape).
+#[derive(Debug, Clone)]
+pub struct AmplifyRow {
+    /// `ε` as (num, den).
+    pub eps: (u64, u64),
+    /// Input queue size `S`.
+    pub s: u64,
+    /// Measured output queue `S'` (the `min` of the two invariant
+    /// populations).
+    pub s_prime_measured: u64,
+    /// Theoretical `S' = ⌊2S(1−R_n)⌋`.
+    pub s_prime_theory: u64,
+    /// Measured amplification `S'/S`.
+    pub amp_measured: f64,
+    /// `1 + ε` — the bound the lemma promises.
+    pub amp_promised: f64,
+    /// Did `C(S', F')` hold exactly at the predicted finish time?
+    pub invariant_exact: bool,
+}
+
+/// Seed an exact `C(s, F)` state into `eng` for gadget `g`.
+fn seed_c_invariant(
+    eng: &mut Engine<Fifo>,
+    graph: &Graph,
+    g: &aqt_graph::GadgetHandles,
+    s: u64,
+) -> Result<(), EngineError> {
+    let n = g.n();
+    for k in 0..s {
+        let i = (k as usize) % n;
+        let mut edges: Vec<_> = g.e_path[i..].to_vec();
+        edges.push(g.egress);
+        eng.seed(Route::new(graph, edges)?, 1)?;
+    }
+    let mut a_edges = vec![g.ingress];
+    a_edges.extend_from_slice(&g.f_path);
+    a_edges.push(g.egress);
+    let a_route = Route::new(graph, a_edges)?;
+    for _ in 0..s {
+        eng.seed(a_route.clone(), 2)?;
+    }
+    Ok(())
+}
+
+/// Run E2 for each `ε` and each `S = ⌈S₀·mult⌉`.
+///
+/// Seeds `C(S, F)` directly (an initial configuration per Observation
+/// 4.4), applies the Lemma 3.6 adversary, and measures `C(S', F')`.
+pub fn e2_gadget_amplification(
+    eps_list: &[(u64, u64)],
+    s_multipliers: &[f64],
+) -> Result<Vec<AmplifyRow>, EngineError> {
+    let mut rows = Vec::new();
+    for &(num, den) in eps_list {
+        let params = GadgetParams::new(num, den);
+        let chain = DaisyChain::new(params.n, 2);
+        let graph = Arc::new(chain.graph.clone());
+        for &mult in s_multipliers {
+            let s = ((params.s0 as f64) * mult).ceil() as u64;
+            let mut eng = Engine::new(
+                Arc::clone(&graph),
+                Fifo,
+                EngineConfig {
+                    validate_rate: Some(params.rate),
+                    validate_reroutes: true,
+                    ..Default::default()
+                },
+            );
+            seed_c_invariant(&mut eng, &graph, &chain.gadgets[0], s)?;
+            let step = lemma36::build(
+                &graph,
+                &chain.gadgets[0],
+                &chain.gadgets[1],
+                &params,
+                s,
+                0,
+                8,
+            )?;
+            step.schedule.run(&mut eng, step.finish)?;
+            let inv = check_c_invariant(&eng, &chain.gadgets[1]);
+            // F must be empty (Lemma 3.6's second conclusion).
+            let f_empty = check_c_invariant(&eng, &chain.gadgets[0]);
+            let measured = inv.s_effective();
+            rows.push(AmplifyRow {
+                eps: (num, den),
+                s,
+                s_prime_measured: measured,
+                s_prime_theory: step.s_prime,
+                amp_measured: measured as f64 / s as f64,
+                amp_promised: 1.0 + Ratio::new(num, den).as_f64(),
+                invariant_exact: inv.holds().is_some()
+                    && f_empty.e_total == 0
+                    && f_empty.a_count + f_empty.a_foreign == 0,
+            });
+        }
+    }
+    Ok(rows)
+}
+
+// ---------------------------------------------------------------------
+// E3 — Lemma 3.15: bootstrap from a flat queue.
+// ---------------------------------------------------------------------
+
+/// Run E3: seed `2S` unit-route packets at the ingress, apply the
+/// bootstrap adversary, measure `C(S', F)`.
+pub fn e3_bootstrap(
+    eps_list: &[(u64, u64)],
+    s_multipliers: &[f64],
+) -> Result<Vec<AmplifyRow>, EngineError> {
+    let mut rows = Vec::new();
+    for &(num, den) in eps_list {
+        let params = GadgetParams::new(num, den);
+        let gadget = FnGadget::new(params.n);
+        let graph = Arc::new(gadget.graph.clone());
+        for &mult in s_multipliers {
+            let s = ((params.s0 as f64) * mult).ceil() as u64;
+            let mut eng = Engine::new(
+                Arc::clone(&graph),
+                Fifo,
+                EngineConfig {
+                    validate_rate: Some(params.rate),
+                    validate_reroutes: true,
+                    ..Default::default()
+                },
+            );
+            let unit = Route::single(&graph, gadget.handles.ingress)?;
+            for _ in 0..2 * s {
+                eng.seed(unit.clone(), 0)?;
+            }
+            let boot = lemma315::build(&graph, &gadget.handles, &params, s, 0, 8)?;
+            boot.schedule.run(&mut eng, boot.finish)?;
+            let inv = check_c_invariant(&eng, &gadget.handles);
+            let measured = inv.s_effective();
+            rows.push(AmplifyRow {
+                eps: (num, den),
+                s,
+                s_prime_measured: measured,
+                s_prime_theory: boot.s_prime,
+                amp_measured: measured as f64 / s as f64,
+                amp_promised: 1.0 + Ratio::new(num, den).as_f64(),
+                invariant_exact: inv.holds().is_some(),
+            });
+        }
+    }
+    Ok(rows)
+}
+
+// ---------------------------------------------------------------------
+// E4 — Lemma 3.16: the stitch retains ≈ r³ of the queue, fresh.
+// ---------------------------------------------------------------------
+
+/// One row of experiment E4.
+#[derive(Debug, Clone)]
+pub struct E4Row {
+    /// Rate used.
+    pub rate: f64,
+    /// Input queue `S`.
+    pub s: u64,
+    /// Fresh packets measured at `a_2` when the network quiesces.
+    pub fresh_measured: u64,
+    /// `⌊r⌊r⌊rS⌋⌋⌋` — the scheduled fresh count.
+    pub fresh_scheduled: u64,
+    /// `r³` (the paper's retention factor).
+    pub r_cubed: f64,
+    /// Measured retention `fresh/S`.
+    pub retention: f64,
+}
+
+/// Run E4 on a 3-edge line for each rate.
+pub fn e4_stitch(rates: &[(u64, u64)], s: u64) -> Result<Vec<E4Row>, EngineError> {
+    let mut rows = Vec::new();
+    for &(num, den) in rates {
+        let rate = Ratio::new(num, den);
+        let graph = Arc::new(topologies::line(3));
+        let e: Vec<_> = graph.edge_ids().collect();
+        let mut eng = Engine::new(
+            Arc::clone(&graph),
+            Fifo,
+            EngineConfig {
+                validate_rate: Some(rate),
+                ..Default::default()
+            },
+        );
+        let unit = Route::single(&graph, e[0])?;
+        for _ in 0..s {
+            eng.seed(unit.clone(), 0)?;
+        }
+        let stitch = lemma316::build(&graph, e[0], e[1], e[2], rate, s, 0, 8)?;
+        let fresh_tag = stitch.tags.fresh;
+        let scheduled = stitch.fresh_count;
+        stitch.schedule.run(&mut eng, stitch.finish)?;
+        // settle until everything but fresh is absorbed
+        let mut settle = 0;
+        loop {
+            let only_a2 = eng.backlog() == eng.queue_len(e[2]) as u64;
+            let front_fresh = eng.queue(e[2]).front().is_none_or(|p| p.tag == fresh_tag);
+            if (only_a2 && front_fresh) || settle > 4 * s {
+                break;
+            }
+            eng.run_quiet(1)?;
+            settle += 1;
+        }
+        let fresh = eng
+            .queue(e[2])
+            .iter()
+            .filter(|p| p.tag == fresh_tag)
+            .count() as u64;
+        let r = rate.as_f64();
+        rows.push(E4Row {
+            rate: r,
+            s,
+            fresh_measured: fresh,
+            fresh_scheduled: scheduled,
+            r_cubed: r * r * r,
+            retention: fresh as f64 / s as f64,
+        });
+    }
+    Ok(rows)
+}
+
+// ---------------------------------------------------------------------
+// E5/E6/E7 — Theorems 4.1/4.3, Corollaries 4.5/4.6.
+// ---------------------------------------------------------------------
+
+/// Topologies used by the stability experiments.
+pub fn stability_topologies() -> Vec<(&'static str, Graph)> {
+    vec![
+        ("ring-8", topologies::ring(8)),
+        ("grid-4x4", topologies::grid(4, 4)),
+        ("torus-4x4", topologies::torus(4, 4)),
+        ("hypercube-3", topologies::hypercube(3)),
+        ("baseball", topologies::baseball().0),
+    ]
+}
+
+/// One row of experiments E5/E6/E7.
+#[derive(Debug, Clone)]
+pub struct StabilityRow {
+    /// Protocol name.
+    pub protocol: String,
+    /// Topology name.
+    pub topology: String,
+    /// Longest route length `d` of the adversary's pool.
+    pub d: usize,
+    /// Adversary window `w` and rate `r`.
+    pub w: u64,
+    /// The rate.
+    pub rate: f64,
+    /// The theorem's per-buffer delay bound (`None` = theorem silent).
+    pub bound: Option<u64>,
+    /// Measured maximum per-buffer wait.
+    pub max_wait: u64,
+    /// Measured peak queue length.
+    pub max_queue: u64,
+    /// Backlog verdict over the run.
+    pub verdict: Verdict,
+    /// `max_wait <= bound` (vacuously true when the theorem is silent).
+    pub bound_respected: bool,
+}
+
+/// Core stability run: one (protocol, topology) cell.
+#[allow(clippy::too_many_arguments)] // internal helper; the experiment fns are the API
+fn stability_cell(
+    proto_name: &str,
+    topo_name: &str,
+    graph: &Graph,
+    d: usize,
+    w: u64,
+    rate: Ratio,
+    initial: u64,
+    steps: u64,
+    seed: u64,
+) -> Result<StabilityRow, EngineError> {
+    let graph = Arc::new(graph.clone());
+    let protocol = by_name(proto_name, seed).expect("known protocol");
+    let time_priority = protocol.is_time_priority();
+    let mut eng = Engine::new(
+        Arc::clone(&graph),
+        protocol,
+        EngineConfig {
+            validate_window: Some((w, rate)),
+            sample_every: (steps / 256).max(1),
+            ..Default::default()
+        },
+    );
+    let routes = random_routes(&graph, d, 64, seed);
+    let d_actual = routes.iter().map(Route::len).max().unwrap_or(1);
+    // Optional S-initial-configuration (E7): `initial` packets on the
+    // first candidate route.
+    for _ in 0..initial {
+        eng.seed(routes[0].clone(), 0)?;
+    }
+    let mut adv = SaturatingAdversary::new(
+        &graph,
+        w,
+        rate,
+        routes,
+        InjectionStyle::Burst,
+        seed ^ 0x5eed,
+    );
+    for t in 1..=steps {
+        let inj = adv.injections_for(t);
+        eng.step(inj)?;
+    }
+    let cert = StabilityCertificate::with_initial(w, rate, d_actual, initial);
+    let bound = if time_priority {
+        cert.time_priority_bound().or_else(|| cert.greedy_bound())
+    } else {
+        cert.greedy_bound()
+    };
+    let max_wait = eng.metrics().max_buffer_wait;
+    let verdict = classify_series(
+        &eng.metrics()
+            .series
+            .iter()
+            .map(|p| p.backlog)
+            .collect::<Vec<_>>(),
+    );
+    Ok(StabilityRow {
+        protocol: proto_name.to_string(),
+        topology: topo_name.to_string(),
+        d: d_actual,
+        w,
+        rate: rate.as_f64(),
+        bound,
+        max_wait,
+        max_queue: eng.metrics().max_queue(),
+        verdict,
+        bound_respected: bound.is_none_or(|b| max_wait <= b),
+    })
+}
+
+/// E5 — every greedy protocol × topology at `r = 1/(d+1)`: the
+/// `⌈wr⌉` bound of Theorem 4.1 must hold.
+pub fn e5_greedy_stability(d: usize, w: u64, steps: u64) -> Result<Vec<StabilityRow>, EngineError> {
+    let rate = Ratio::new(1, d as u64 + 1);
+    let mut rows = Vec::new();
+    for (topo_name, graph) in stability_topologies() {
+        for &p in protocol_names() {
+            rows.push(stability_cell(
+                p, topo_name, &graph, d, w, rate, 0, steps, 42,
+            )?);
+        }
+    }
+    Ok(rows)
+}
+
+/// E6 — time-priority protocols (FIFO, LIS) at the higher rate
+/// `r = 1/d` (Theorem 4.3), plus non-time-priority controls at the
+/// same rate (for which the theorems are silent).
+pub fn e6_time_priority(d: usize, w: u64, steps: u64) -> Result<Vec<StabilityRow>, EngineError> {
+    let rate = Ratio::new(1, d as u64);
+    let mut rows = Vec::new();
+    for (topo_name, graph) in stability_topologies() {
+        for p in ["FIFO", "LIS", "LIFO", "NTG"] {
+            rows.push(stability_cell(
+                p, topo_name, &graph, d, w, rate, 0, steps, 43,
+            )?);
+        }
+    }
+    Ok(rows)
+}
+
+/// E7 — S-initial-configurations at `r` strictly below the threshold
+/// (Corollaries 4.5/4.6).
+pub fn e7_initial_config(
+    d: usize,
+    w: u64,
+    initial: u64,
+    steps: u64,
+) -> Result<Vec<StabilityRow>, EngineError> {
+    let rate = Ratio::new(1, d as u64 + 2); // strictly below 1/(d+1)
+    let mut rows = Vec::new();
+    for (topo_name, graph) in stability_topologies() {
+        for p in ["FIFO", "LIS", "FTG", "RANDOM"] {
+            rows.push(stability_cell(
+                p, topo_name, &graph, d, w, rate, initial, steps, 44,
+            )?);
+        }
+    }
+    Ok(rows)
+}
+
+// ---------------------------------------------------------------------
+// E8 — Appendix asymptotics.
+// ---------------------------------------------------------------------
+
+/// One row of experiment E8.
+#[derive(Debug, Clone)]
+pub struct E8Row {
+    /// `ε`.
+    pub eps: f64,
+    /// Chosen gadget length.
+    pub n: usize,
+    /// Chosen seed floor.
+    pub s0: u64,
+    /// `log₂(1/ε)` — `n`'s predicted scale (×1…×2 + O(1), eq. (5.5)).
+    pub log_inv_eps: f64,
+    /// `(1/ε)·log₂(1/ε)` — `S₀`'s predicted scale.
+    pub s0_scale: f64,
+    /// `n / log₂(1/ε)`.
+    pub n_ratio: f64,
+    /// `S₀ / ((1/ε) log₂(1/ε))`.
+    pub s0_ratio: f64,
+}
+
+/// Run E8 over a sweep of `ε = 1/k`.
+pub fn e8_asymptotics(denominators: &[u64]) -> Vec<E8Row> {
+    denominators
+        .iter()
+        .map(|&k| {
+            let p = GadgetParams::new(1, k);
+            let eps = 1.0 / k as f64;
+            let log_inv = (k as f64).log2();
+            let scale = k as f64 * log_inv;
+            E8Row {
+                eps,
+                n: p.n,
+                s0: p.s0,
+                log_inv_eps: log_inv,
+                s0_scale: scale,
+                n_ratio: p.n as f64 / log_inv,
+                s0_ratio: p.s0 as f64 / scale,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// E9 — our construction vs the baseball-pump baseline.
+// ---------------------------------------------------------------------
+
+/// One row of experiment E9.
+#[derive(Debug, Clone)]
+pub struct E9Row {
+    /// Rate swept.
+    pub rate: f64,
+    /// Per-round growth of the baseball pump at this rate.
+    pub baseline_growth: f64,
+    /// Per-iteration growth of our `G_ε` construction at this rate
+    /// (`None` when `r ≤ 1/2`: the construction needs `ε > 0`).
+    pub ours_growth: Option<f64>,
+}
+
+/// Run E9: sweep rates; at each rate measure the baseline pump's
+/// per-round growth and (for `r > 1/2`) our construction's
+/// per-iteration growth.
+pub fn e9_comparison(
+    rates: &[(u64, u64)],
+    pump_seed: u64,
+    pump_rounds: usize,
+    ours_iterations: usize,
+) -> Result<Vec<E9Row>, EngineError> {
+    let mut rows = Vec::new();
+    for &(num, den) in rates {
+        let rate = Ratio::new(num, den);
+        let pump = run_baseball_pump(rate, pump_seed, pump_rounds)?;
+        // ours: rate = 1/2 + eps => eps = rate - 1/2
+        let ours_growth = if rate > Ratio::new(1, 2) {
+            let eps = rate.sub(Ratio::new(1, 2));
+            let mut cfg = InstabilityConfig::new(eps.num(), eps.den());
+            cfg.iterations = ours_iterations;
+            let run = InstabilityConstruction::new(cfg).run()?;
+            let series: Vec<f64> = std::iter::once(run.s_star)
+                .chain(run.iterations.iter().map(|it| it.s_end))
+                .map(|s| s as f64)
+                .collect();
+            aqt_analysis::stats::geometric_growth(&series)
+        } else {
+            None
+        };
+        rows.push(E9Row {
+            rate: rate.as_f64(),
+            baseline_growth: pump.growth,
+            ours_growth,
+        });
+    }
+    Ok(rows)
+}
+
+// ---------------------------------------------------------------------
+// E13 — sharpness of the ⌈wr⌉ bound around the 1/d threshold.
+// ---------------------------------------------------------------------
+
+/// One row of experiment E13.
+#[derive(Debug, Clone)]
+pub struct E13Row {
+    /// Longest route length in the pool.
+    pub d: usize,
+    /// Rate as a multiple of `1/d` (0.6, 0.8, 1.0, 1.2, …).
+    pub rate_over_threshold: f64,
+    /// The exact rate.
+    pub rate: f64,
+    /// Theorem 4.3's bound when it applies (`r ≤ 1/d`).
+    pub bound: Option<u64>,
+    /// Measured max per-buffer wait under FIFO.
+    pub max_wait: u64,
+    /// Measured peak queue.
+    pub max_queue: u64,
+}
+
+/// Run E13: FIFO on a torus under bursty saturating `(w,r)` adversaries
+/// with `r` swept across the `1/d` threshold. At or below the threshold
+/// the `⌈wr⌉` bound must hold (Theorem 4.3); above it the theorems are
+/// silent and the measured waits show how the guarantee erodes — the
+/// paper's Section 5 argues the `1/d`-type thresholds are within a
+/// small constant factor of optimal for route length `d`.
+pub fn e13_threshold_sharpness(d: usize, w: u64, steps: u64) -> Result<Vec<E13Row>, EngineError> {
+    let mut rows = Vec::new();
+    // r = f·(1/d) for f ∈ {0.6, 0.8, 1.0, 1.2, 1.5, 2.0} (f = f10/10).
+    for f10 in [6u64, 8, 10, 12, 15, 20] {
+        let rate = Ratio::new(f10, 10 * d as u64);
+        if rate >= Ratio::ONE {
+            continue;
+        }
+        let graph = Arc::new(topologies::torus(4, 4));
+        let routes = random_routes(&graph, d, 64, 77);
+        let d_actual = routes.iter().map(Route::len).max().unwrap_or(1);
+        let mut adv = SaturatingAdversary::new(&graph, w, rate, routes, InjectionStyle::Burst, 78);
+        let mut eng = Engine::new(
+            Arc::clone(&graph),
+            Fifo,
+            EngineConfig {
+                validate_window: Some((w, rate)),
+                ..Default::default()
+            },
+        );
+        for t in 1..=steps {
+            eng.step(adv.injections_for(t))?;
+        }
+        let cert = StabilityCertificate::new(w, rate, d_actual);
+        let m = eng.metrics();
+        rows.push(E13Row {
+            d: d_actual,
+            rate_over_threshold: f10 as f64 / 10.0,
+            rate: rate.as_f64(),
+            bound: cert.time_priority_bound(),
+            max_wait: m.max_buffer_wait,
+            max_queue: m.max_queue(),
+        });
+    }
+    Ok(rows)
+}
+
+// ---------------------------------------------------------------------
+// E11 — Claim 3.9: old packets cross the thinned path at rates R_i.
+// ---------------------------------------------------------------------
+
+/// One row of experiment E11.
+#[derive(Debug, Clone)]
+pub struct E11Row {
+    /// Edge index `i` (1-based, as in the paper).
+    pub i: usize,
+    /// The paper's predicted arrival rate `R_i = (1−r)/(1−r^i)`.
+    pub r_i: f64,
+    /// Measured old-packet throughput onto `e'_i`'s tail, as a rate
+    /// over the stage (old arrivals ÷ 2S).
+    pub measured: f64,
+}
+
+/// Run E11: seed `C(S, F)` on `F_n²`, run the Lemma 3.6 adversary, and
+/// measure — per internal edge `e'_i` — how many *old* packets arrived
+/// at its tail during the stage. Claim 3.9 predicts `2S·R_i` arrivals
+/// (rate `R_i` during `[i+1, 2S+i]`).
+///
+/// Old arrivals at the tail of `e'_i` equal the crossings of the
+/// predecessor edge (`a'` for `i = 1`, else `e'_{i-1}`) minus the
+/// thinning singles that crossed it — and singles cross exactly once
+/// each, so their count is the number injected on that edge.
+pub fn e11_thinning_rates(
+    eps_num: u64,
+    eps_den: u64,
+    s_multiplier: f64,
+) -> Result<Vec<E11Row>, EngineError> {
+    let params = GadgetParams::new(eps_num, eps_den);
+    let chain = DaisyChain::new(params.n, 2);
+    let graph = Arc::new(chain.graph.clone());
+    let s = ((params.s0 as f64) * s_multiplier).ceil() as u64;
+    let mut eng = Engine::new(
+        Arc::clone(&graph),
+        Fifo,
+        EngineConfig {
+            validate_rate: Some(params.rate),
+            validate_reroutes: true,
+            ..Default::default()
+        },
+    );
+    seed_c_invariant(&mut eng, &graph, &chain.gadgets[0], s)?;
+    let step = lemma36::build(
+        &graph,
+        &chain.gadgets[0],
+        &chain.gadgets[1],
+        &params,
+        s,
+        0,
+        8,
+    )?;
+    step.schedule.run(&mut eng, step.finish)?;
+
+    let from = &chain.gadgets[0];
+    let to = &chain.gadgets[1];
+    let mut rows = Vec::with_capacity(params.n);
+    for i in 1..=params.n {
+        // predecessor of e'_i on the old packets' path
+        let pred = if i == 1 {
+            from.egress
+        } else {
+            to.e_path[i - 2]
+        };
+        let crossings = eng.metrics().crossings(pred);
+        let singles_crossed = if i == 1 {
+            0 // a' carries no thinning singles
+        } else {
+            params.rate.floor_mul(params.t_i(s, i - 1) + 1)
+        };
+        let old_arrivals = crossings.saturating_sub(singles_crossed);
+        rows.push(E11Row {
+            i,
+            r_i: params.r_i(i),
+            measured: old_arrivals as f64 / (2.0 * s as f64),
+        });
+    }
+    Ok(rows)
+}
+
+// ---------------------------------------------------------------------
+// E12 — ablation: the boundary-settling design choice.
+// ---------------------------------------------------------------------
+
+/// One row of experiment E12.
+#[derive(Debug, Clone)]
+pub struct E12Row {
+    /// Was inter-stage settling enabled?
+    pub settle: bool,
+    /// `S₀` safety factor used.
+    pub s0_safety: f64,
+    /// Fresh-queue series across iterations.
+    pub s_series: Vec<u64>,
+    /// Did the run diverge (every iteration grew)?
+    pub diverged: bool,
+}
+
+/// Run E12: the same construction with and without the inter-stage
+/// settling pass (and across `S₀` safety factors). Without settling,
+/// the exact-arithmetic lag compounds down the chain and long chains
+/// collapse — the measured justification for the design choice
+/// documented in `aqt_core::instability`.
+pub fn e12_settling_ablation(
+    eps_num: u64,
+    eps_den: u64,
+    iterations: usize,
+) -> Result<Vec<E12Row>, EngineError> {
+    let mut rows = Vec::new();
+    for (settle, s0_safety) in [(true, 2.0), (true, 3.0), (false, 2.0), (false, 3.0)] {
+        let mut cfg = InstabilityConfig::new(eps_num, eps_den);
+        cfg.iterations = iterations;
+        cfg.settle = settle;
+        cfg.s0_safety = s0_safety;
+        let run = InstabilityConstruction::new(cfg).run()?;
+        let mut s_series = vec![run.s_star];
+        s_series.extend(run.iterations.iter().map(|it| it.s_end));
+        rows.push(E12Row {
+            settle,
+            s0_safety,
+            s_series,
+            diverged: run.diverged,
+        });
+    }
+    Ok(rows)
+}
+
+// ---------------------------------------------------------------------
+// E10 — protocol landscape: replay the FIFO-tuned adversary.
+// ---------------------------------------------------------------------
+
+/// One row of experiment E10.
+#[derive(Debug, Clone)]
+pub struct E10Row {
+    /// Protocol the recorded adversary was replayed against.
+    pub protocol: String,
+    /// Final backlog.
+    pub final_backlog: u64,
+    /// Peak backlog.
+    pub max_backlog: u64,
+    /// Verdict over the backlog series.
+    pub verdict: Verdict,
+}
+
+/// Run E10: record the Theorem 3.17 adversary against FIFO, then
+/// replay the identical operation sequence against every protocol.
+///
+/// The replay is mechanical: injections are identical; the Lemma 3.3
+/// route extensions are re-applied to whatever packets sit in the same
+/// buffers (for non-historic protocols the lemma gives no legality
+/// guarantee, so the replays run without validation — the point is the
+/// *behavioral* contrast: the adversary is tuned to FIFO's scheduling
+/// rule and universally stable protocols shrug it off).
+pub fn e10_landscape(
+    eps_num: u64,
+    eps_den: u64,
+    iterations: usize,
+) -> Result<Vec<E10Row>, EngineError> {
+    let mut cfg = InstabilityConfig::new(eps_num, eps_den);
+    cfg.iterations = iterations;
+    e10_landscape_with(cfg)
+}
+
+/// [`e10_landscape`] with full control over the construction's scale.
+/// Replays against LIS/NIS/FTG/… scan whole buffers per step, so large
+/// constructions are quadratic for them; tests pass a reduced config.
+pub fn e10_landscape_with(mut cfg: InstabilityConfig) -> Result<Vec<E10Row>, EngineError> {
+    cfg.record_ops = true;
+    let construction = InstabilityConstruction::new(cfg);
+    let run = construction.run()?;
+    let horizon = run.total_steps;
+    let graph = Arc::new(construction.geps.graph.clone());
+    let ingress = construction.geps.ingress();
+
+    let mut rows = Vec::new();
+    for &p in protocol_names() {
+        let protocol = by_name(p, 7).expect("known protocol");
+        let mut eng = Engine::new(
+            Arc::clone(&graph),
+            protocol,
+            EngineConfig {
+                sample_every: (horizon / 256).max(1),
+                ..Default::default()
+            },
+        );
+        let unit = Route::single(&graph, ingress)?;
+        for _ in 0..run.s_star {
+            eng.seed(unit.clone(), 0)?;
+        }
+        run.recorded.clone().run(&mut eng, horizon)?;
+        let series: Vec<u64> = eng.metrics().series.iter().map(|s| s.backlog).collect();
+        rows.push(E10Row {
+            protocol: p.to_string(),
+            final_backlog: eng.backlog(),
+            max_backlog: series.iter().copied().max().unwrap_or(eng.backlog()),
+            verdict: classify_series(&series),
+        });
+    }
+    Ok(rows)
+}
+
+// ---------------------------------------------------------------------
+// One-command reduced-scale tour.
+// ---------------------------------------------------------------------
+
+/// A compact, human-readable summary of key experiments at reduced
+/// scale — the one-command tour used by `examples/full_report.rs`.
+/// Returns (section title, lines).
+pub fn quick_report() -> Result<Vec<(String, Vec<String>)>, EngineError> {
+    let mut sections = Vec::new();
+
+    let e1 = e1_fifo_instability(&[(1, 4)], 2)?;
+    sections.push((
+        "E1 / Theorem 3.17 — FIFO unstable at r = 3/4".to_string(),
+        e1.iter()
+            .map(|r| {
+                format!(
+                    "queue {:?}, growth {:.2}x/iter, diverged={}",
+                    r.s_series, r.growth, r.diverged
+                )
+            })
+            .collect(),
+    ));
+
+    let e2 = e2_gadget_amplification(&[(1, 4)], &[1.5])?;
+    sections.push((
+        "E2 / Lemma 3.6 — gadget amplification".to_string(),
+        e2.iter()
+            .map(|r| {
+                format!(
+                    "S={} → S'={} (theory {}), amp {:.3} ≥ promised {:.3}",
+                    r.s, r.s_prime_measured, r.s_prime_theory, r.amp_measured, r.amp_promised
+                )
+            })
+            .collect(),
+    ));
+
+    let e4 = e4_stitch(&[(3, 4)], 800)?;
+    sections.push((
+        "E4 / Lemma 3.16 — stitch retention".to_string(),
+        e4.iter()
+            .map(|r| format!("retention {:.3} vs r³ = {:.3}", r.retention, r.r_cubed))
+            .collect(),
+    ));
+
+    let e5 = e5_greedy_stability(3, 12, 4000)?;
+    let violations = e5.iter().filter(|r| !r.bound_respected).count();
+    sections.push((
+        "E5 / Theorem 4.1 — greedy stability at r = 1/(d+1)".to_string(),
+        vec![format!(
+            "{} protocol×topology cells, {} bound violations (theorem: 0)",
+            e5.len(),
+            violations
+        )],
+    ));
+
+    let e8 = e8_asymptotics(&[8, 32, 128]);
+    sections.push((
+        "E8 / Appendix — parameter asymptotics".to_string(),
+        e8.iter()
+            .map(|r| {
+                format!(
+                    "ε={:.4}: n={} (n/log₂(1/ε) = {:.2}), S₀={}",
+                    r.eps, r.n, r.n_ratio, r.s0
+                )
+            })
+            .collect(),
+    ));
+
+    let e11 = e11_thinning_rates(1, 4, 1.5)?;
+    sections.push((
+        "E11 / Claim 3.9 — thinning ladder".to_string(),
+        e11.iter()
+            .map(|r| format!("R_{} = {:.4}, measured {:.4}", r.i, r.r_i, r.measured))
+            .collect(),
+    ));
+
+    Ok(sections)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_report_covers_the_headlines() {
+        let sections = quick_report().expect("legal");
+        assert!(sections.len() >= 6);
+        assert!(sections[0].0.contains("Theorem 3.17"));
+        assert!(sections.iter().all(|(_, lines)| !lines.is_empty()));
+        // the E1 line must say diverged=true
+        assert!(sections[0].1[0].contains("diverged=true"));
+    }
+
+    #[test]
+    fn e8_runs_and_scales() {
+        let rows = e8_asymptotics(&[8, 16, 32, 64]);
+        assert_eq!(rows.len(), 4);
+        // n grows with 1/eps
+        assert!(rows.windows(2).all(|w| w[1].n >= w[0].n));
+        assert!(rows.windows(2).all(|w| w[1].s0 > w[0].s0));
+    }
+
+    #[test]
+    fn e4_stitch_retains_about_r_cubed() {
+        let rows = e4_stitch(&[(3, 5), (3, 4), (9, 10)], 400).expect("legal");
+        for row in &rows {
+            assert_eq!(row.fresh_measured, row.fresh_scheduled);
+            let rel = row.retention / row.r_cubed;
+            assert!(
+                (0.9..=1.1).contains(&rel),
+                "retention {} vs r³ {} at r={}",
+                row.retention,
+                row.r_cubed,
+                row.rate
+            );
+        }
+    }
+
+    #[test]
+    fn e5_bounds_hold_small() {
+        let rows = e5_greedy_stability(3, 12, 4000).expect("legal");
+        for row in &rows {
+            assert!(
+                row.bound_respected,
+                "{} on {}: wait {} > bound {:?}",
+                row.protocol, row.topology, row.max_wait, row.bound
+            );
+            assert_ne!(row.verdict, Verdict::Diverging, "{row:?}");
+        }
+    }
+
+    #[test]
+    fn e2_amplifies_small() {
+        let rows = e2_gadget_amplification(&[(1, 4)], &[2.0]).expect("legal");
+        let row = &rows[0];
+        assert!(
+            row.amp_measured >= row.amp_promised * 0.97,
+            "measured amplification {} below promised {} (S={}, S'={})",
+            row.amp_measured,
+            row.amp_promised,
+            row.s,
+            row.s_prime_measured
+        );
+    }
+
+    #[test]
+    fn e3_bootstrap_small() {
+        let rows = e3_bootstrap(&[(1, 4)], &[2.0]).expect("legal");
+        let row = &rows[0];
+        assert!(
+            row.amp_measured >= row.amp_promised * 0.97,
+            "bootstrap amplification {} below promised {}",
+            row.amp_measured,
+            row.amp_promised
+        );
+    }
+}

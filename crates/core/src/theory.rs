@@ -1,0 +1,188 @@
+//! The stability theorems of Section 4, as exact bound calculators.
+//!
+//! * **Theorem 4.1** — any greedy protocol, `(w,r)` adversary,
+//!   `r ≤ 1/(d+1)`, empty start: no packet stays in one buffer longer
+//!   than `⌈wr⌉` steps.
+//! * **Theorem 4.3** — time-priority protocols (Definition 4.2; FIFO,
+//!   LIS): the same bound already for `r ≤ 1/d`.
+//! * **Observation 4.4 / Corollaries 4.5, 4.6** — with an
+//!   `S`-initial-configuration and *strict* rate inequality, the bound
+//!   becomes `⌈w*·r*⌉` for `w* = ⌈(S+w+1)/(r*−r)⌉`, where `r*` is the
+//!   respective threshold (`1/(d+1)` or `1/d`).
+//!
+//! All arithmetic is exact (integer/rational); these numbers are
+//! compared against measured `max_buffer_wait` in experiments E5–E7.
+
+use aqt_sim::{Protocol, Ratio};
+
+/// Exact bound calculator for a `(w, r)` adversary against routes of
+/// length at most `d`, optionally with an `S`-initial-configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StabilityCertificate {
+    /// The adversary's window `w`.
+    pub window: u64,
+    /// The adversary's rate `r`.
+    pub rate: Ratio,
+    /// Length of the longest packet route, `d`.
+    pub d: usize,
+    /// `S` of the initial configuration (0 = empty start).
+    pub initial: u64,
+}
+
+impl StabilityCertificate {
+    /// Certificate for an empty-start system.
+    pub fn new(window: u64, rate: Ratio, d: usize) -> Self {
+        StabilityCertificate {
+            window,
+            rate,
+            d,
+            initial: 0,
+        }
+    }
+
+    /// Certificate for an `S`-initial-configuration (Observation 4.4).
+    pub fn with_initial(window: u64, rate: Ratio, d: usize, initial: u64) -> Self {
+        StabilityCertificate {
+            window,
+            rate,
+            d,
+            initial,
+        }
+    }
+
+    /// `⌈(S+w+1)/(r* − r)⌉` with `r* = 1/k`, exact. `None` if
+    /// `r ≥ 1/k`.
+    fn w_star(&self, k: u64) -> Option<u64> {
+        let num = self.rate.num();
+        let den = self.rate.den();
+        // 1/k − num/den = (den − num·k) / (den·k)
+        let gap_num = (den as u128).checked_sub(num as u128 * k as u128)?;
+        if gap_num == 0 {
+            return None;
+        }
+        let s_w_1 = (self.initial + self.window + 1) as u128;
+        // ceil(s_w_1 · den·k / gap_num)
+        let prod = s_w_1 * den as u128 * k as u128;
+        Some(prod.div_ceil(gap_num) as u64)
+    }
+
+    /// Theorem 4.1 / Corollary 4.5: per-buffer delay bound for **any
+    /// greedy protocol**. `None` if the rate is too high for the
+    /// theorem to apply (`r > 1/(d+1)`, or `r = 1/(d+1)` with a
+    /// nonempty initial configuration).
+    pub fn greedy_bound(&self) -> Option<u64> {
+        let k = self.d as u64 + 1;
+        if self.initial == 0 {
+            // Theorem 4.1 requires r <= 1/(d+1).
+            if self.rate.le_frac(1, k) {
+                Some(self.rate.ceil_mul(self.window))
+            } else {
+                None
+            }
+        } else {
+            // Corollary 4.5 requires r < 1/(d+1); bound ⌈w*/(d+1)⌉.
+            let w_star = self.w_star(k)?;
+            Some(w_star.div_ceil(k))
+        }
+    }
+
+    /// Theorem 4.3 / Corollary 4.6: per-buffer delay bound for
+    /// **time-priority protocols** (FIFO, LIS). `None` if `r > 1/d`
+    /// (or `r = 1/d` with a nonempty initial configuration).
+    pub fn time_priority_bound(&self) -> Option<u64> {
+        let k = self.d as u64;
+        if k == 0 {
+            return None;
+        }
+        if self.initial == 0 {
+            if self.rate.le_frac(1, k) {
+                Some(self.rate.ceil_mul(self.window))
+            } else {
+                None
+            }
+        } else {
+            let w_star = self.w_star(k)?;
+            Some(w_star.div_ceil(k))
+        }
+    }
+
+    /// The applicable bound for a given protocol: the time-priority
+    /// bound when the protocol qualifies, otherwise the greedy bound.
+    pub fn bound_for<P: Protocol>(&self, protocol: &P) -> Option<u64> {
+        if protocol.is_time_priority() {
+            self.time_priority_bound().or_else(|| self.greedy_bound())
+        } else {
+            self.greedy_bound()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqt_protocols::{Fifo, Ntg};
+
+    #[test]
+    fn theorem_4_1_bound_is_ceil_wr() {
+        // d = 3, r = 1/4 = 1/(d+1), w = 10 -> ⌈10/4⌉ = 3
+        let c = StabilityCertificate::new(10, Ratio::new(1, 4), 3);
+        assert_eq!(c.greedy_bound(), Some(3));
+        // r slightly above 1/(d+1): theorem does not apply
+        let c = StabilityCertificate::new(10, Ratio::new(26, 100), 3);
+        assert_eq!(c.greedy_bound(), None);
+    }
+
+    #[test]
+    fn theorem_4_3_extends_to_inv_d() {
+        // d = 3, r = 1/3: time-priority OK, greedy not
+        let c = StabilityCertificate::new(9, Ratio::new(1, 3), 3);
+        assert_eq!(c.time_priority_bound(), Some(3));
+        assert_eq!(c.greedy_bound(), None);
+    }
+
+    #[test]
+    fn bound_for_dispatches_on_protocol_class() {
+        let c = StabilityCertificate::new(9, Ratio::new(1, 3), 3);
+        assert_eq!(c.bound_for(&Fifo), Some(3));
+        assert_eq!(c.bound_for(&Ntg), None);
+    }
+
+    #[test]
+    fn corollary_4_5_initial_configuration() {
+        // d = 2, r = 1/4 < 1/3, w = 5, S = 20:
+        // w* = ⌈(20+5+1)/(1/3 − 1/4)⌉ = ⌈26·12⌉ = 312; bound = ⌈312/3⌉ = 104
+        let c = StabilityCertificate::with_initial(5, Ratio::new(1, 4), 2, 20);
+        assert_eq!(c.greedy_bound(), Some(104));
+        // r = 1/3 exactly: strict inequality required -> None
+        let c = StabilityCertificate::with_initial(5, Ratio::new(1, 3), 2, 20);
+        assert_eq!(c.greedy_bound(), None);
+    }
+
+    #[test]
+    fn corollary_4_6_initial_configuration() {
+        // d = 2, r = 1/4 < 1/2, w = 5, S = 20:
+        // w* = ⌈26/(1/2 − 1/4)⌉ = 104; bound = ⌈104/2⌉ = 52
+        let c = StabilityCertificate::with_initial(5, Ratio::new(1, 4), 2, 20);
+        assert_eq!(c.time_priority_bound(), Some(52));
+    }
+
+    #[test]
+    fn empty_start_bounds_do_not_depend_on_s() {
+        let a = StabilityCertificate::new(12, Ratio::new(1, 5), 4);
+        assert_eq!(a.greedy_bound(), Some(3)); // ⌈12/5⌉
+                                               // The bound is independent of any network parameter other than
+                                               // d — the paper highlights this ("independent of network
+                                               // parameters, depending only on the parameters of the
+                                               // adversary").
+        let b = StabilityCertificate::new(12, Ratio::new(1, 5), 3);
+        assert_eq!(b.greedy_bound(), Some(3));
+    }
+
+    #[test]
+    fn degenerate_d_zero() {
+        let c = StabilityCertificate::new(5, Ratio::new(1, 2), 0);
+        assert_eq!(c.time_priority_bound(), None);
+        // greedy: d+1 = 1, r <= 1 always true
+        assert_eq!(c.greedy_bound(), Some(3));
+    }
+}

@@ -1,0 +1,240 @@
+//! Generic gadget composition — the paper's Section 5 outlook made
+//! concrete.
+//!
+//! > "The technique we use for the instability result, of constructing
+//! > gadgets and chaining them, can be applied to various gadgets. […]
+//! > Conceptually, our lower bound consists of two elements: the chain
+//! > idea and a 'good' gadget."
+//!
+//! [`Blueprint`] abstracts the "good gadget": anything that can build
+//! its internal structure between an entry and an exit switch.
+//! [`chain`] daisy-chains any blueprint `M` times (sharing boundary
+//! edges exactly like `F_n^M`), and [`closed_chain`] adds the feedback
+//! edge that turns a chain into a `G_ε`-style cyclic network.
+//!
+//! Two blueprints ship here:
+//!
+//! * [`FnBlueprint`] — the paper's `F_n` (two parallel `n`-paths);
+//!   `chain(&FnBlueprint::new(n), m)` is isomorphic to
+//!   [`crate::DaisyChain::new`].
+//! * [`WideBlueprint`] — a `k`-way generalization with `k` parallel
+//!   `n`-paths, the natural first playground for "other gadgets"
+//!   (`k = 2` recovers `F_n`).
+
+use crate::builder::GraphBuilder;
+use crate::graph::{EdgeId, Graph, NodeId};
+
+/// A gadget's internal structure, buildable between two switches.
+pub trait Blueprint {
+    /// Per-instance handles (paths, special edges, …).
+    type Handles;
+
+    /// Build the internals of one gadget instance between `entry` and
+    /// `exit`. `index` is the 1-based position in the chain (for edge
+    /// naming).
+    fn build(
+        &self,
+        b: &mut GraphBuilder,
+        entry: NodeId,
+        exit: NodeId,
+        index: usize,
+    ) -> Self::Handles;
+}
+
+/// One chained gadget instance: boundary edges plus blueprint handles.
+#[derive(Debug, Clone)]
+pub struct Chained<H> {
+    /// Ingress boundary edge (shared with the predecessor's egress).
+    pub ingress: EdgeId,
+    /// Egress boundary edge (shared with the successor's ingress).
+    pub egress: EdgeId,
+    /// The blueprint's own handles.
+    pub inner: H,
+}
+
+/// Daisy-chain `m` instances of a blueprint. Boundary edges are shared
+/// between consecutive gadgets (the `◦` of Definition 3.4).
+pub fn chain<B: Blueprint>(blueprint: &B, m: usize) -> (Graph, Vec<Chained<B::Handles>>) {
+    build_chain(blueprint, m, false)
+}
+
+/// Like [`chain`], plus a feedback edge `e0` from the head of the last
+/// egress to the tail of the first ingress — the `G_ε` shape. Returns
+/// the feedback edge as well.
+pub fn closed_chain<B: Blueprint>(
+    blueprint: &B,
+    m: usize,
+) -> (Graph, Vec<Chained<B::Handles>>, EdgeId) {
+    let (graph, gadgets) = build_chain(blueprint, m, true);
+    let e0 = EdgeId((graph.edge_count() - 1) as u32);
+    (graph, gadgets, e0)
+}
+
+fn build_chain<B: Blueprint>(
+    blueprint: &B,
+    m: usize,
+    closed: bool,
+) -> (Graph, Vec<Chained<B::Handles>>) {
+    assert!(m >= 1, "chain length must be at least 1");
+    let mut b = GraphBuilder::new();
+    let source = b.node("src");
+    let mut entry = b.node("g1_in");
+    let mut ingress = b.edge(source, entry, "a^1");
+    let mut gadgets = Vec::with_capacity(m);
+    let mut last_exit_node = entry;
+    for k in 1..=m {
+        let exit = b.node(format!("g{k}_out"));
+        let inner = blueprint.build(&mut b, entry, exit, k);
+        let next_entry = if k == m {
+            b.node("sink")
+        } else {
+            b.node(format!("g{}_in", k + 1))
+        };
+        let egress = b.edge(exit, next_entry, format!("a^{}", k + 1));
+        gadgets.push(Chained {
+            ingress,
+            egress,
+            inner,
+        });
+        ingress = egress;
+        entry = next_entry;
+        last_exit_node = next_entry;
+    }
+    if closed {
+        b.edge(last_exit_node, NodeId(0), "e0");
+    }
+    (b.build(), gadgets)
+}
+
+/// The paper's gadget `F_n` as a blueprint.
+#[derive(Debug, Clone, Copy)]
+pub struct FnBlueprint {
+    /// Internal path length `n`.
+    pub n: usize,
+}
+
+/// Handles of an [`FnBlueprint`] instance.
+#[derive(Debug, Clone)]
+pub struct FnHandles {
+    /// The `e`-path.
+    pub e_path: Vec<EdgeId>,
+    /// The `f`-path.
+    pub f_path: Vec<EdgeId>,
+}
+
+impl FnBlueprint {
+    /// `F_n` with paths of length `n ≥ 1`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1);
+        FnBlueprint { n }
+    }
+}
+
+impl Blueprint for FnBlueprint {
+    type Handles = FnHandles;
+
+    fn build(&self, b: &mut GraphBuilder, entry: NodeId, exit: NodeId, index: usize) -> FnHandles {
+        FnHandles {
+            e_path: b.path(entry, exit, self.n, &format!("g{index}.e")),
+            f_path: b.path(entry, exit, self.n, &format!("g{index}.f")),
+        }
+    }
+}
+
+/// A `k`-way gadget: `k` parallel paths of length `n` between entry
+/// and exit. `k = 2` is `F_n`.
+#[derive(Debug, Clone, Copy)]
+pub struct WideBlueprint {
+    /// Internal path length.
+    pub n: usize,
+    /// Number of parallel paths (`≥ 2`).
+    pub k: usize,
+}
+
+/// Handles of a [`WideBlueprint`] instance: one edge path per branch.
+#[derive(Debug, Clone)]
+pub struct WideHandles {
+    /// The parallel paths, in branch order.
+    pub paths: Vec<Vec<EdgeId>>,
+}
+
+impl WideBlueprint {
+    /// `k` parallel `n`-paths.
+    pub fn new(n: usize, k: usize) -> Self {
+        assert!(n >= 1 && k >= 2);
+        WideBlueprint { n, k }
+    }
+}
+
+impl Blueprint for WideBlueprint {
+    type Handles = WideHandles;
+
+    fn build(
+        &self,
+        b: &mut GraphBuilder,
+        entry: NodeId,
+        exit: NodeId,
+        index: usize,
+    ) -> WideHandles {
+        let paths = (0..self.k)
+            .map(|branch| b.path(entry, exit, self.n, &format!("g{index}.p{branch}")))
+            .collect();
+        WideHandles { paths }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gadget::DaisyChain;
+
+    #[test]
+    fn fn_blueprint_chain_matches_daisy_chain() {
+        let (g, gadgets) = chain(&FnBlueprint::new(3), 4);
+        let direct = DaisyChain::new(3, 4);
+        assert_eq!(g.edge_count(), direct.graph.edge_count());
+        assert_eq!(g.node_count(), direct.graph.node_count());
+        assert_eq!(gadgets.len(), 4);
+        // shared boundary edges
+        for w in gadgets.windows(2) {
+            assert_eq!(w[0].egress, w[1].ingress);
+        }
+    }
+
+    #[test]
+    fn closed_chain_matches_g_epsilon_shape() {
+        let (g, gadgets, e0) = closed_chain(&FnBlueprint::new(2), 3);
+        assert_eq!(g.dst(e0), g.src(gadgets[0].ingress));
+        assert_eq!(g.src(e0), g.dst(gadgets.last().unwrap().egress));
+        assert!(crate::analysis::has_cycle(&g));
+    }
+
+    #[test]
+    fn wide_blueprint_builds_k_paths() {
+        let (g, gadgets) = chain(&WideBlueprint::new(2, 5), 2);
+        for ch in &gadgets {
+            assert_eq!(ch.inner.paths.len(), 5);
+            for p in &ch.inner.paths {
+                assert_eq!(p.len(), 2);
+                assert_eq!(g.src(p[0]), g.dst(ch.ingress));
+                assert_eq!(g.dst(p[1]), g.src(ch.egress));
+            }
+        }
+        // edges: per gadget 5 paths × 2 + egress, plus the chain ingress
+        assert_eq!(g.edge_count(), 2 * (5 * 2 + 1) + 1);
+    }
+
+    #[test]
+    fn wide_k2_is_isomorphic_to_fn() {
+        let (a, _) = chain(&WideBlueprint::new(3, 2), 2);
+        let (b, _) = chain(&FnBlueprint::new(3), 2);
+        assert_eq!(a.edge_count(), b.edge_count());
+        assert_eq!(a.node_count(), b.node_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn empty_chain_panics() {
+        let _ = chain(&FnBlueprint::new(2), 0);
+    }
+}

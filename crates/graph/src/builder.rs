@@ -1,0 +1,166 @@
+//! Mutable construction of [`Graph`]s.
+
+use crate::graph::{EdgeId, EdgeRec, Graph, NodeId};
+
+/// Incremental builder for [`Graph`].
+///
+/// ```
+/// use aqt_graph::GraphBuilder;
+/// let mut b = GraphBuilder::new();
+/// let u = b.node("u");
+/// let v = b.node("v");
+/// let e = b.edge(u, v, "uv");
+/// let g = b.build();
+/// assert_eq!(g.src(e), u);
+/// assert_eq!(g.dst(e), v);
+/// ```
+#[derive(Debug, Default)]
+pub struct GraphBuilder {
+    node_names: Vec<String>,
+    edges: Vec<EdgeRec>,
+}
+
+impl GraphBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a node with the given display name; returns its id.
+    pub fn node(&mut self, name: impl Into<String>) -> NodeId {
+        let id = NodeId(self.node_names.len() as u32);
+        self.node_names.push(name.into());
+        id
+    }
+
+    /// Add `count` anonymous nodes (named `v<k>`), returning their ids.
+    pub fn nodes(&mut self, count: usize) -> Vec<NodeId> {
+        (0..count)
+            .map(|_| {
+                let k = self.node_names.len();
+                self.node(format!("v{k}"))
+            })
+            .collect()
+    }
+
+    /// Add a directed edge `src -> dst` with the given display name.
+    ///
+    /// # Panics
+    /// Panics if either endpoint does not exist.
+    pub fn edge(&mut self, src: NodeId, dst: NodeId, name: impl Into<String>) -> EdgeId {
+        assert!(
+            src.index() < self.node_names.len() && dst.index() < self.node_names.len(),
+            "edge endpoints must be previously created nodes"
+        );
+        let id = EdgeId(self.edges.len() as u32);
+        self.edges.push(EdgeRec {
+            src,
+            dst,
+            name: name.into(),
+        });
+        id
+    }
+
+    /// Add a directed path of fresh intermediate nodes between `src` and
+    /// `dst` consisting of `len` edges named `<prefix>1 .. <prefix><len>`.
+    /// Returns the edge ids of the path in order.
+    ///
+    /// With `len == 1` this is a single (possibly parallel) edge
+    /// `src -> dst`.
+    pub fn path(&mut self, src: NodeId, dst: NodeId, len: usize, prefix: &str) -> Vec<EdgeId> {
+        assert!(len >= 1, "a path must contain at least one edge");
+        let mut edges = Vec::with_capacity(len);
+        let mut cur = src;
+        for i in 1..=len {
+            let next = if i == len {
+                dst
+            } else {
+                self.node(format!("{prefix}_x{i}"))
+            };
+            edges.push(self.edge(cur, next, format!("{prefix}{i}")));
+            cur = next;
+        }
+        edges
+    }
+
+    /// Number of nodes added so far.
+    pub fn node_count(&self) -> usize {
+        self.node_names.len()
+    }
+
+    /// Number of edges added so far.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finalize into an immutable [`Graph`], computing adjacency.
+    pub fn build(self) -> Graph {
+        let n = self.node_names.len();
+        let mut out_edges = vec![Vec::new(); n];
+        let mut in_edges = vec![Vec::new(); n];
+        for (i, e) in self.edges.iter().enumerate() {
+            out_edges[e.src.index()].push(EdgeId(i as u32));
+            in_edges[e.dst.index()].push(EdgeId(i as u32));
+        }
+        Graph {
+            node_names: self.node_names,
+            edges: self.edges,
+            out_edges,
+            in_edges,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_of_length_three() {
+        let mut b = GraphBuilder::new();
+        let s = b.node("s");
+        let t = b.node("t");
+        let p = b.path(s, t, 3, "e");
+        let g = b.build();
+        assert_eq!(p.len(), 3);
+        assert_eq!(g.src(p[0]), s);
+        assert_eq!(g.dst(p[2]), t);
+        for w in p.windows(2) {
+            assert!(g.consecutive(w[0], w[1]));
+        }
+        // 2 endpoints + 2 fresh intermediates
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_name(p[1]), "e2");
+    }
+
+    #[test]
+    fn path_of_length_one_is_single_edge() {
+        let mut b = GraphBuilder::new();
+        let s = b.node("s");
+        let t = b.node("t");
+        let p = b.path(s, t, 1, "a");
+        let g = b.build();
+        assert_eq!(p.len(), 1);
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.src(p[0]), s);
+        assert_eq!(g.dst(p[0]), t);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one edge")]
+    fn zero_length_path_panics() {
+        let mut b = GraphBuilder::new();
+        let s = b.node("s");
+        let t = b.node("t");
+        b.path(s, t, 0, "e");
+    }
+
+    #[test]
+    fn anonymous_nodes() {
+        let mut b = GraphBuilder::new();
+        let vs = b.nodes(5);
+        assert_eq!(vs.len(), 5);
+        let g = b.build();
+        assert_eq!(g.node_count(), 5);
+    }
+}

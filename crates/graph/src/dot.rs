@@ -1,0 +1,107 @@
+//! Graphviz (DOT) export.
+//!
+//! `render_figures` (an example binary of the workspace) uses this to
+//! regenerate the paper's Figure 3.1 (`F_n^2`) and Figure 3.2 (`G_ε`)
+//! as `.dot` files.
+
+use std::fmt::Write as _;
+
+use crate::graph::{EdgeId, Graph};
+
+/// Options for DOT rendering.
+#[derive(Debug, Clone, Default)]
+pub struct DotOptions {
+    /// Graph name in the output.
+    pub name: String,
+    /// Edges to highlight (drawn bold/red) — e.g. the ingress/egress
+    /// edges of a gadget, or the feedback edge `e0`.
+    pub highlight: Vec<EdgeId>,
+    /// Render left-to-right (like the paper's figures) instead of
+    /// top-down.
+    pub left_to_right: bool,
+}
+
+/// Render a graph to DOT format.
+pub fn to_dot(graph: &Graph, opts: &DotOptions) -> String {
+    let mut out = String::new();
+    let name = if opts.name.is_empty() {
+        "G"
+    } else {
+        &opts.name
+    };
+    writeln!(out, "digraph \"{name}\" {{").unwrap();
+    if opts.left_to_right {
+        writeln!(out, "  rankdir=LR;").unwrap();
+    }
+    writeln!(out, "  node [shape=circle, fontsize=10];").unwrap();
+    for v in graph.nodes() {
+        writeln!(out, "  {} [label=\"{}\"];", v.index(), graph.node_name(v)).unwrap();
+    }
+    for e in graph.edge_ids() {
+        let style = if opts.highlight.contains(&e) {
+            ", color=red, penwidth=2.0"
+        } else {
+            ""
+        };
+        writeln!(
+            out,
+            "  {} -> {} [label=\"{}\"{}];",
+            graph.src(e).index(),
+            graph.dst(e).index(),
+            graph.edge_name(e),
+            style
+        )
+        .unwrap();
+    }
+    writeln!(out, "}}").unwrap();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gadget::{DaisyChain, GEpsilon};
+
+    #[test]
+    fn renders_figure_3_1() {
+        let c = DaisyChain::new(3, 2);
+        let dot = to_dot(
+            &c.graph,
+            &DotOptions {
+                name: "Fn2".into(),
+                highlight: vec![c.gadgets[0].egress],
+                left_to_right: true,
+            },
+        );
+        assert!(dot.starts_with("digraph \"Fn2\""));
+        assert!(dot.contains("rankdir=LR"));
+        // the shared boundary edge a^2 appears exactly once
+        assert_eq!(dot.matches("label=\"a^2\"").count(), 1);
+        assert!(dot.contains("color=red"));
+    }
+
+    #[test]
+    fn renders_figure_3_2_with_feedback() {
+        let g = GEpsilon::new(2, 3);
+        let dot = to_dot(
+            &g.graph,
+            &DotOptions {
+                name: "Geps".into(),
+                highlight: vec![g.e0],
+                left_to_right: true,
+            },
+        );
+        assert!(dot.contains("label=\"e0\""));
+        // one line per edge plus header/footer
+        let edge_lines = dot.lines().filter(|l| l.contains("->")).count();
+        assert_eq!(edge_lines, g.graph.edge_count());
+    }
+
+    #[test]
+    fn default_options_render() {
+        let c = DaisyChain::new(1, 1);
+        let dot = to_dot(&c.graph, &DotOptions::default());
+        assert!(dot.starts_with("digraph \"G\""));
+        assert!(!dot.contains("rankdir"));
+    }
+}

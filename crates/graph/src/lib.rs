@@ -1,0 +1,46 @@
+//! # aqt-graph
+//!
+//! Directed-graph substrate for adversarial queuing theory (AQT).
+//!
+//! This crate provides the network model of Borodin et al. (*Adversarial
+//! queuing theory*, J. ACM 48(1), 2001) as used by Lotker, Patt-Shamir and
+//! Rosén (*New stability results for adversarial queuing*, SPAA 2002):
+//! a directed graph `G = (V, E)` whose nodes are switches and whose edges
+//! are unit-capacity links, together with *routes* (simple directed paths)
+//! followed by packets.
+//!
+//! Besides the generic graph type it contains:
+//!
+//! * [`gadget`] — the paper's parametric gadget `F_n`, daisy chains
+//!   `F_n^M` (the `◦` composition of Definition 3.4), and the cyclic
+//!   instability graph `G_ε` of Theorem 3.17 (Figures 3.1 and 3.2).
+//! * [`topologies`] — classic AQT evaluation topologies (rings, lines,
+//!   grids, tori, hypercubes, complete graphs, random digraphs, and the
+//!   "baseball" graph used by the prior FIFO-instability constructions).
+//! * [`analysis`] — degrees, reachability, cycle detection, and the
+//!   route-set parameter `d` (length of the longest route) that governs
+//!   the stability thresholds `1/d` and `1/(d+1)` of Section 4.
+//! * [`dot`] — Graphviz export, regenerating the paper's two figures.
+//! * [`paths`] — diameters, shortest-path route pools (the paper's
+//!   lower-bound routes are shortest paths), simple-path enumeration.
+//! * [`catalog`] — named topology construction (`"ring-8"`, …) for
+//!   sweep tooling.
+//! * [`blueprint`] — generic gadget composition (Section 5's "the
+//!   technique can be applied to various gadgets"), with the paper's
+//!   `F_n` and a `k`-way generalization as instances.
+
+pub mod analysis;
+pub mod blueprint;
+pub mod builder;
+pub mod catalog;
+pub mod dot;
+pub mod gadget;
+pub mod graph;
+pub mod paths;
+pub mod route;
+pub mod topologies;
+
+pub use builder::GraphBuilder;
+pub use gadget::{DaisyChain, FnGadget, GEpsilon, GadgetHandles};
+pub use graph::{EdgeId, Graph, NodeId};
+pub use route::{Route, RouteError};

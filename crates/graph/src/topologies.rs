@@ -1,0 +1,311 @@
+//! Classic AQT evaluation topologies.
+//!
+//! The stability theorems of Section 4 hold for *any* network; the
+//! experiment harness exercises them across this family. The
+//! [`baseball`] graph is the network underlying the prior FIFO
+//! instability constructions the paper improves on (Andrews et al.
+//! \[4\], Díaz et al. \[11\], Koukopoulos et al. \[15\]) and the NTG/FFS/LIFO
+//! instability results of Borodin et al. \[7\].
+
+use crate::builder::GraphBuilder;
+use crate::graph::{EdgeId, Graph, NodeId};
+
+/// A directed ring `v_0 -> v_1 -> … -> v_{k-1} -> v_0`.
+pub fn ring(k: usize) -> Graph {
+    assert!(k >= 2, "a ring needs at least two nodes");
+    let mut b = GraphBuilder::new();
+    let vs = b.nodes(k);
+    for i in 0..k {
+        b.edge(vs[i], vs[(i + 1) % k], format!("r{i}"));
+    }
+    b.build()
+}
+
+/// A directed line `v_0 -> v_1 -> … -> v_k` (`k` edges).
+pub fn line(k: usize) -> Graph {
+    assert!(k >= 1, "a line needs at least one edge");
+    let mut b = GraphBuilder::new();
+    let vs = b.nodes(k + 1);
+    for i in 0..k {
+        b.edge(vs[i], vs[i + 1], format!("l{i}"));
+    }
+    b.build()
+}
+
+/// A `w × h` grid with edges in both directions between 4-neighbours.
+pub fn grid(w: usize, h: usize) -> Graph {
+    assert!(w >= 1 && h >= 1);
+    let mut b = GraphBuilder::new();
+    let vs: Vec<Vec<NodeId>> = (0..h)
+        .map(|y| (0..w).map(|x| b.node(format!("g{x}_{y}"))).collect())
+        .collect();
+    for y in 0..h {
+        for x in 0..w {
+            if x + 1 < w {
+                b.edge(vs[y][x], vs[y][x + 1], format!("h{x}_{y}+"));
+                b.edge(vs[y][x + 1], vs[y][x], format!("h{x}_{y}-"));
+            }
+            if y + 1 < h {
+                b.edge(vs[y][x], vs[y + 1][x], format!("v{x}_{y}+"));
+                b.edge(vs[y + 1][x], vs[y][x], format!("v{x}_{y}-"));
+            }
+        }
+    }
+    b.build()
+}
+
+/// A `w × h` torus with unidirectional wrap-around edges (right and down).
+pub fn torus(w: usize, h: usize) -> Graph {
+    assert!(w >= 2 && h >= 2);
+    let mut b = GraphBuilder::new();
+    let vs: Vec<Vec<NodeId>> = (0..h)
+        .map(|y| (0..w).map(|x| b.node(format!("t{x}_{y}"))).collect())
+        .collect();
+    for y in 0..h {
+        for x in 0..w {
+            b.edge(vs[y][x], vs[y][(x + 1) % w], format!("h{x}_{y}"));
+            b.edge(vs[y][x], vs[(y + 1) % h][x], format!("v{x}_{y}"));
+        }
+    }
+    b.build()
+}
+
+/// The directed `dim`-dimensional hypercube: nodes are bitstrings, with
+/// an edge in each direction across every dimension.
+pub fn hypercube(dim: usize) -> Graph {
+    assert!((1..=16).contains(&dim));
+    let n = 1usize << dim;
+    let mut b = GraphBuilder::new();
+    let vs: Vec<NodeId> = (0..n)
+        .map(|i| b.node(format!("c{i:0width$b}", width = dim)))
+        .collect();
+    for i in 0..n {
+        for d in 0..dim {
+            let j = i ^ (1 << d);
+            if i < j {
+                b.edge(vs[i], vs[j], format!("q{i}_{j}"));
+                b.edge(vs[j], vs[i], format!("q{j}_{i}"));
+            }
+        }
+    }
+    b.build()
+}
+
+/// The complete directed graph on `k` nodes (no self-loops).
+pub fn complete(k: usize) -> Graph {
+    assert!(k >= 2);
+    let mut b = GraphBuilder::new();
+    let vs = b.nodes(k);
+    for i in 0..k {
+        for j in 0..k {
+            if i != j {
+                b.edge(vs[i], vs[j], format!("k{i}_{j}"));
+            }
+        }
+    }
+    b.build()
+}
+
+/// A random digraph: each ordered pair (u, v), u ≠ v, carries an edge
+/// independently with probability `p`, decided by the caller-supplied
+/// uniform samples to keep this crate free of RNG dependencies. The
+/// closure receives `(i, j)` and returns whether to include the edge.
+pub fn random_digraph(k: usize, mut include: impl FnMut(usize, usize) -> bool) -> Graph {
+    assert!(k >= 2);
+    let mut b = GraphBuilder::new();
+    let vs = b.nodes(k);
+    for i in 0..k {
+        for j in 0..k {
+            if i != j && include(i, j) {
+                b.edge(vs[i], vs[j], format!("p{i}_{j}"));
+            }
+        }
+    }
+    b.build()
+}
+
+/// Handles into the [`baseball`] graph.
+#[derive(Debug, Clone, Copy)]
+pub struct Baseball {
+    /// First "long" edge `e0 : v0 -> v1`.
+    pub e0: EdgeId,
+    /// Second "long" edge `e1 : v2 -> v3`.
+    pub e1: EdgeId,
+    /// First parallel connector `f0 : v1 -> v2`.
+    pub f0: EdgeId,
+    /// Second parallel connector `f0' : v1 -> v2`.
+    pub f0p: EdgeId,
+    /// First parallel connector back `f1 : v3 -> v0`.
+    pub f1: EdgeId,
+    /// Second parallel connector back `f1' : v3 -> v0`.
+    pub f1p: EdgeId,
+}
+
+/// The four-node "baseball" graph used in the prior FIFO instability
+/// constructions (\[4\], \[11\], \[15\]): a directed 4-cycle
+/// `v0 -> v1 -> v2 -> v3 -> v0` whose connector hops `v1 -> v2` and
+/// `v3 -> v0` are doubled (parallel edges `f` and `f'`), giving the
+/// adversary two interchangeable ways around each half.
+pub fn baseball() -> (Graph, Baseball) {
+    let mut b = GraphBuilder::new();
+    let v0 = b.node("v0");
+    let v1 = b.node("v1");
+    let v2 = b.node("v2");
+    let v3 = b.node("v3");
+    let e0 = b.edge(v0, v1, "e0");
+    let f0 = b.edge(v1, v2, "f0");
+    let f0p = b.edge(v1, v2, "f0'");
+    let e1 = b.edge(v2, v3, "e1");
+    let f1 = b.edge(v3, v0, "f1");
+    let f1p = b.edge(v3, v0, "f1'");
+    (
+        b.build(),
+        Baseball {
+            e0,
+            e1,
+            f0,
+            f0p,
+            f1,
+            f1p,
+        },
+    )
+}
+
+/// Handles into the [`ntg_trap`] network.
+#[derive(Debug, Clone)]
+pub struct NtgTrap {
+    /// The contended "spine" edges `g_1 .. g_k`; long packets must cross
+    /// all of them, distractor packets only the next one.
+    pub spine: Vec<EdgeId>,
+    /// Feeder edge where long packets are injected and queued.
+    pub feeder: EdgeId,
+    /// Tail paths hanging off each spine node: `tail[i]` starts at the
+    /// head of `spine[i]`.
+    pub tails: Vec<Vec<EdgeId>>,
+}
+
+/// A network family in the spirit of Borodin et al. \[7\]'s proof that
+/// NTG (nearest-to-go) can be unstable at arbitrarily low injection
+/// rates: a spine of `k` contended edges where cheap single-edge
+/// "distractor" packets always beat long-haul packets under NTG, plus
+/// a per-spine-node *tail* path of length `tail_len` that makes the
+/// long packets' remaining distance large. The paper's Section 5 cites
+/// this phenomenon (instability with paths of length `16/r`) to argue
+/// its `1/(d+1)` bound is near-optimal.
+pub fn ntg_trap(k: usize, tail_len: usize) -> (Graph, NtgTrap) {
+    assert!(k >= 1 && tail_len >= 1);
+    let mut b = GraphBuilder::new();
+    let src = b.node("src");
+    let first = b.node("s0");
+    let feeder = b.edge(src, first, "feed");
+    let mut spine = Vec::with_capacity(k);
+    let mut spine_nodes = vec![first];
+    for i in 0..k {
+        let nxt = b.node(format!("s{}", i + 1));
+        spine.push(b.edge(spine_nodes[i], nxt, format!("g{}", i + 1)));
+        spine_nodes.push(nxt);
+    }
+    let mut tails = Vec::with_capacity(k);
+    for i in 0..k {
+        let end = b.node(format!("t{}_end", i + 1));
+        let tail = b.path(spine_nodes[i + 1], end, tail_len, &format!("t{}", i + 1));
+        tails.push(tail);
+    }
+    (
+        b.build(),
+        NtgTrap {
+            spine,
+            feeder,
+            tails,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis;
+
+    #[test]
+    fn ring_is_cyclic_line_is_not() {
+        assert!(analysis::has_cycle(&ring(5)));
+        assert!(!analysis::has_cycle(&line(5)));
+        assert_eq!(ring(5).edge_count(), 5);
+        assert_eq!(line(5).edge_count(), 5);
+        assert_eq!(line(5).node_count(), 6);
+    }
+
+    #[test]
+    fn grid_edge_count() {
+        // 3x2 grid: horizontal pairs 2*2, vertical pairs 3*1, both directions
+        let g = grid(3, 2);
+        assert_eq!(g.node_count(), 6);
+        assert_eq!(g.edge_count(), 2 * (2 * 2) + 2 * 3);
+    }
+
+    #[test]
+    fn torus_regular_degrees() {
+        let g = torus(3, 3);
+        for v in g.nodes() {
+            assert_eq!(g.out_degree(v), 2);
+            assert_eq!(g.in_degree(v), 2);
+        }
+    }
+
+    #[test]
+    fn hypercube_degrees() {
+        let g = hypercube(3);
+        assert_eq!(g.node_count(), 8);
+        assert_eq!(g.edge_count(), 8 * 3);
+        for v in g.nodes() {
+            assert_eq!(g.out_degree(v), 3);
+            assert_eq!(g.in_degree(v), 3);
+        }
+    }
+
+    #[test]
+    fn complete_graph_counts() {
+        let g = complete(4);
+        assert_eq!(g.edge_count(), 12);
+    }
+
+    #[test]
+    fn random_digraph_respects_closure() {
+        let g = random_digraph(4, |i, j| (i + j) % 2 == 0);
+        for e in g.edge_ids() {
+            let i = g.src(e).index();
+            let j = g.dst(e).index();
+            assert_eq!((i + j) % 2, 0);
+        }
+    }
+
+    #[test]
+    fn baseball_shape() {
+        let (g, h) = baseball();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 6);
+        // f0 and f0' are parallel
+        assert_eq!(g.src(h.f0), g.src(h.f0p));
+        assert_eq!(g.dst(h.f0), g.dst(h.f0p));
+        // the cycle e0 f0 e1 f1 closes
+        assert!(g.consecutive(h.e0, h.f0));
+        assert!(g.consecutive(h.f0, h.e1));
+        assert!(g.consecutive(h.e1, h.f1));
+        assert!(g.consecutive(h.f1, h.e0));
+        assert!(analysis::has_cycle(&g));
+    }
+
+    #[test]
+    fn ntg_trap_shape() {
+        let (g, h) = ntg_trap(3, 4);
+        assert_eq!(h.spine.len(), 3);
+        assert_eq!(h.tails.len(), 3);
+        // long route: feeder, spine..., last tail
+        assert!(g.consecutive(h.feeder, h.spine[0]));
+        assert!(g.consecutive(h.spine[0], h.spine[1]));
+        // each tail hangs off the head of its spine edge
+        for i in 0..3 {
+            assert!(g.consecutive(h.spine[i], h.tails[i][0]));
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! FIFO — first-in-first-out, the paper's protagonist.
+
+use std::collections::VecDeque;
+
+use aqt_graph::{EdgeId, Graph};
+use aqt_sim::{Packet, Protocol, Time};
+
+/// FIFO selects the packet that arrived at the buffer earliest. Since
+/// the engine keeps buffers in arrival order, that is always index 0.
+///
+/// FIFO is *historic* (its decisions ignore routes entirely) and
+/// *time-priority* (a packet present at time `t` beats anything that
+/// arrives — hence anything injected — later). The paper proves it
+/// can be unstable at every rate `r > 1/2` (Theorem 3.17) yet is
+/// stable whenever `r ≤ 1/d` (Theorem 4.3).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fifo;
+
+impl Protocol for Fifo {
+    fn name(&self) -> &str {
+        "FIFO"
+    }
+
+    #[inline]
+    fn select(&mut self, _: Time, _: EdgeId, _: &VecDeque<Packet>, _: &Graph) -> usize {
+        0
+    }
+
+    fn is_historic(&self) -> bool {
+        true
+    }
+
+    fn is_time_priority(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_front() {
+        let g = aqt_graph::topologies::line(1);
+        let q: VecDeque<Packet> = vec![
+            Packet::synthetic(0, 0, 3, 0, vec![EdgeId(0)], 0),
+            Packet::synthetic(1, 0, 1, 0, vec![EdgeId(0)], 0),
+        ]
+        .into();
+        assert_eq!(Fifo.select(5, EdgeId(0), &q, &g), 0);
+        assert!(Fifo.is_historic());
+        assert!(Fifo.is_time_priority());
+        assert_eq!(Fifo.name(), "FIFO");
+    }
+}

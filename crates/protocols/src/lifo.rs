@@ -1,0 +1,51 @@
+//! LIFO — last-in-first-out.
+
+use std::collections::VecDeque;
+
+use aqt_graph::{EdgeId, Graph};
+use aqt_sim::{Packet, Protocol, Time};
+
+/// LIFO selects the packet that arrived at the buffer latest; among
+/// packets that arrived in the same substep it picks the one enqueued
+/// last (the back of the queue).
+///
+/// LIFO is historic but **not** time-priority: a packet injected after
+/// time `t` lands behind the queue and immediately outranks everything
+/// that arrived at `t`. Borodin et al. \[7\] show LIFO can be unstable
+/// at arbitrarily low injection rates.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Lifo;
+
+impl Protocol for Lifo {
+    fn name(&self) -> &str {
+        "LIFO"
+    }
+
+    #[inline]
+    fn select(&mut self, _: Time, _: EdgeId, queue: &VecDeque<Packet>, _: &Graph) -> usize {
+        queue.len() - 1
+    }
+
+    fn is_historic(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_back() {
+        let g = aqt_graph::topologies::line(1);
+        let q: VecDeque<Packet> = vec![
+            Packet::synthetic(0, 0, 1, 0, vec![EdgeId(0)], 0),
+            Packet::synthetic(1, 0, 9, 0, vec![EdgeId(0)], 0),
+            Packet::synthetic(2, 0, 9, 0, vec![EdgeId(0)], 0),
+        ]
+        .into();
+        assert_eq!(Lifo.select(10, EdgeId(0), &q, &g), 2);
+        assert!(Lifo.is_historic());
+        assert!(!Lifo.is_time_priority());
+    }
+}

@@ -1,0 +1,87 @@
+//! Shared selection helpers with explicit, deterministic tie-breaking.
+
+use std::collections::VecDeque;
+
+use aqt_sim::Packet;
+
+/// Index of the queue element minimizing `key`; among ties, the one
+/// closest to the queue front (i.e. earliest arrival) wins.
+pub fn argmin_front<K: Ord>(queue: &VecDeque<Packet>, key: impl Fn(&Packet) -> K) -> usize {
+    debug_assert!(!queue.is_empty());
+    let mut best = 0usize;
+    let mut best_key = key(&queue[0]);
+    for (i, p) in queue.iter().enumerate().skip(1) {
+        let k = key(p);
+        if k < best_key {
+            best = i;
+            best_key = k;
+        }
+    }
+    best
+}
+
+/// Index of the queue element maximizing `key`; among ties, the one
+/// closest to the queue front wins.
+pub fn argmax_front<K: Ord>(queue: &VecDeque<Packet>, key: impl Fn(&Packet) -> K) -> usize {
+    debug_assert!(!queue.is_empty());
+    let mut best = 0usize;
+    let mut best_key = key(&queue[0]);
+    for (i, p) in queue.iter().enumerate().skip(1) {
+        let k = key(p);
+        if k > best_key {
+            best = i;
+            best_key = k;
+        }
+    }
+    best
+}
+
+/// Index of the queue element maximizing `key`; among ties, the one
+/// closest to the queue *back* (latest arrival) wins. Used by LIFO-like
+/// policies where "newest" should win ties.
+pub fn argmax_back<K: Ord>(queue: &VecDeque<Packet>, key: impl Fn(&Packet) -> K) -> usize {
+    debug_assert!(!queue.is_empty());
+    let mut best = 0usize;
+    let mut best_key = key(&queue[0]);
+    for (i, p) in queue.iter().enumerate().skip(1) {
+        let k = key(p);
+        if k >= best_key {
+            best = i;
+            best_key = k;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqt_graph::EdgeId;
+    use aqt_sim::{Packet, PacketId};
+
+    fn mk(id: u64, arrived: u64) -> Packet {
+        let _ = PacketId(id); // silence unused import in some cfgs
+        Packet::synthetic(id, 0, arrived, 0, vec![EdgeId(0)], 0)
+    }
+
+    #[test]
+    fn min_prefers_front_on_tie() {
+        let q: VecDeque<Packet> = vec![mk(0, 5), mk(1, 5), mk(2, 9)].into();
+        assert_eq!(argmin_front(&q, |p| p.arrived_at), 0);
+    }
+
+    #[test]
+    fn max_front_vs_back_on_tie() {
+        let q: VecDeque<Packet> = vec![mk(0, 5), mk(1, 5), mk(2, 1)].into();
+        assert_eq!(argmax_front(&q, |p| p.arrived_at), 0);
+        assert_eq!(argmax_back(&q, |p| p.arrived_at), 1);
+    }
+
+    #[test]
+    fn strict_extrema() {
+        let q: VecDeque<Packet> = vec![mk(0, 3), mk(1, 1), mk(2, 7)].into();
+        assert_eq!(argmin_front(&q, |p| p.arrived_at), 1);
+        assert_eq!(argmax_front(&q, |p| p.arrived_at), 2);
+        assert_eq!(argmax_back(&q, |p| p.arrived_at), 2);
+    }
+}

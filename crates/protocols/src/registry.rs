@@ -1,0 +1,67 @@
+//! Name-based protocol construction, for sweeps and CLI examples.
+
+use aqt_sim::Protocol;
+
+use crate::{Ffs, Fifo, Ftg, Lifo, Lis, Nis, Ntg, Nts, Random};
+
+/// Names of all bundled protocols, in canonical order.
+pub fn protocol_names() -> &'static [&'static str] {
+    &[
+        "FIFO", "LIFO", "LIS", "NIS", "FTG", "NTG", "FFS", "NTS", "RANDOM",
+    ]
+}
+
+/// Construct a protocol by (case-insensitive) name. `seed` is used only
+/// by randomized protocols.
+pub fn by_name(name: &str, seed: u64) -> Option<Box<dyn Protocol>> {
+    let p: Box<dyn Protocol> = match name.to_ascii_uppercase().as_str() {
+        "FIFO" => Box::new(Fifo),
+        "LIFO" => Box::new(Lifo),
+        "LIS" => Box::new(Lis),
+        "NIS" | "SIS" => Box::new(Nis),
+        "FTG" => Box::new(Ftg),
+        "NTG" => Box::new(Ntg),
+        "FFS" => Box::new(Ffs),
+        "NTS" => Box::new(Nts),
+        "RANDOM" => Box::new(Random::seeded(seed)),
+        _ => return None,
+    };
+    Some(p)
+}
+
+/// One instance of every bundled protocol.
+pub fn all_protocols(seed: u64) -> Vec<Box<dyn Protocol>> {
+    protocol_names()
+        .iter()
+        .map(|n| by_name(n, seed).expect("registry names are constructible"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_name_constructs() {
+        for &n in protocol_names() {
+            let p = by_name(n, 1).unwrap_or_else(|| panic!("{n} missing"));
+            assert_eq!(p.name(), n);
+        }
+        assert!(by_name("nope", 0).is_none());
+    }
+
+    #[test]
+    fn sis_aliases_nis() {
+        assert_eq!(by_name("sis", 0).unwrap().name(), "NIS");
+    }
+
+    #[test]
+    fn case_insensitive() {
+        assert_eq!(by_name("fifo", 0).unwrap().name(), "FIFO");
+    }
+
+    #[test]
+    fn all_protocols_count() {
+        assert_eq!(all_protocols(0).len(), protocol_names().len());
+    }
+}

@@ -1,0 +1,138 @@
+//! Policies keyed on route position: FTG, NTG, FFS, NTS.
+
+use std::collections::VecDeque;
+
+use aqt_graph::{EdgeId, Graph};
+use aqt_sim::{Packet, Protocol, Time};
+
+use crate::ordering::{argmax_front, argmin_front};
+
+/// FTG — furthest-to-go: the packet with the most remaining edges wins;
+/// ties go to the earliest buffer arrival.
+///
+/// FTG inspects the remaining route, so it is **not** historic (the
+/// rerouting of Lemma 3.3 does not apply to it — the engine will refuse
+/// to extend routes under FTG when validation is on). It is universally
+/// stable \[4\].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Ftg;
+
+impl Protocol for Ftg {
+    fn name(&self) -> &str {
+        "FTG"
+    }
+
+    #[inline]
+    fn select(&mut self, _: Time, _: EdgeId, queue: &VecDeque<Packet>, _: &Graph) -> usize {
+        argmax_front(queue, |p| p.remaining())
+    }
+}
+
+/// NTG — nearest-to-go: the packet with the fewest remaining edges
+/// wins; ties go to the earliest buffer arrival.
+///
+/// Not historic. Borodin et al. \[7\] prove NTG can be unstable at
+/// arbitrarily low injection rates — the phenomenon the paper's
+/// Section 5 contrasts with its `1/(d+1)` bound.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Ntg;
+
+impl Protocol for Ntg {
+    fn name(&self) -> &str {
+        "NTG"
+    }
+
+    #[inline]
+    fn select(&mut self, _: Time, _: EdgeId, queue: &VecDeque<Packet>, _: &Graph) -> usize {
+        argmin_front(queue, |p| p.remaining())
+    }
+}
+
+/// FFS — furthest-from-source: the packet that has traversed the most
+/// edges wins; ties go to the earliest buffer arrival.
+///
+/// FFS only looks backwards along routes, so it *is* historic
+/// (Definition 3.1 explicitly lists it); it is not universally
+/// stable \[4\].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Ffs;
+
+impl Protocol for Ffs {
+    fn name(&self) -> &str {
+        "FFS"
+    }
+
+    #[inline]
+    fn select(&mut self, _: Time, _: EdgeId, queue: &VecDeque<Packet>, _: &Graph) -> usize {
+        argmax_front(queue, |p| p.traversed())
+    }
+
+    fn is_historic(&self) -> bool {
+        true
+    }
+}
+
+/// NTS — nearest-to-source: the packet that has traversed the fewest
+/// edges wins; ties go to the earliest buffer arrival. Historic.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Nts;
+
+impl Protocol for Nts {
+    fn name(&self) -> &str {
+        "NTS"
+    }
+
+    #[inline]
+    fn select(&mut self, _: Time, _: EdgeId, queue: &VecDeque<Packet>, _: &Graph) -> usize {
+        argmin_front(queue, |p| p.traversed())
+    }
+
+    fn is_historic(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Queue with (remaining, traversed) = (3,0), (1,2), (2,1).
+    fn q3() -> VecDeque<Packet> {
+        vec![
+            Packet::synthetic(0, 0, 1, 0, vec![EdgeId(0), EdgeId(1), EdgeId(2)], 0),
+            Packet::synthetic(1, 0, 2, 0, vec![EdgeId(3), EdgeId(4), EdgeId(0)], 2),
+            Packet::synthetic(2, 0, 3, 0, vec![EdgeId(5), EdgeId(0), EdgeId(6)], 1),
+        ]
+        .into()
+    }
+
+    #[test]
+    fn ftg_and_ntg() {
+        let g = aqt_graph::topologies::line(1);
+        assert_eq!(Ftg.select(9, EdgeId(0), &q3(), &g), 0); // remaining 3
+        assert_eq!(Ntg.select(9, EdgeId(0), &q3(), &g), 1); // remaining 1
+        assert!(!Ftg.is_historic());
+        assert!(!Ntg.is_historic());
+    }
+
+    #[test]
+    fn ffs_and_nts() {
+        let g = aqt_graph::topologies::line(1);
+        assert_eq!(Ffs.select(9, EdgeId(0), &q3(), &g), 1); // traversed 2
+        assert_eq!(Nts.select(9, EdgeId(0), &q3(), &g), 0); // traversed 0
+        assert!(Ffs.is_historic());
+        assert!(Nts.is_historic());
+    }
+
+    #[test]
+    fn ties_go_to_front() {
+        let g = aqt_graph::topologies::line(1);
+        let q: VecDeque<Packet> = vec![
+            Packet::synthetic(0, 0, 1, 0, vec![EdgeId(0), EdgeId(1)], 0),
+            Packet::synthetic(1, 0, 2, 0, vec![EdgeId(0), EdgeId(2)], 0),
+        ]
+        .into();
+        assert_eq!(Ftg.select(9, EdgeId(0), &q, &g), 0);
+        assert_eq!(Ntg.select(9, EdgeId(0), &q, &g), 0);
+    }
+}

@@ -1,0 +1,102 @@
+//! Policies keyed on injection time: LIS and NIS.
+
+use std::collections::VecDeque;
+
+use aqt_graph::{EdgeId, Graph};
+use aqt_sim::{Packet, Protocol, Time};
+
+use crate::ordering::{argmax_back, argmin_front};
+
+/// LIS — longest-in-system: the packet with the *earliest* injection
+/// time wins; ties go to the earliest buffer arrival (queue front).
+///
+/// LIS is historic and time-priority (an older injection can never be
+/// outranked by a later one), and is universally stable \[4\]. By
+/// Theorem 4.3 it enjoys the `r ≤ 1/d` delay bound `⌈wr⌉`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Lis;
+
+impl Protocol for Lis {
+    fn name(&self) -> &str {
+        "LIS"
+    }
+
+    #[inline]
+    fn select(&mut self, _: Time, _: EdgeId, queue: &VecDeque<Packet>, _: &Graph) -> usize {
+        argmin_front(queue, |p| (p.injected_at, p.id))
+    }
+
+    fn is_historic(&self) -> bool {
+        true
+    }
+
+    fn is_time_priority(&self) -> bool {
+        true
+    }
+}
+
+/// NIS — newest-in-system (sometimes called SIS, shortest-in-system):
+/// the packet with the *latest* injection time wins; ties go to the
+/// latest enqueued.
+///
+/// Historic but not time-priority; not universally stable \[4\].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Nis;
+
+impl Protocol for Nis {
+    fn name(&self) -> &str {
+        "NIS"
+    }
+
+    #[inline]
+    fn select(&mut self, _: Time, _: EdgeId, queue: &VecDeque<Packet>, _: &Graph) -> usize {
+        argmax_back(queue, |p| p.injected_at)
+    }
+
+    fn is_historic(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q3() -> VecDeque<Packet> {
+        vec![
+            Packet::synthetic(0, 5, 10, 0, vec![EdgeId(0)], 0),
+            Packet::synthetic(1, 2, 11, 0, vec![EdgeId(0)], 0),
+            Packet::synthetic(2, 8, 12, 0, vec![EdgeId(0)], 0),
+        ]
+        .into()
+    }
+
+    #[test]
+    fn lis_picks_oldest_injection() {
+        let g = aqt_graph::topologies::line(1);
+        assert_eq!(Lis.select(20, EdgeId(0), &q3(), &g), 1);
+        assert!(Lis.is_time_priority());
+        assert!(Lis.is_historic());
+    }
+
+    #[test]
+    fn nis_picks_newest_injection() {
+        let g = aqt_graph::topologies::line(1);
+        assert_eq!(Nis.select(20, EdgeId(0), &q3(), &g), 2);
+        assert!(!Nis.is_time_priority());
+        assert!(Nis.is_historic());
+    }
+
+    #[test]
+    fn lis_tie_break_by_id() {
+        let g = aqt_graph::topologies::line(1);
+        let q: VecDeque<Packet> = vec![
+            Packet::synthetic(3, 5, 10, 0, vec![EdgeId(0)], 0),
+            Packet::synthetic(1, 5, 11, 0, vec![EdgeId(0)], 0),
+        ]
+        .into();
+        // same injection time: lower id (injected first within the
+        // substep) wins
+        assert_eq!(Lis.select(20, EdgeId(0), &q, &g), 1);
+    }
+}

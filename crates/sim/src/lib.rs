@@ -1,0 +1,55 @@
+//! # aqt-sim
+//!
+//! An exact discrete-time simulator for the adversarial queuing model
+//! of Borodin et al., as used in *New stability results for adversarial
+//! queuing* (Lotker, Patt-Shamir, Rosén; SPAA 2002).
+//!
+//! ## The model (Section 2 of the paper, implemented verbatim)
+//!
+//! The network is a directed graph; each edge has a buffer at its tail.
+//! Time proceeds in global steps. Each step has two substeps:
+//!
+//! 1. one packet is sent from each nonempty buffer over its link
+//!    (which packet is the *protocol*'s choice — see [`Protocol`]);
+//! 2. sent packets are received: absorbed at their destination or
+//!    placed in the next buffer of their route; then new packets are
+//!    injected by the adversary.
+//!
+//! ## What this crate adds beyond the bare model
+//!
+//! * [`rate::RateValidator`] / [`rate::WindowValidator`] — *exact*
+//!   integer-arithmetic enforcement of the paper's two adversary
+//!   classes (the rate-r adversary of Section 3 and the `(w,r)`
+//!   adversary of Definition 2.1). Every experiment in this repository
+//!   runs its adversary through a validator, so a schedule that would
+//!   exceed the allowed injection rate fails loudly rather than
+//!   producing a vacuous "instability" result.
+//! * On-line rerouting of in-flight packets (the technique of
+//!   Lemma 3.3), including streaming validation of the *effective*
+//!   adversary `A'` that injects the final (extended) routes.
+//! * [`metrics::Metrics`] — queue peaks, per-buffer waiting times
+//!   (the quantity bounded by Theorems 4.1/4.3), backlog time series.
+//! * [`parallel`] — a scoped thread-pool for embarrassingly parallel
+//!   parameter sweeps.
+
+pub mod engine;
+pub mod metrics;
+pub mod packet;
+pub mod parallel;
+pub mod protocol;
+pub mod rate;
+pub mod ratio;
+pub mod schedule;
+pub mod snapshot;
+pub mod source;
+pub mod trace;
+
+pub use engine::{Engine, EngineConfig, EngineError};
+pub use metrics::Metrics;
+pub use packet::{Packet, PacketId, Time};
+pub use protocol::Protocol;
+pub use rate::{RateValidator, RateViolation, WindowValidator};
+pub use ratio::Ratio;
+pub use schedule::{Schedule, ScheduleOp};
+pub use snapshot::Snapshot;
+pub use source::{run_with_source, TrafficSource};

@@ -1,0 +1,148 @@
+//! Run metrics: the quantities the paper's theorems bound.
+//!
+//! * **Max queue size** per edge and globally — *stability* means these
+//!   stay bounded as time grows (Section 1).
+//! * **Max buffer wait** — Theorems 4.1/4.3 bound the number of steps
+//!   any packet spends in any single buffer by `⌈wr⌉`.
+//! * **Backlog series** — total packets in flight, sampled; the
+//!   instability experiments show this diverging.
+
+use aqt_graph::EdgeId;
+
+use crate::packet::Time;
+
+/// A sampled point of the backlog time series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BacklogSample {
+    /// Sample time (end of that step).
+    pub time: Time,
+    /// Total packets in the network.
+    pub backlog: u64,
+    /// Largest single buffer at that moment.
+    pub max_queue: u64,
+}
+
+/// Metrics collected during a run.
+#[derive(Debug, Clone)]
+pub struct Metrics {
+    /// Per-edge all-time maximum buffer occupancy.
+    pub max_queue_per_edge: Vec<u64>,
+    /// Per-edge total packets sent over the link (crossings). The
+    /// per-edge *rates* of the paper's Claims 3.8/3.9 are differences
+    /// of these counters over an interval.
+    pub crossings_per_edge: Vec<u64>,
+    /// All-time maximum number of steps any packet spent in a single
+    /// buffer (compare with `⌈wr⌉` from Theorems 4.1/4.3).
+    pub max_buffer_wait: Time,
+    /// All-time maximum end-to-end latency (injection to absorption).
+    pub max_latency: Time,
+    /// Total packets injected (including initial configuration).
+    pub injected: u64,
+    /// Total packets absorbed at their destinations.
+    pub absorbed: u64,
+    /// Sampled backlog series (empty if sampling is disabled).
+    pub series: Vec<BacklogSample>,
+    /// Sampling interval in steps (0 = disabled).
+    pub sample_every: Time,
+}
+
+impl Metrics {
+    pub(crate) fn new(edge_count: usize, sample_every: Time) -> Self {
+        Metrics {
+            max_queue_per_edge: vec![0; edge_count],
+            crossings_per_edge: vec![0; edge_count],
+            max_buffer_wait: 0,
+            max_latency: 0,
+            injected: 0,
+            absorbed: 0,
+            series: Vec::new(),
+            sample_every,
+        }
+    }
+
+    /// Packets currently in the network.
+    pub fn backlog(&self) -> u64 {
+        self.injected - self.absorbed
+    }
+
+    /// The largest buffer occupancy seen anywhere, at any time.
+    pub fn max_queue(&self) -> u64 {
+        self.max_queue_per_edge.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The edge with the largest all-time buffer occupancy.
+    pub fn hottest_edge(&self) -> Option<(EdgeId, u64)> {
+        self.max_queue_per_edge
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &q)| q)
+            .map(|(i, &q)| (EdgeId(i as u32), q))
+    }
+
+    #[inline]
+    pub(crate) fn on_queue_len(&mut self, edge: EdgeId, len: u64) {
+        let slot = &mut self.max_queue_per_edge[edge.index()];
+        if len > *slot {
+            *slot = len;
+        }
+    }
+
+    #[inline]
+    pub(crate) fn on_send(&mut self, edge: EdgeId, wait: Time) {
+        self.crossings_per_edge[edge.index()] += 1;
+        if wait > self.max_buffer_wait {
+            self.max_buffer_wait = wait;
+        }
+    }
+
+    /// Total crossings of `edge` so far.
+    pub fn crossings(&self, edge: EdgeId) -> u64 {
+        self.crossings_per_edge[edge.index()]
+    }
+
+    #[inline]
+    pub(crate) fn on_absorb(&mut self, latency: Time) {
+        self.absorbed += 1;
+        if latency > self.max_latency {
+            self.max_latency = latency;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backlog_accounting() {
+        let mut m = Metrics::new(2, 0);
+        m.injected = 10;
+        m.on_absorb(3);
+        m.on_absorb(7);
+        assert_eq!(m.backlog(), 8);
+        assert_eq!(m.absorbed, 2);
+        assert_eq!(m.max_latency, 7);
+    }
+
+    #[test]
+    fn queue_peaks() {
+        let mut m = Metrics::new(3, 0);
+        m.on_queue_len(EdgeId(1), 5);
+        m.on_queue_len(EdgeId(1), 3);
+        m.on_queue_len(EdgeId(2), 4);
+        assert_eq!(m.max_queue(), 5);
+        assert_eq!(m.hottest_edge(), Some((EdgeId(1), 5)));
+        assert_eq!(m.max_queue_per_edge, vec![0, 5, 4]);
+    }
+
+    #[test]
+    fn wait_peaks_and_crossings() {
+        let mut m = Metrics::new(2, 0);
+        m.on_send(EdgeId(0), 2);
+        m.on_send(EdgeId(0), 9);
+        m.on_send(EdgeId(1), 1);
+        assert_eq!(m.max_buffer_wait, 9);
+        assert_eq!(m.crossings(EdgeId(0)), 2);
+        assert_eq!(m.crossings(EdgeId(1)), 1);
+    }
+}

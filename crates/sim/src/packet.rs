@@ -1,0 +1,139 @@
+//! Packets: the unit of traffic.
+
+use std::sync::Arc;
+
+use aqt_graph::EdgeId;
+
+/// Global simulation time, in steps. The system starts at time 0;
+/// step `t` (for `t ≥ 1`) consists of substep 1 (send) and substep 2
+/// (receive + inject). "Injected at time t" means during substep 2 of
+/// step `t`.
+pub type Time = u64;
+
+/// Unique, monotonically increasing packet identifier. Used for
+/// deterministic tie-breaking in protocols.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PacketId(pub u64);
+
+/// A packet in flight (or queued).
+///
+/// The route is the packet's *full* path; `hop` indexes the edge whose
+/// buffer currently holds the packet. Routes are shared `Arc` slices:
+/// adversaries inject thousands of packets with identical routes, and
+/// the rerouting of Lemma 3.3 extends whole cohorts at once, so cloning
+/// a route never allocates.
+#[derive(Debug, Clone)]
+pub struct Packet {
+    /// Unique id (injection order).
+    pub id: PacketId,
+    /// Time of injection into the network (0 for initial-configuration
+    /// packets).
+    pub injected_at: Time,
+    /// Time this packet entered its current buffer.
+    pub arrived_at: Time,
+    /// Caller-assigned cohort tag (used by experiments to tell packet
+    /// populations apart; the simulator itself ignores it).
+    pub tag: u32,
+    pub(crate) route: Arc<[EdgeId]>,
+    pub(crate) hop: u32,
+}
+
+impl Packet {
+    /// Construct a detached packet not managed by any engine. Intended
+    /// for protocol unit tests and custom tooling; `hop` must index
+    /// into `route`.
+    pub fn synthetic(
+        id: u64,
+        injected_at: Time,
+        arrived_at: Time,
+        tag: u32,
+        route: Vec<EdgeId>,
+        hop: u32,
+    ) -> Packet {
+        assert!((hop as usize) < route.len(), "hop must index into route");
+        Packet {
+            id: PacketId(id),
+            injected_at,
+            arrived_at,
+            tag,
+            route: route.into(),
+            hop,
+        }
+    }
+
+    /// The edge whose buffer currently holds this packet (the "next
+    /// edge to be traversed", `e_p` in Lemma 3.3).
+    #[inline]
+    pub fn current_edge(&self) -> EdgeId {
+        self.route[self.hop as usize]
+    }
+
+    /// Full route (may have been extended by rerouting).
+    #[inline]
+    pub fn route(&self) -> &[EdgeId] {
+        &self.route
+    }
+
+    /// Shared handle to the route.
+    #[inline]
+    pub fn route_shared(&self) -> Arc<[EdgeId]> {
+        Arc::clone(&self.route)
+    }
+
+    /// Number of edges still to traverse, *including* the current edge.
+    /// This is the "distance to go" used by FTG/NTG.
+    #[inline]
+    pub fn remaining(&self) -> usize {
+        self.route.len() - self.hop as usize
+    }
+
+    /// Number of edges already traversed — the "distance from source"
+    /// used by FFS/NTS.
+    #[inline]
+    pub fn traversed(&self) -> usize {
+        self.hop as usize
+    }
+
+    /// `true` if the current edge is the last on the route (the packet
+    /// will be absorbed after crossing it).
+    #[inline]
+    pub fn on_last_edge(&self) -> bool {
+        self.hop as usize + 1 == self.route.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(route: Vec<u32>, hop: u32) -> Packet {
+        Packet {
+            id: PacketId(1),
+            injected_at: 0,
+            arrived_at: 0,
+            tag: 0,
+            route: route.into_iter().map(EdgeId).collect::<Vec<_>>().into(),
+            hop,
+        }
+    }
+
+    #[test]
+    fn distances() {
+        let p = mk(vec![0, 1, 2, 3], 1);
+        assert_eq!(p.current_edge(), EdgeId(1));
+        assert_eq!(p.remaining(), 3);
+        assert_eq!(p.traversed(), 1);
+        assert!(!p.on_last_edge());
+        let q = mk(vec![0, 1, 2, 3], 3);
+        assert!(q.on_last_edge());
+        assert_eq!(q.remaining(), 1);
+    }
+
+    #[test]
+    fn route_sharing() {
+        let p = mk(vec![0, 1], 0);
+        let r1 = p.route_shared();
+        let r2 = p.route_shared();
+        assert!(Arc::ptr_eq(&r1, &r2));
+    }
+}

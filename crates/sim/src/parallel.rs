@@ -1,0 +1,125 @@
+//! Scoped thread-pool for parameter sweeps.
+//!
+//! A single AQT run is inherently sequential (the model is a global
+//! synchronous clock), but the experiments sweep over protocols, rates,
+//! topologies and seeds — embarrassingly parallel work. This module
+//! provides an ordered `par_map` built on `std::thread::scope` and a
+//! `crossbeam` channel as the work queue, following the structure
+//! recommended by the Rust concurrency guides: immutable shared input,
+//! per-task owned output, no locks on the hot path.
+
+use crossbeam::channel;
+
+/// Map `f` over `inputs` using `threads` worker threads, preserving
+/// input order in the output. `threads == 0` selects the available
+/// parallelism (or 1 if unknown).
+///
+/// `f` receives `(index, item)`.
+///
+/// # Panics
+/// Propagates the first panic from a worker (standard scope semantics).
+pub fn par_map<T, R, F>(inputs: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let threads = effective_threads(threads, inputs.len());
+    if threads <= 1 || inputs.len() <= 1 {
+        return inputs
+            .into_iter()
+            .enumerate()
+            .map(|(i, x)| f(i, x))
+            .collect();
+    }
+
+    let n = inputs.len();
+    let (work_tx, work_rx) = channel::unbounded::<(usize, T)>();
+    let (res_tx, res_rx) = channel::unbounded::<(usize, R)>();
+    for item in inputs.into_iter().enumerate() {
+        work_tx.send(item).expect("receiver alive");
+    }
+    drop(work_tx);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let work_rx = work_rx.clone();
+            let res_tx = res_tx.clone();
+            let f = &f;
+            scope.spawn(move || {
+                while let Ok((i, item)) = work_rx.recv() {
+                    let r = f(i, item);
+                    if res_tx.send((i, r)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(res_tx);
+        let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        while let Ok((i, r)) = res_rx.recv() {
+            out[i] = Some(r);
+        }
+        out.into_iter()
+            .map(|o| o.expect("all workers completed"))
+            .collect()
+    })
+}
+
+fn effective_threads(requested: usize, work_items: usize) -> usize {
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let t = if requested == 0 { hw } else { requested };
+    t.min(work_items.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn preserves_order() {
+        let inputs: Vec<u64> = (0..100).collect();
+        let out = par_map(inputs, 4, |i, x| {
+            assert_eq!(i as u64, x);
+            x * x
+        });
+        assert_eq!(out.len(), 100);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, (i * i) as u64);
+        }
+    }
+
+    #[test]
+    fn runs_on_multiple_threads() {
+        // Not a strict guarantee, but with 8 sleepy tasks on 4 threads
+        // at least 2 distinct threads should participate.
+        let ids = std::sync::Mutex::new(std::collections::HashSet::new());
+        par_map(vec![(); 8], 4, |_, ()| {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            ids.lock().unwrap().insert(std::thread::current().id());
+        });
+        assert!(ids.lock().unwrap().len() >= 2);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let out: Vec<u32> = par_map(Vec::<u32>::new(), 4, |_, x| x);
+        assert!(out.is_empty());
+        let out = par_map(vec![7u32], 4, |_, x| x + 1);
+        assert_eq!(out, vec![8]);
+    }
+
+    #[test]
+    fn zero_threads_means_auto() {
+        let count = AtomicUsize::new(0);
+        let out = par_map((0..32).collect::<Vec<_>>(), 0, |_, x: i32| {
+            count.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(out.len(), 32);
+        assert_eq!(count.load(Ordering::Relaxed), 32);
+    }
+}

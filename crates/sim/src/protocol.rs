@@ -1,0 +1,121 @@
+//! The queuing-policy interface.
+//!
+//! The paper considers *greedy* protocols only: a link is never idle
+//! while its buffer is nonempty (the engine enforces this — a protocol
+//! chooses *which* packet to send, never *whether* to send).
+//!
+//! Two classifications from the paper are exposed as methods:
+//!
+//! * **historic** (Definition 3.1): scheduling decisions are
+//!   independent of the remaining routes beyond the next edge of each
+//!   packet. The rerouting technique of Lemma 3.3 is valid only for
+//!   historic policies — the engine's reroute validation checks this.
+//! * **time-priority** (Definition 4.2): a packet arriving at a buffer
+//!   at time `t` has priority over any packet injected after `t`.
+//!   For these, the stability threshold improves from `1/(d+1)` to
+//!   `1/d` (Theorem 4.3).
+
+use std::collections::VecDeque;
+
+use aqt_graph::{EdgeId, Graph};
+
+use crate::packet::{Packet, Time};
+
+/// A greedy contention-resolution scheduling policy.
+pub trait Protocol {
+    /// Display name, e.g. `"FIFO"`.
+    fn name(&self) -> &str;
+
+    /// Choose which packet to send over `edge` at (substep 1 of) step
+    /// `time`. `queue` is the edge's buffer in **arrival order** (front
+    /// is oldest); the returned index must be `< queue.len()`.
+    ///
+    /// The engine guarantees `queue` is nonempty.
+    fn select(
+        &mut self,
+        time: Time,
+        edge: EdgeId,
+        queue: &VecDeque<Packet>,
+        graph: &Graph,
+    ) -> usize;
+
+    /// Is this a *historic* policy (Definition 3.1)? Default `false`
+    /// (the conservative answer: rerouting validation will refuse).
+    fn is_historic(&self) -> bool {
+        false
+    }
+
+    /// Is this a *time-priority* protocol (Definition 4.2)? Default
+    /// `false`.
+    fn is_time_priority(&self) -> bool {
+        false
+    }
+}
+
+/// Blanket impl so `Box<dyn Protocol>` can drive an [`crate::Engine`].
+impl Protocol for Box<dyn Protocol + '_> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn select(
+        &mut self,
+        time: Time,
+        edge: EdgeId,
+        queue: &VecDeque<Packet>,
+        graph: &Graph,
+    ) -> usize {
+        (**self).select(time, edge, queue, graph)
+    }
+
+    fn is_historic(&self) -> bool {
+        (**self).is_historic()
+    }
+
+    fn is_time_priority(&self) -> bool {
+        (**self).is_time_priority()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct AlwaysFirst;
+    impl Protocol for AlwaysFirst {
+        fn name(&self) -> &str {
+            "first"
+        }
+        fn select(&mut self, _: Time, _: EdgeId, _: &VecDeque<Packet>, _: &Graph) -> usize {
+            0
+        }
+        fn is_historic(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn boxed_dispatch() {
+        let mut b: Box<dyn Protocol> = Box::new(AlwaysFirst);
+        assert_eq!(b.name(), "first");
+        assert!(b.is_historic());
+        assert!(!b.is_time_priority());
+        let g = {
+            let mut gb = aqt_graph::GraphBuilder::new();
+            let u = gb.node("u");
+            let v = gb.node("v");
+            gb.edge(u, v, "uv");
+            gb.build()
+        };
+        let mut q = VecDeque::new();
+        q.push_back(crate::packet::Packet {
+            id: crate::packet::PacketId(0),
+            injected_at: 0,
+            arrived_at: 0,
+            tag: 0,
+            route: vec![EdgeId(0)].into(),
+            hop: 0,
+        });
+        assert_eq!(b.select(1, EdgeId(0), &q, &g), 0);
+    }
+}

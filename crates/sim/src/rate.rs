@@ -1,0 +1,471 @@
+//! Exact validation of the paper's two adversary classes.
+//!
+//! **Rate-r adversary** (Section 2, following \[4\]): for every time
+//! interval of length `ℓ` and every edge `e`, the adversary may inject
+//! at most `⌈r·ℓ⌉` packets whose routes require `e`.
+//!
+//! **`(w,r)` adversary** (Definition 2.1): for every window of `w`
+//! consecutive steps and every edge `e`, the routes of packets injected
+//! in the window contain `e` at most `r·w` times.
+//!
+//! Both validators are *exact* (integer arithmetic via [`Ratio`]) and
+//! *incremental*: `O(1)` amortized per (edge, injection) event, which
+//! lets every experiment in this repository run with validation on.
+//!
+//! ## How the rate-r check is O(1)
+//!
+//! Fix an edge and let `t_0 ≤ t_1 ≤ …` be the injection times of
+//! packets requiring it. The constraint is
+//!
+//! ```text
+//! ∀ i ≤ j :  (j − i + 1) ≤ ⌈r·(t_j − t_i + 1)⌉.
+//! ```
+//!
+//! For an integer `c` and real `x`, `c ≤ ⌈x⌉ ⇔ x > c − 1`; with
+//! `r = num/den` the constraint becomes
+//! `num·(t_j − t_i + 1) > den·(j − i)`, i.e. with the potential
+//! `H_k = den·k − num·t_k`:
+//!
+//! ```text
+//! ∀ i ≤ j :  H_j − H_i < num.
+//! ```
+//!
+//! So it suffices to maintain `min_{i ≤ j} H_i` per edge. The
+//! equivalence is verified against a brute-force checker in the tests
+//! and by property tests.
+
+use aqt_graph::EdgeId;
+
+use crate::packet::Time;
+use crate::ratio::Ratio;
+
+/// A detected violation of an adversary constraint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RateViolation {
+    /// The overloaded edge.
+    pub edge: EdgeId,
+    /// Time of the injection that broke the constraint.
+    pub time: Time,
+    /// Human-readable explanation.
+    pub detail: String,
+}
+
+impl std::fmt::Display for RateViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "adversary constraint violated on edge {} at time {}: {}",
+            self.edge, self.time, self.detail
+        )
+    }
+}
+
+impl std::error::Error for RateViolation {}
+
+#[derive(Debug, Clone, Copy)]
+struct EdgeState {
+    /// Number of injections recorded so far.
+    count: u64,
+    /// `min_k H_k` over recorded injections.
+    min_h: i128,
+    /// Last recorded time (monotonicity guard).
+    last_time: Time,
+}
+
+/// Exact incremental validator for the rate-r adversary.
+#[derive(Debug, Clone)]
+pub struct RateValidator {
+    rate: Ratio,
+    /// Lazily grown per-edge state; `None` until an edge sees traffic.
+    states: Vec<Option<EdgeState>>,
+}
+
+impl RateValidator {
+    /// A validator for injection rate `rate` over a graph with
+    /// `edge_count` edges.
+    pub fn new(rate: Ratio, edge_count: usize) -> Self {
+        assert!(
+            rate > Ratio::ZERO && rate <= Ratio::ONE,
+            "rate must be in (0, 1]"
+        );
+        RateValidator {
+            rate,
+            states: vec![None; edge_count],
+        }
+    }
+
+    /// The validated rate.
+    pub fn rate(&self) -> Ratio {
+        self.rate
+    }
+
+    /// Record that a packet requiring `edge` was injected at `time`.
+    ///
+    /// Call once per (route edge, injection). Times must be
+    /// non-decreasing **per edge** (the engine guarantees this; the
+    /// rerouting path sorts its cohorts — see `Engine::extend_routes`).
+    pub fn record(&mut self, edge: EdgeId, time: Time) -> Result<(), RateViolation> {
+        let num = self.rate.num() as i128;
+        let den = self.rate.den() as i128;
+        let slot = &mut self.states[edge.index()];
+        match slot {
+            None => {
+                let h = -num * time as i128; // k = 0
+                *slot = Some(EdgeState {
+                    count: 1,
+                    min_h: h,
+                    last_time: time,
+                });
+                Ok(())
+            }
+            Some(st) => {
+                if time < st.last_time {
+                    return Err(RateViolation {
+                        edge,
+                        time,
+                        detail: format!(
+                            "non-monotone record: last recorded time {} > {}",
+                            st.last_time, time
+                        ),
+                    });
+                }
+                let k = st.count as i128;
+                let h = den * k - num * time as i128;
+                if h - st.min_h >= num {
+                    // Reconstruct a human-readable bound for the report.
+                    return Err(RateViolation {
+                        edge,
+                        time,
+                        detail: format!(
+                            "rate {} exceeded: some interval ending at {} holds more \
+                             than ceil(r*len) injections",
+                            self.rate, time
+                        ),
+                    });
+                }
+                st.count += 1;
+                st.min_h = st.min_h.min(h);
+                st.last_time = time;
+                Ok(())
+            }
+        }
+    }
+
+    /// Record an entire route injected at `time`.
+    pub fn record_route(&mut self, route: &[EdgeId], time: Time) -> Result<(), RateViolation> {
+        for &e in route {
+            self.record(e, time)?;
+        }
+        Ok(())
+    }
+
+    /// Total number of injections recorded for `edge`.
+    pub fn count(&self, edge: EdgeId) -> u64 {
+        self.states[edge.index()].map_or(0, |s| s.count)
+    }
+}
+
+/// Reference implementation of the rate-r constraint: checks **all**
+/// interval pairs. `O(k²)` per edge — for tests only.
+pub fn brute_force_rate_check(rate: Ratio, times_per_edge: &[(EdgeId, Vec<Time>)]) -> bool {
+    let num = rate.num() as u128;
+    let den = rate.den() as u128;
+    for (_, times) in times_per_edge {
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        for i in 0..sorted.len() {
+            for j in i..sorted.len() {
+                let count = (j - i + 1) as u128;
+                let len = (sorted[j] - sorted[i] + 1) as u128;
+                // need: count <= ceil(r*len) <=> num*len > den*(count-1)
+                if num * len <= den * (count - 1) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Exact sliding-window validator for the `(w,r)` adversary of
+/// Definition 2.1: in any `w` consecutive steps, every edge appears in
+/// the injected routes at most `⌊w·r⌋` times.
+#[derive(Debug, Clone)]
+pub struct WindowValidator {
+    window: u64,
+    rate: Ratio,
+    /// Per-window per-edge budget: `⌊w·r⌋`.
+    budget: usize,
+    /// Recent injection times per edge (only those within the last
+    /// window are retained).
+    recent: Vec<std::collections::VecDeque<Time>>,
+}
+
+impl WindowValidator {
+    /// A validator for a `(w, r)` adversary over `edge_count` edges.
+    pub fn new(window: u64, rate: Ratio, edge_count: usize) -> Self {
+        assert!(window >= 1, "window must be positive");
+        assert!(
+            rate > Ratio::ZERO && rate <= Ratio::ONE,
+            "rate must be in (0, 1]"
+        );
+        let budget = rate.floor_mul(window) as usize;
+        WindowValidator {
+            window,
+            rate,
+            budget,
+            recent: vec![std::collections::VecDeque::new(); edge_count],
+        }
+    }
+
+    /// The per-window per-edge budget `⌊w·r⌋`.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// The window size `w`.
+    pub fn window(&self) -> u64 {
+        self.window
+    }
+
+    /// The rate `r`.
+    pub fn rate(&self) -> Ratio {
+        self.rate
+    }
+
+    /// Record that a packet requiring `edge` was injected at `time`.
+    /// Times must be non-decreasing per edge.
+    pub fn record(&mut self, edge: EdgeId, time: Time) -> Result<(), RateViolation> {
+        let dq = &mut self.recent[edge.index()];
+        if let Some(&last) = dq.back() {
+            if time < last {
+                return Err(RateViolation {
+                    edge,
+                    time,
+                    detail: format!("non-monotone record: {} after {}", time, last),
+                });
+            }
+        }
+        let cutoff = time.saturating_sub(self.window - 1);
+        while dq.front().is_some_and(|&t| t < cutoff) {
+            dq.pop_front();
+        }
+        if dq.len() >= self.budget {
+            return Err(RateViolation {
+                edge,
+                time,
+                detail: format!(
+                    "(w={}, r={}) budget {} exceeded in window ending at {}",
+                    self.window, self.rate, self.budget, time
+                ),
+            });
+        }
+        dq.push_back(time);
+        Ok(())
+    }
+
+    /// Record an entire route injected at `time`.
+    pub fn record_route(&mut self, route: &[EdgeId], time: Time) -> Result<(), RateViolation> {
+        for &e in route {
+            self.record(e, time)?;
+        }
+        Ok(())
+    }
+
+    /// How many more packets requiring `edge` could be injected at
+    /// `time` without breaking the constraint. Used by the saturating
+    /// stochastic adversaries.
+    pub fn headroom(&mut self, edge: EdgeId, time: Time) -> usize {
+        let dq = &mut self.recent[edge.index()];
+        let cutoff = time.saturating_sub(self.window - 1);
+        while dq.front().is_some_and(|&t| t < cutoff) {
+            dq.pop_front();
+        }
+        self.budget.saturating_sub(dq.len())
+    }
+}
+
+/// Reference implementation of the `(w,r)` constraint — tests only.
+pub fn brute_force_window_check(
+    window: u64,
+    rate: Ratio,
+    times_per_edge: &[(EdgeId, Vec<Time>)],
+) -> bool {
+    let budget = rate.floor_mul(window);
+    for (_, times) in times_per_edge {
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        for (i, &t) in sorted.iter().enumerate() {
+            // window [t, t+w-1]
+            let end = t + window - 1;
+            let count = sorted[i..].iter().take_while(|&&u| u <= end).count() as u64;
+            if count > budget {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const E: EdgeId = EdgeId(0);
+
+    #[test]
+    fn rate_validator_accepts_floor_pattern() {
+        // inject at times where floor(k*r) increases: the canonical
+        // "rate r stream" used by all adversary builders
+        let r = Ratio::new(3, 5);
+        let mut v = RateValidator::new(r, 1);
+        let mut injected = 0u64;
+        for k in 1..=1000u64 {
+            let want = r.floor_mul(k);
+            if want > injected {
+                v.record(E, k).expect("floor pattern must validate");
+                injected = want;
+            }
+        }
+        assert_eq!(injected, 600);
+    }
+
+    #[test]
+    fn rate_validator_rejects_two_per_step() {
+        let mut v = RateValidator::new(Ratio::new(3, 5), 1);
+        v.record(E, 5).unwrap();
+        // a second injection in the same step violates ceil(r*1)=1
+        assert!(v.record(E, 5).is_err());
+    }
+
+    #[test]
+    fn rate_validator_rejects_sustained_overrate() {
+        // rate 1/2: alternating steps fine, consecutive not (after the
+        // first ceil slack is used up)
+        let mut v = RateValidator::new(Ratio::new(1, 2), 1);
+        v.record(E, 1).unwrap();
+        // interval [1,2]: 2 injections, ceil(1/2*2)=1 -> violation
+        assert!(v.record(E, 2).is_err());
+    }
+
+    #[test]
+    fn rate_validator_allows_ceiling_slack() {
+        // rate 1/2, times 1,3,5,...: any interval [t_i, t_j] has
+        // j-i+1 injections in 2(j-i)+1 steps; ceil((2(j-i)+1)/2) = j-i+1. OK.
+        let mut v = RateValidator::new(Ratio::new(1, 2), 1);
+        for k in 0..500u64 {
+            v.record(E, 1 + 2 * k).expect("odd steps at rate 1/2");
+        }
+    }
+
+    #[test]
+    fn rate_validator_independent_edges() {
+        let mut v = RateValidator::new(Ratio::new(1, 2), 2);
+        v.record(EdgeId(0), 1).unwrap();
+        // same step, different edge: fine
+        v.record(EdgeId(1), 1).unwrap();
+        assert_eq!(v.count(EdgeId(0)), 1);
+        assert_eq!(v.count(EdgeId(1)), 1);
+    }
+
+    #[test]
+    fn rate_validator_rejects_non_monotone() {
+        let mut v = RateValidator::new(Ratio::new(1, 2), 1);
+        v.record(E, 10).unwrap();
+        assert!(v.record(E, 9).is_err());
+    }
+
+    #[test]
+    fn rate_validator_matches_brute_force_on_random_streams() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for trial in 0..200 {
+            let r = Ratio::new(1 + rng.gen_range(0..10), 11);
+            let mut v = RateValidator::new(r, 1);
+            let mut times = Vec::new();
+            let mut t = 0u64;
+            let mut incremental_ok = true;
+            for _ in 0..40 {
+                t += rng.gen_range(0..4);
+                if v.record(E, t).is_err() {
+                    incremental_ok = false;
+                    break;
+                }
+                times.push(t);
+            }
+            if incremental_ok {
+                assert!(
+                    brute_force_rate_check(r, &[(E, times.clone())]),
+                    "trial {trial}: incremental accepted, brute force rejected (r={r}, {times:?})"
+                );
+            } else {
+                times.push(t);
+                assert!(
+                    !brute_force_rate_check(r, &[(E, times.clone())]),
+                    "trial {trial}: incremental rejected, brute force accepted (r={r}, {times:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn window_validator_allows_bursts() {
+        // (w=10, r=1/2): bursts of 5 in one step are legal
+        let mut v = WindowValidator::new(10, Ratio::new(1, 2), 1);
+        for _ in 0..5 {
+            v.record(E, 3).unwrap();
+        }
+        assert!(v.record(E, 3).is_err());
+        // after the window slides past, capacity returns
+        for _ in 0..5 {
+            v.record(E, 13).unwrap();
+        }
+        assert!(v.record(E, 13).is_err());
+    }
+
+    #[test]
+    fn window_validator_sliding_boundary() {
+        let mut v = WindowValidator::new(4, Ratio::new(1, 2), 1); // budget 2
+        v.record(E, 1).unwrap();
+        v.record(E, 2).unwrap();
+        assert!(v.record(E, 4).is_err()); // window [1,4] would hold 3
+        v.record(E, 5).unwrap(); // window [2,5] holds 2
+    }
+
+    #[test]
+    fn window_headroom() {
+        let mut v = WindowValidator::new(10, Ratio::new(3, 10), 1); // budget 3
+        assert_eq!(v.headroom(E, 1), 3);
+        v.record(E, 1).unwrap();
+        assert_eq!(v.headroom(E, 1), 2);
+        assert_eq!(v.headroom(E, 11), 3); // window slid past time 1
+    }
+
+    #[test]
+    fn window_matches_brute_force_on_random_streams() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        for _ in 0..200 {
+            let w = rng.gen_range(2..8);
+            let r = Ratio::new(rng.gen_range(1..=7), 7);
+            let mut v = WindowValidator::new(w, r, 1);
+            let mut times = Vec::new();
+            let mut t = 0u64;
+            let mut ok = true;
+            for _ in 0..30 {
+                t += rng.gen_range(0..3);
+                if v.record(E, t).is_err() {
+                    ok = false;
+                    break;
+                }
+                times.push(t);
+            }
+            if ok {
+                assert!(brute_force_window_check(w, r, &[(E, times)]));
+            } else {
+                times.push(t);
+                assert!(!brute_force_window_check(w, r, &[(E, times)]));
+            }
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! Exact non-negative rational arithmetic.
+//!
+//! Injection rates in the paper are rationals like `r = 1/2 + ε`.
+//! Floating point would make the adversary validators unsound near
+//! their boundary (exactly where the paper's bounds live: the
+//! difference between "stable at `r ≤ 1/d`" and "unstable at
+//! `r = 1/2 + ε`" is decided by exact counting), so every constraint
+//! check is done in integer arithmetic via this type.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A non-negative rational `num/den` in lowest terms. `den > 0` always.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ratio {
+    num: u64,
+    den: u64,
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl Ratio {
+    /// Construct `num/den`, reduced to lowest terms.
+    ///
+    /// # Panics
+    /// Panics if `den == 0`.
+    pub fn new(num: u64, den: u64) -> Self {
+        assert!(den != 0, "denominator must be nonzero");
+        if num == 0 {
+            return Ratio { num: 0, den: 1 };
+        }
+        let g = gcd(num, den);
+        Ratio {
+            num: num / g,
+            den: den / g,
+        }
+    }
+
+    /// Zero.
+    pub const ZERO: Ratio = Ratio { num: 0, den: 1 };
+    /// One.
+    pub const ONE: Ratio = Ratio { num: 1, den: 1 };
+
+    /// `1/2 + eps` for a rational `eps` — the paper's instability rate.
+    pub fn half_plus(eps: Ratio) -> Ratio {
+        Ratio::new(eps.den + 2 * eps.num, 2 * eps.den)
+    }
+
+    /// `1/k`.
+    pub fn inv_int(k: u64) -> Ratio {
+        Ratio::new(1, k)
+    }
+
+    /// Numerator (lowest terms).
+    #[inline]
+    pub fn num(self) -> u64 {
+        self.num
+    }
+
+    /// Denominator (lowest terms).
+    #[inline]
+    pub fn den(self) -> u64 {
+        self.den
+    }
+
+    /// `⌊self · k⌋` without overflow for `k` up to `u64::MAX / num`.
+    pub fn floor_mul(self, k: u64) -> u64 {
+        ((self.num as u128 * k as u128) / self.den as u128) as u64
+    }
+
+    /// `⌈self · k⌉`.
+    pub fn ceil_mul(self, k: u64) -> u64 {
+        let p = self.num as u128 * k as u128;
+        p.div_ceil(self.den as u128) as u64
+    }
+
+    /// `⌈1/self⌉`. Panics on zero.
+    pub fn ceil_inv(self) -> u64 {
+        assert!(self.num != 0, "cannot invert zero");
+        (self.den as u128).div_ceil(self.num as u128) as u64
+    }
+
+    /// `⌈k / self⌉` — e.g. "the first `X · 1/r` time steps" in
+    /// Lemma 3.6's adversary.
+    pub fn ceil_div_int(self, k: u64) -> u64 {
+        assert!(self.num != 0, "cannot divide by zero");
+        (k as u128 * self.den as u128).div_ceil(self.num as u128) as u64
+    }
+
+    /// Exact sum.
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, other: Ratio) -> Ratio {
+        let num = self.num as u128 * other.den as u128 + other.num as u128 * self.den as u128;
+        let den = self.den as u128 * other.den as u128;
+        let g = gcd128(num, den);
+        Ratio {
+            num: (num / g) as u64,
+            den: (den / g) as u64,
+        }
+    }
+
+    /// Exact difference; panics if the result would be negative.
+    #[allow(clippy::should_implement_trait)]
+    pub fn sub(self, other: Ratio) -> Ratio {
+        let a = self.num as u128 * other.den as u128;
+        let b = other.num as u128 * self.den as u128;
+        assert!(a >= b, "Ratio::sub would be negative");
+        let num = a - b;
+        let den = self.den as u128 * other.den as u128;
+        if num == 0 {
+            return Ratio::ZERO;
+        }
+        let g = gcd128(num, den);
+        Ratio {
+            num: (num / g) as u64,
+            den: (den / g) as u64,
+        }
+    }
+
+    /// Exact product.
+    #[allow(clippy::should_implement_trait)]
+    pub fn mul(self, other: Ratio) -> Ratio {
+        let num = self.num as u128 * other.num as u128;
+        let den = self.den as u128 * other.den as u128;
+        if num == 0 {
+            return Ratio::ZERO;
+        }
+        let g = gcd128(num, den);
+        Ratio {
+            num: (num / g) as u64,
+            den: (den / g) as u64,
+        }
+    }
+
+    /// Approximate value as `f64` (for reporting only — never used in
+    /// constraint checks).
+    pub fn as_f64(self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// Is this ratio ≤ `a/b` (exact)?
+    pub fn le_frac(self, a: u64, b: u64) -> bool {
+        assert!(b != 0);
+        (self.num as u128) * (b as u128) <= (a as u128) * (self.den as u128)
+    }
+
+    /// Is this ratio < `a/b` (exact)?
+    pub fn lt_frac(self, a: u64, b: u64) -> bool {
+        assert!(b != 0);
+        (self.num as u128) * (b as u128) < (a as u128) * (self.den as u128)
+    }
+}
+
+fn gcd128(mut a: u128, mut b: u128) -> u128 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a.max(1)
+}
+
+impl PartialOrd for Ratio {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ratio {
+    fn cmp(&self, other: &Self) -> Ordering {
+        let a = self.num as u128 * other.den as u128;
+        let b = other.num as u128 * self.den as u128;
+        a.cmp(&b)
+    }
+}
+
+impl fmt::Display for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.num, self.den)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduction() {
+        assert_eq!(Ratio::new(6, 10), Ratio::new(3, 5));
+        assert_eq!(Ratio::new(0, 7), Ratio::ZERO);
+        assert_eq!(Ratio::new(7, 7), Ratio::ONE);
+    }
+
+    #[test]
+    #[should_panic(expected = "denominator")]
+    fn zero_denominator_panics() {
+        Ratio::new(1, 0);
+    }
+
+    #[test]
+    fn half_plus_eps() {
+        // 1/2 + 1/10 = 3/5
+        assert_eq!(Ratio::half_plus(Ratio::new(1, 10)), Ratio::new(3, 5));
+        // 1/2 + 1/4 = 3/4
+        assert_eq!(Ratio::half_plus(Ratio::new(1, 4)), Ratio::new(3, 4));
+    }
+
+    #[test]
+    fn floor_and_ceil_mul() {
+        let r = Ratio::new(3, 5);
+        assert_eq!(r.floor_mul(10), 6);
+        assert_eq!(r.ceil_mul(10), 6);
+        assert_eq!(r.floor_mul(7), 4); // 21/5 = 4.2
+        assert_eq!(r.ceil_mul(7), 5);
+        assert_eq!(r.floor_mul(0), 0);
+    }
+
+    #[test]
+    fn inverse_ceilings() {
+        // ⌈1/r⌉ ≤ 2 for r > 1/2 — the paper's Remark after Def. 3.2
+        assert_eq!(Ratio::new(3, 5).ceil_inv(), 2);
+        assert_eq!(Ratio::new(1, 2).ceil_inv(), 2);
+        assert_eq!(Ratio::new(2, 3).ceil_inv(), 2);
+        assert_eq!(Ratio::new(1, 3).ceil_inv(), 3);
+        assert_eq!(Ratio::ONE.ceil_inv(), 1);
+        // ⌈k/r⌉
+        assert_eq!(Ratio::new(3, 5).ceil_div_int(9), 15);
+        assert_eq!(Ratio::new(3, 5).ceil_div_int(10), 17); // 50/3 = 16.67
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Ratio::new(1, 3);
+        let b = Ratio::new(1, 6);
+        assert_eq!(a.add(b), Ratio::new(1, 2));
+        assert_eq!(a.sub(b), Ratio::new(1, 6));
+        assert_eq!(a.mul(b), Ratio::new(1, 18));
+        assert_eq!(a.sub(a), Ratio::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn negative_sub_panics() {
+        Ratio::new(1, 6).sub(Ratio::new(1, 3));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Ratio::new(1, 2) < Ratio::new(3, 5));
+        assert!(Ratio::new(2, 4) == Ratio::new(1, 2));
+        assert!(Ratio::new(99, 100) < Ratio::ONE);
+        assert!(Ratio::new(1, 3).le_frac(1, 3));
+        assert!(Ratio::new(1, 3).lt_frac(1, 2));
+        assert!(!Ratio::new(1, 2).lt_frac(1, 2));
+    }
+
+    #[test]
+    fn no_overflow_on_large_times() {
+        // times up to 10^12 with denominators up to 10^6
+        let r = Ratio::new(999_999, 1_000_000);
+        assert_eq!(r.floor_mul(1_000_000_000_000), 999_999_000_000);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Ratio::new(3, 5).to_string(), "3/5");
+    }
+}

@@ -1,0 +1,419 @@
+//! Precompiled adversary schedules.
+//!
+//! The paper specifies its adversaries as explicit timed injection
+//! plans ("in the time interval `[1, S]`, `rS` packets are injected, at
+//! rate `r`, with route …") plus route extensions (Lemma 3.3). A
+//! [`Schedule`] is exactly that: a time-sorted list of operations that
+//! an [`Engine`] replays. Adversary *builders* (in
+//! `aqt-adversary`) compose schedules; the engine's validators then
+//! check the result against the model's constraints.
+//!
+//! ## Time conventions
+//!
+//! * `Inject { time: t }` — performed in substep 2 of step `t`.
+//! * `Extend { time: t }` — performed at the *start* of step `t`
+//!   (before substep 1). The paper's "at time τ, extend the routes…"
+//!   with injections starting at `τ + 1` is expressed as
+//!   `Extend { time: τ + 1 }` followed by injections at `τ + 1, …`.
+//!
+//! ## Rate-r streams
+//!
+//! [`Schedule::inject_stream`] injects "at rate `r`" using the floor
+//! pattern: the `k`-th step of the stream injects iff
+//! `⌊k·r⌋ > ⌊(k−1)·r⌋`. Over any sub-interval of the stream the
+//! injected count is `⌊k₂r⌋ − ⌊k₁r⌋ ≤ ⌈(k₂−k₁)·r⌉`, so a single stream
+//! always satisfies the rate-r constraint (the engine still validates
+//! the *composition* of streams).
+
+use aqt_graph::{EdgeId, Route};
+
+use crate::engine::{Engine, EngineError, Injection};
+use crate::packet::Time;
+use crate::protocol::Protocol;
+use crate::ratio::Ratio;
+
+/// One adversary operation.
+#[derive(Debug, Clone)]
+pub enum ScheduleOp {
+    /// Inject a packet with `route` in substep 2 of step `time`.
+    Inject {
+        /// Step of injection.
+        time: Time,
+        /// The packet's route.
+        route: Route,
+        /// Cohort tag.
+        tag: u32,
+    },
+    /// At the start of step `time`, extend the routes of all packets
+    /// queued in `buffers` by `suffix` (Lemma 3.3 rerouting).
+    Extend {
+        /// Step before whose substep 1 the extension is applied.
+        time: Time,
+        /// Buffers whose queued packets are extended.
+        buffers: Vec<EdgeId>,
+        /// Path appended to each packet's route.
+        suffix: Vec<EdgeId>,
+        /// Restrict to packets whose route ends at this edge (see
+        /// [`Engine::extend_routes_in`]).
+        last_edge: Option<EdgeId>,
+    },
+}
+
+impl ScheduleOp {
+    /// The operation's scheduled time.
+    pub fn time(&self) -> Time {
+        match self {
+            ScheduleOp::Inject { time, .. } | ScheduleOp::Extend { time, .. } => *time,
+        }
+    }
+}
+
+/// A time-sorted adversary plan.
+#[derive(Debug, Clone, Default)]
+pub struct Schedule {
+    ops: Vec<ScheduleOp>,
+    sorted: bool,
+}
+
+impl Schedule {
+    /// Empty schedule.
+    pub fn new() -> Self {
+        Schedule {
+            ops: Vec::new(),
+            sorted: true,
+        }
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Is the schedule empty?
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Number of `Inject` operations.
+    pub fn injection_count(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, ScheduleOp::Inject { .. }))
+            .count()
+    }
+
+    /// The latest operation time (0 if empty).
+    pub fn horizon(&self) -> Time {
+        self.ops.iter().map(ScheduleOp::time).max().unwrap_or(0)
+    }
+
+    /// Push a raw operation.
+    pub fn push(&mut self, op: ScheduleOp) {
+        if let Some(last) = self.ops.last() {
+            if op.time() < last.time() {
+                self.sorted = false;
+            }
+        }
+        self.ops.push(op);
+    }
+
+    /// Inject one packet at `time`.
+    pub fn inject_at(&mut self, time: Time, route: Route, tag: u32) {
+        self.push(ScheduleOp::Inject { time, route, tag });
+    }
+
+    /// Schedule a route extension at the start of step `time`.
+    pub fn extend_at(&mut self, time: Time, buffers: Vec<EdgeId>, suffix: Vec<EdgeId>) {
+        self.push(ScheduleOp::Extend {
+            time,
+            buffers,
+            suffix,
+            last_edge: None,
+        });
+    }
+
+    /// Like [`Schedule::extend_at`], restricted to packets whose route
+    /// currently ends at `last_edge`.
+    pub fn extend_ending_at(
+        &mut self,
+        time: Time,
+        buffers: Vec<EdgeId>,
+        suffix: Vec<EdgeId>,
+        last_edge: EdgeId,
+    ) {
+        self.push(ScheduleOp::Extend {
+            time,
+            buffers,
+            suffix,
+            last_edge: Some(last_edge),
+        });
+    }
+
+    /// Inject packets with `route` "at rate `r`" during the steps
+    /// `[start, start + duration - 1]` using the floor pattern; returns
+    /// the number of packets scheduled (= `⌊duration · r⌋`).
+    pub fn inject_stream(
+        &mut self,
+        start: Time,
+        duration: u64,
+        rate: Ratio,
+        route: &Route,
+        tag: u32,
+    ) -> u64 {
+        let mut injected = 0u64;
+        for k in 1..=duration {
+            let want = rate.floor_mul(k);
+            if want > injected {
+                self.inject_at(start + k - 1, route.clone(), tag);
+                injected = want;
+            }
+        }
+        injected
+    }
+
+    /// Like [`Schedule::inject_stream`], but the route and tag of each
+    /// packet are chosen per index by `f` (0-based). The paper's
+    /// Lemma 3.15 uses this shape: "the first `n` packets have path of
+    /// length 1, and the rest have the path `a, f_1, …, f_n, a'`";
+    /// Lemma 3.16's two back-to-back streams on `a_2` are likewise one
+    /// rate-r stream whose cohort changes at an index boundary.
+    pub fn inject_stream_with(
+        &mut self,
+        start: Time,
+        duration: u64,
+        rate: Ratio,
+        mut f: impl FnMut(u64) -> (Route, u32),
+    ) -> u64 {
+        let mut injected = 0u64;
+        for k in 1..=duration {
+            let want = rate.floor_mul(k);
+            if want > injected {
+                let (route, tag) = f(injected);
+                self.inject_at(start + k - 1, route, tag);
+                injected = want;
+            }
+        }
+        injected
+    }
+
+    /// Inject exactly `count` packets at rate `r` starting at `start`
+    /// (the stream simply stops once `count` packets are out — the
+    /// paper's "X packets are injected in the first X·(1/r) time steps
+    /// of the interval…"). Returns the time of the last injection, or
+    /// `start - 1` if `count == 0`.
+    pub fn inject_count(
+        &mut self,
+        start: Time,
+        count: u64,
+        rate: Ratio,
+        route: &Route,
+        tag: u32,
+    ) -> Time {
+        let mut injected = 0u64;
+        let mut k = 0u64;
+        let mut last = start.saturating_sub(1);
+        while injected < count {
+            k += 1;
+            let want = rate.floor_mul(k);
+            if want > injected {
+                last = start + k - 1;
+                self.inject_at(last, route.clone(), tag);
+                injected += 1;
+            }
+        }
+        last
+    }
+
+    /// Merge another schedule into this one.
+    pub fn merge(&mut self, other: Schedule) {
+        for op in other.ops {
+            self.push(op);
+        }
+    }
+
+    /// Iterate operations (unsorted, insertion order).
+    pub fn ops(&self) -> &[ScheduleOp] {
+        &self.ops
+    }
+
+    /// Sort operations by time (stable: simultaneous operations keep
+    /// insertion order; `Extend` at time `t` is applied before
+    /// injections at `t` regardless, by the engine's replay loop).
+    fn sort(&mut self) {
+        if !self.sorted {
+            self.ops.sort_by_key(|op| op.time());
+            self.sorted = true;
+        }
+    }
+
+    /// Replay this schedule on `engine` from the engine's current time
+    /// through `until` (inclusive). Operations scheduled at or before
+    /// the engine's current time cause an error (they can never fire).
+    pub fn run<P: Protocol>(
+        mut self,
+        engine: &mut Engine<P>,
+        until: Time,
+    ) -> Result<(), EngineError> {
+        self.sort();
+        let start = engine.time();
+        if let Some(op) = self.ops.first() {
+            if op.time() <= start {
+                return Err(EngineError::Usage(format!(
+                    "schedule op at time {} but engine already at {}",
+                    op.time(),
+                    start
+                )));
+            }
+        }
+        let mut idx = 0usize;
+        let mut injections: Vec<Injection> = Vec::new();
+        for t in (start + 1)..=until {
+            // Extensions scheduled at the start of step t.
+            while idx < self.ops.len() && self.ops[idx].time() == t {
+                match &self.ops[idx] {
+                    ScheduleOp::Extend {
+                        buffers,
+                        suffix,
+                        last_edge,
+                        ..
+                    } => {
+                        engine.extend_routes_in(buffers, suffix, *last_edge)?;
+                        idx += 1;
+                    }
+                    ScheduleOp::Inject { route, tag, .. } => {
+                        injections.push(Injection::new(route.clone(), *tag));
+                        idx += 1;
+                    }
+                }
+            }
+            engine.step(injections.drain(..))?;
+        }
+        if idx < self.ops.len() {
+            return Err(EngineError::Usage(format!(
+                "schedule extends past the requested horizon: next op at {}, ran until {}",
+                self.ops[idx].time(),
+                until
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use crate::packet::Packet;
+    use aqt_graph::{topologies, Graph};
+    use std::collections::VecDeque;
+    use std::sync::Arc;
+
+    struct Fifo;
+    impl Protocol for Fifo {
+        fn name(&self) -> &str {
+            "FIFO"
+        }
+        fn select(&mut self, _: Time, _: EdgeId, _: &VecDeque<Packet>, _: &Graph) -> usize {
+            0
+        }
+        fn is_historic(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn stream_injects_floor_r_times_duration() {
+        let g = topologies::line(1);
+        let e = g.edge_ids().next().unwrap();
+        let route = Route::new(&g, vec![e]).unwrap();
+        let mut s = Schedule::new();
+        let n = s.inject_stream(1, 100, Ratio::new(3, 5), &route, 0);
+        assert_eq!(n, 60);
+        assert_eq!(s.injection_count(), 60);
+        assert!(s.horizon() <= 100);
+    }
+
+    #[test]
+    fn stream_satisfies_rate_validator() {
+        let g = Arc::new(topologies::line(1));
+        let e = g.edge_ids().next().unwrap();
+        let route = Route::new(&g, vec![e]).unwrap();
+        let r = Ratio::new(7, 10);
+        let mut s = Schedule::new();
+        s.inject_stream(5, 200, r, &route, 0);
+        let mut eng = Engine::new(
+            Arc::clone(&g),
+            Fifo,
+            EngineConfig {
+                validate_rate: Some(r),
+                ..Default::default()
+            },
+        );
+        s.run(&mut eng, 250).expect("stream must be rate-legal");
+    }
+
+    #[test]
+    fn inject_count_stops_at_count() {
+        let g = topologies::line(1);
+        let e = g.edge_ids().next().unwrap();
+        let route = Route::new(&g, vec![e]).unwrap();
+        let mut s = Schedule::new();
+        let last = s.inject_count(10, 7, Ratio::new(1, 2), &route, 0);
+        assert_eq!(s.injection_count(), 7);
+        // 7 packets at rate 1/2 need 14 steps: last at 10+14-1
+        assert_eq!(last, 23);
+    }
+
+    #[test]
+    fn replay_applies_extension_before_injections() {
+        let g = Arc::new(topologies::line(2));
+        let edges: Vec<EdgeId> = g.edge_ids().collect();
+        let route0 = Route::new(&g, vec![edges[0]]).unwrap();
+        let mut eng = Engine::new(Arc::clone(&g), Fifo, EngineConfig::default());
+        eng.seed(route0, 0).unwrap();
+        let mut s = Schedule::new();
+        s.extend_at(1, vec![edges[0]], vec![edges[1]]);
+        s.run(&mut eng, 3).unwrap();
+        // the seeded packet crossed e0 at step 1 *with the extension*
+        // already applied, so it was forwarded to e1 and absorbed at 2.
+        assert_eq!(eng.metrics().absorbed, 1);
+        assert_eq!(eng.metrics().max_latency, 2);
+    }
+
+    #[test]
+    fn replay_rejects_past_ops() {
+        let g = Arc::new(topologies::line(1));
+        let e = g.edge_ids().next().unwrap();
+        let route = Route::new(&g, vec![e]).unwrap();
+        let mut eng = Engine::new(Arc::clone(&g), Fifo, EngineConfig::default());
+        eng.run_quiet(5).unwrap();
+        let mut s = Schedule::new();
+        s.inject_at(3, route, 0);
+        assert!(matches!(s.run(&mut eng, 10), Err(EngineError::Usage(_))));
+    }
+
+    #[test]
+    fn replay_rejects_truncated_horizon() {
+        let g = Arc::new(topologies::line(1));
+        let e = g.edge_ids().next().unwrap();
+        let route = Route::new(&g, vec![e]).unwrap();
+        let mut eng = Engine::new(Arc::clone(&g), Fifo, EngineConfig::default());
+        let mut s = Schedule::new();
+        s.inject_at(9, route, 0);
+        assert!(matches!(s.run(&mut eng, 5), Err(EngineError::Usage(_))));
+    }
+
+    #[test]
+    fn merge_keeps_all_ops() {
+        let g = topologies::line(1);
+        let e = g.edge_ids().next().unwrap();
+        let route = Route::new(&g, vec![e]).unwrap();
+        let mut a = Schedule::new();
+        a.inject_at(5, route.clone(), 0);
+        let mut b = Schedule::new();
+        b.inject_at(2, route, 1);
+        a.merge(b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.horizon(), 5);
+    }
+}

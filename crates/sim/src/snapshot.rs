@@ -1,0 +1,194 @@
+//! Engine state snapshots: capture, compare, restore.
+//!
+//! Snapshots serve two purposes in this repository:
+//!
+//! * **What-if exploration** — the experiment harness can branch a
+//!   simulation (e.g. continue a gadget stage with and without further
+//!   injections) without re-running the prefix.
+//! * **Exact-state comparison** — the differential and replay tests
+//!   compare complete network states, not just summary metrics.
+//!
+//! A snapshot captures the queue contents (packet ids, routes, hops,
+//! timestamps) and the clock. Validator state is *not* captured: a
+//! restored engine continues with the validators it currently has —
+//! restoring into a validating engine is rejected, because the
+//! validator's history would be inconsistent with the restored past.
+
+use std::sync::Arc;
+
+use aqt_graph::EdgeId;
+
+use crate::engine::{Engine, EngineError};
+use crate::packet::{Packet, Time};
+use crate::protocol::Protocol;
+
+/// A point-in-time capture of the network state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Engine time at capture.
+    pub time: Time,
+    /// Buffer contents per edge, in queue order.
+    pub buffers: Vec<Vec<PacketState>>,
+    /// Next packet id at capture.
+    pub next_id: u64,
+    /// Injected/absorbed counters at capture.
+    pub injected: u64,
+    /// Absorbed counter at capture.
+    pub absorbed: u64,
+}
+
+/// A captured packet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PacketState {
+    /// Packet id.
+    pub id: u64,
+    /// Injection time.
+    pub injected_at: Time,
+    /// Arrival time at the current buffer.
+    pub arrived_at: Time,
+    /// Cohort tag.
+    pub tag: u32,
+    /// Full route.
+    pub route: Arc<[EdgeId]>,
+    /// Index of the current edge within the route.
+    pub hop: u32,
+}
+
+/// Capture the engine's network state.
+pub fn capture<P: Protocol>(engine: &Engine<P>) -> Snapshot {
+    let buffers = engine
+        .graph()
+        .edge_ids()
+        .map(|e| {
+            engine
+                .queue(e)
+                .iter()
+                .map(|p| PacketState {
+                    id: p.id.0,
+                    injected_at: p.injected_at,
+                    arrived_at: p.arrived_at,
+                    tag: p.tag,
+                    route: p.route_shared(),
+                    hop: p.traversed() as u32,
+                })
+                .collect()
+        })
+        .collect();
+    Snapshot {
+        time: engine.time(),
+        buffers,
+        next_id: engine.next_packet_id(),
+        injected: engine.metrics().injected,
+        absorbed: engine.metrics().absorbed,
+    }
+}
+
+/// Restore a snapshot into `engine`, replacing its network state and
+/// clock. The engine must have been created without validators (their
+/// histories cannot be rewound).
+pub fn restore<P: Protocol>(engine: &mut Engine<P>, snap: &Snapshot) -> Result<(), EngineError> {
+    if engine.has_validators() {
+        return Err(EngineError::Usage(
+            "cannot restore a snapshot into a validating engine".into(),
+        ));
+    }
+    if snap.buffers.len() != engine.graph().edge_count() {
+        return Err(EngineError::Usage(format!(
+            "snapshot has {} buffers but the graph has {} edges",
+            snap.buffers.len(),
+            engine.graph().edge_count()
+        )));
+    }
+    engine.restore_state(
+        snap.time,
+        snap.next_id,
+        snap.injected,
+        snap.absorbed,
+        snap.buffers.iter().map(|buf| {
+            buf.iter()
+                .map(|p| Packet {
+                    id: crate::packet::PacketId(p.id),
+                    injected_at: p.injected_at,
+                    arrived_at: p.arrived_at,
+                    tag: p.tag,
+                    route: Arc::clone(&p.route),
+                    hop: p.hop,
+                })
+                .collect()
+        }),
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{EngineConfig, Injection};
+    use crate::ratio::Ratio;
+    use aqt_graph::{topologies, Graph, Route};
+    use std::collections::VecDeque;
+
+    struct Fifo;
+    impl Protocol for Fifo {
+        fn name(&self) -> &str {
+            "FIFO"
+        }
+        fn select(&mut self, _: Time, _: EdgeId, _: &VecDeque<Packet>, _: &Graph) -> usize {
+            0
+        }
+    }
+
+    fn engine() -> (Engine<Fifo>, Route) {
+        let g = Arc::new(topologies::line(3));
+        let edges: Vec<EdgeId> = g.edge_ids().collect();
+        let route = Route::new(&g, edges).unwrap();
+        (Engine::new(g, Fifo, EngineConfig::default()), route)
+    }
+
+    #[test]
+    fn capture_restore_roundtrip_resumes_identically() {
+        let (mut a, route) = engine();
+        for _ in 0..5 {
+            a.step([Injection::new(route.clone(), 0)]).unwrap();
+        }
+        let snap = capture(&a);
+
+        // branch 1: continue directly
+        let mut direct = a;
+        direct.run_quiet(10).unwrap();
+
+        // branch 2: a fresh engine restored from the snapshot
+        let (mut restored, _) = engine();
+        restore(&mut restored, &snap).unwrap();
+        assert_eq!(restored.time(), snap.time);
+        restored.run_quiet(10).unwrap();
+
+        assert_eq!(capture(&direct), capture(&restored));
+        assert_eq!(direct.metrics().absorbed, restored.metrics().absorbed);
+    }
+
+    #[test]
+    fn restore_refuses_validating_engine() {
+        let (a, _) = engine();
+        let snap = capture(&a);
+        let g = Arc::new(topologies::line(3));
+        let mut v = Engine::new(
+            g,
+            Fifo,
+            EngineConfig {
+                validate_rate: Some(Ratio::new(1, 2)),
+                ..Default::default()
+            },
+        );
+        assert!(restore(&mut v, &snap).is_err());
+    }
+
+    #[test]
+    fn restore_checks_edge_count() {
+        let (a, _) = engine();
+        let snap = capture(&a);
+        let g = Arc::new(topologies::line(5));
+        let mut other = Engine::new(g, Fifo, EngineConfig::default());
+        assert!(restore(&mut other, &snap).is_err());
+    }
+}

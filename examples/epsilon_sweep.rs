@@ -1,0 +1,44 @@
+//! Full-scale ε sweep of the Theorem 3.17 construction — the headline
+//! numbers of experiment E1 (several minutes in release mode).
+//!
+//! ```sh
+//! cargo run --release --example epsilon_sweep [iterations]
+//! ```
+
+use adversarial_queuing::core::instability::{InstabilityConfig, InstabilityConstruction};
+
+fn main() {
+    let iterations: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+    println!(
+        "Theorem 3.17 closed loop, {iterations} iterations per ε, exact rate validation on.\n"
+    );
+    for (num, den) in [(1u64, 10u64), (1, 5), (1, 4), (3, 10)] {
+        let mut cfg = InstabilityConfig::new(num, den);
+        cfg.iterations = iterations;
+        let c = InstabilityConstruction::new(cfg);
+        let t0 = std::time::Instant::now();
+        match c.run() {
+            Ok(run) => {
+                let series: Vec<u64> = std::iter::once(run.s_star)
+                    .chain(run.iterations.iter().map(|i| i.s_end))
+                    .collect();
+                println!(
+                    "ε={num}/{den} (r={:.2})  n={} M={} S*={}  queue: {:?}  diverged={}  \
+                     [{} steps, {:.1}s]",
+                    run.params.rate.as_f64(),
+                    run.params.n,
+                    run.m,
+                    run.s_star,
+                    series,
+                    run.diverged,
+                    run.total_steps,
+                    t0.elapsed().as_secs_f64()
+                );
+            }
+            Err(e) => println!("ε={num}/{den}: ERROR {e}"),
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! One-command reduced-scale tour of every headline experiment.
+//!
+//! ```sh
+//! cargo run --release --example full_report
+//! ```
+//!
+//! For the full-scale tables, run `cargo bench --workspace` instead
+//! (see `EXPERIMENTS.md`).
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let sections =
+        adversarial_queuing::core::experiments::quick_report().expect("legal adversaries");
+    for (title, lines) in &sections {
+        println!("— {title}");
+        for l in lines {
+            println!("    {l}");
+        }
+        println!();
+    }
+    println!(
+        "[{} sections in {:.1}s]",
+        sections.len(),
+        t0.elapsed().as_secs_f64()
+    );
+}

@@ -1,0 +1,82 @@
+//! The headline result, live: FIFO unstable at rate `1/2 + ε`
+//! (Theorem 3.17).
+//!
+//! Builds `G_ε`, composes the adversaries of Lemmas 3.15/3.6/3.16, and
+//! runs the closed loop under exact rate validation, printing the
+//! fresh-queue size after each iteration — watch it grow.
+//!
+//! ```sh
+//! cargo run --release --example instability_demo [eps_num eps_den iterations]
+//! ```
+
+use adversarial_queuing::core::instability::{InstabilityConfig, InstabilityConstruction};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let num: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let den: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let iterations: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(4);
+
+    let mut cfg = InstabilityConfig::new(num, den);
+    cfg.iterations = iterations;
+    let construction = InstabilityConstruction::new(cfg);
+    let p = &construction.params;
+    println!(
+        "ε = {num}/{den}   →   r = 1/2 + ε = {} ≈ {:.4}",
+        p.rate,
+        p.rate.as_f64()
+    );
+    println!(
+        "derived parameters: n = {}, S₀ = {}, M = {} gadgets, network has {} edges",
+        p.n,
+        p.s0,
+        construction.m,
+        construction.geps.graph.edge_count()
+    );
+    println!(
+        "per-gadget amplification 2(1−R_n) = {:.4} (promised ≥ 1+ε = {:.4})",
+        p.amplification(),
+        1.0 + p.eps.as_f64()
+    );
+    println!("running {iterations} closed-loop iterations (validated rate-r adversary)…\n");
+
+    let t0 = std::time::Instant::now();
+    let run = construction
+        .run()
+        .expect("the adversary must be rate-legal");
+
+    println!(
+        "iter   S_start    S_end      growth   (stages: bootstrap → {} gadgets → drain → stitch)",
+        construction.m - 1
+    );
+    for (i, it) in run.iterations.iter().enumerate() {
+        println!(
+            "{:>4}   {:>8}   {:>8}   {:>6.3}",
+            i + 1,
+            it.s_start,
+            it.s_end,
+            it.growth()
+        );
+    }
+    println!();
+    let backlog: Vec<u64> = run.series.iter().map(|p| p.backlog).collect();
+    if !backlog.is_empty() {
+        println!(
+            "backlog over time:     {}",
+            adversarial_queuing::analysis::series::sparkline_fit(&backlog, 72)
+        );
+    }
+    println!("total steps simulated: {}", run.total_steps);
+    println!("peak backlog:          {}", run.max_backlog);
+    println!("adversary operations:  {}", run.recorded.len());
+    println!("wall time:             {:.1}s", t0.elapsed().as_secs_f64());
+    if run.diverged {
+        println!(
+            "\n=> the fresh queue grows every iteration: FIFO is UNSTABLE at r = {:.4},",
+            run.params.rate.as_f64()
+        );
+        println!("   exactly as Theorem 3.17 predicts (prior art needed r ≥ 0.749).");
+    } else {
+        println!("\n=> no sustained growth measured — try more iterations or a larger ε.");
+    }
+}

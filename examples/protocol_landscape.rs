@@ -1,0 +1,45 @@
+//! Experiment E10: replay the FIFO-tuned instability adversary against
+//! every protocol in the library.
+//!
+//! The Theorem 3.17 adversary exploits FIFO's arrival-order scheduling
+//! (its thinning stage only works because short packets that arrive
+//! interleaved with old packets are served interleaved). Universally
+//! stable protocols such as LIS and FTG dismantle it: LIS always
+//! prefers the old packets, so the thinning never bites.
+//!
+//! ```sh
+//! cargo run --release --example protocol_landscape [eps_num eps_den]
+//! ```
+
+use adversarial_queuing::analysis::Table;
+use adversarial_queuing::core::experiments::e10_landscape;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let num: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let den: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4);
+
+    println!(
+        "Recording the Theorem 3.17 adversary against FIFO at r = 1/2 + {num}/{den}, \
+         then replaying the identical injection/reroute sequence against every protocol…\n"
+    );
+    let rows = e10_landscape(num, den, 2).expect("legal adversary");
+
+    let mut t = Table::new(
+        "E10: the 1/2+ε adversary vs. the protocol zoo",
+        &["protocol", "final backlog", "peak backlog", "verdict"],
+    );
+    for r in &rows {
+        t.row(&[
+            r.protocol.clone(),
+            r.final_backlog.to_string(),
+            r.max_backlog.to_string(),
+            r.verdict.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "Expected shape: FIFO diverges (the adversary is built for it); \
+         LIS/FTG stay bounded (universally stable [4]); others vary."
+    );
+}

@@ -1,0 +1,50 @@
+//! Regenerate the paper's two figures as Graphviz files.
+//!
+//! * Figure 3.1 — the graph `F_n²`: two daisy-chained gadgets.
+//! * Figure 3.2 — the graph `G_ε`: `M` chained gadgets plus the
+//!   feedback edge `e0`.
+//!
+//! ```sh
+//! cargo run --example render_figures
+//! dot -Tsvg figure_3_1.dot -o figure_3_1.svg   # if graphviz is installed
+//! ```
+
+use adversarial_queuing::graph::dot::{to_dot, DotOptions};
+use adversarial_queuing::graph::{DaisyChain, GEpsilon};
+
+fn main() {
+    // Figure 3.1: F_n^2 with n = 3 (the paper draws a small n).
+    let chain = DaisyChain::new(3, 2);
+    let fig31 = to_dot(
+        &chain.graph,
+        &DotOptions {
+            name: "Figure_3_1_Fn2".into(),
+            highlight: vec![chain.gadgets[0].egress],
+            left_to_right: true,
+        },
+    );
+    std::fs::write("figure_3_1.dot", &fig31).expect("write figure_3_1.dot");
+    println!(
+        "figure_3_1.dot written: F_3^2, {} nodes, {} edges (highlighted: the shared edge a')",
+        chain.graph.node_count(),
+        chain.graph.edge_count()
+    );
+
+    // Figure 3.2: G_eps with n = 2, M = 4 (schematic scale).
+    let geps = GEpsilon::new(2, 4);
+    let fig32 = to_dot(
+        &geps.graph,
+        &DotOptions {
+            name: "Figure_3_2_Geps".into(),
+            highlight: vec![geps.e0],
+            left_to_right: true,
+        },
+    );
+    std::fs::write("figure_3_2.dot", &fig32).expect("write figure_3_2.dot");
+    println!(
+        "figure_3_2.dot written: G_eps (n=2, M=4), {} nodes, {} edges (highlighted: feedback e0)",
+        geps.graph.node_count(),
+        geps.graph.edge_count()
+    );
+    println!("render with: dot -Tsvg figure_3_1.dot -o figure_3_1.svg");
+}

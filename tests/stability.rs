@@ -1,0 +1,99 @@
+//! Integration tests for the stability side (Section 4): reduced-scale
+//! versions of experiments E5, E6 and E7.
+
+use aqt_analysis::Verdict;
+use aqt_core::experiments::{e5_greedy_stability, e6_time_priority, e7_initial_config};
+use aqt_core::theory::StabilityCertificate;
+use aqt_sim::Ratio;
+
+/// Theorem 4.1 at reduced scale: every protocol, every topology, the
+/// `⌈wr⌉` bound holds and nothing diverges.
+#[test]
+fn theorem_4_1_bound_holds_everywhere() {
+    let rows = e5_greedy_stability(3, 12, 6000).expect("legal adversaries");
+    assert_eq!(rows.len(), 5 * 9, "5 topologies x 9 protocols");
+    for row in &rows {
+        assert!(
+            row.bound_respected,
+            "{} on {}: max wait {} exceeds bound {:?}",
+            row.protocol, row.topology, row.max_wait, row.bound
+        );
+        assert_ne!(
+            row.verdict,
+            Verdict::Diverging,
+            "{} on {} diverged below 1/(d+1)",
+            row.protocol,
+            row.topology
+        );
+        // the bound must actually be the theorem's ⌈wr⌉ = ⌈12/4⌉ = 3
+        assert_eq!(row.bound, Some(3));
+    }
+}
+
+/// Theorem 4.3 at reduced scale: FIFO and LIS keep `⌈wr⌉ = 4` at
+/// `r = 1/d`; the theorem is silent for LIFO/NTG at that rate.
+#[test]
+fn theorem_4_3_time_priority_bound() {
+    let rows = e6_time_priority(3, 12, 6000).expect("legal adversaries");
+    for row in &rows {
+        match row.protocol.as_str() {
+            "FIFO" | "LIS" => {
+                assert_eq!(row.bound, Some(4), "⌈12/3⌉ = 4");
+                assert!(
+                    row.bound_respected,
+                    "{} on {}: wait {} > 4",
+                    row.protocol, row.topology, row.max_wait
+                );
+            }
+            _ => assert_eq!(row.bound, None, "theorem is silent for {}", row.protocol),
+        }
+    }
+}
+
+/// Corollaries 4.5/4.6 at reduced scale: nonempty initial
+/// configurations, strict rate inequality, degraded bound still holds.
+#[test]
+fn corollaries_4_5_4_6_initial_configurations() {
+    let rows = e7_initial_config(3, 12, 100, 6000).expect("legal adversaries");
+    for row in &rows {
+        assert!(row.bound.is_some(), "r < 1/(d+1) strictly, bound exists");
+        assert!(
+            row.bound_respected,
+            "{} on {}: wait {} exceeds Cor 4.5/4.6 bound {:?}",
+            row.protocol, row.topology, row.max_wait, row.bound
+        );
+    }
+}
+
+/// The certificates match the paper's closed forms on hand-computed
+/// cases (cross-check of the exact rational arithmetic).
+#[test]
+fn certificate_closed_forms() {
+    // Theorem 4.1: w=100, r=1/5, d=4 -> ⌈100/5⌉ = 20.
+    let c = StabilityCertificate::new(100, Ratio::new(1, 5), 4);
+    assert_eq!(c.greedy_bound(), Some(20));
+    // Theorem 4.3: w=100, r=1/4, d=4 -> 25 for time-priority only.
+    let c = StabilityCertificate::new(100, Ratio::new(1, 4), 4);
+    assert_eq!(c.time_priority_bound(), Some(25));
+    assert_eq!(c.greedy_bound(), None);
+    // Corollary 4.5: S=10, w=5, r=1/6, d=4:
+    // w* = ⌈16/(1/5 - 1/6)⌉ = ⌈16·30⌉ = 480; bound = ⌈480/5⌉ = 96.
+    let c = StabilityCertificate::with_initial(5, Ratio::new(1, 6), 4, 10);
+    assert_eq!(c.greedy_bound(), Some(96));
+    // Corollary 4.6: same with r* = 1/4:
+    // w* = ⌈16/(1/4 - 1/6)⌉ = ⌈16·12⌉ = 192; bound = ⌈192/4⌉ = 48.
+    assert_eq!(c.time_priority_bound(), Some(48));
+}
+
+/// The paper's remark: the bounds depend only on the adversary's
+/// parameters, not on the network. Same certificate across topologies.
+#[test]
+fn bound_is_network_independent() {
+    let rows = e5_greedy_stability(3, 12, 2000).expect("legal adversaries");
+    let bounds: std::collections::HashSet<_> = rows.iter().map(|r| r.bound).collect();
+    assert_eq!(
+        bounds.len(),
+        1,
+        "one bound across all topologies: {bounds:?}"
+    );
+}

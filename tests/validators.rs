@@ -1,0 +1,145 @@
+//! Cross-crate property tests: the adversary validators against
+//! brute-force reference checks, and the adversary builders against
+//! the validators.
+
+use aqt_graph::{topologies, EdgeId, Route};
+use aqt_protocols::Fifo;
+use aqt_sim::rate::{brute_force_rate_check, brute_force_window_check};
+use aqt_sim::{Engine, EngineConfig, RateValidator, Ratio, WindowValidator};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The O(1) incremental rate-r check accepts exactly the sequences
+    /// the all-intervals definition accepts.
+    #[test]
+    fn rate_validator_equals_brute_force(
+        num in 1u64..12,
+        gaps in prop::collection::vec(0u64..4, 1..60),
+    ) {
+        let r = Ratio::new(num, 12);
+        let mut v = RateValidator::new(r, 1);
+        let mut times = Vec::new();
+        let mut t = 0u64;
+        let mut ok = true;
+        for g in gaps {
+            t += g;
+            if v.record(EdgeId(0), t).is_err() {
+                ok = false;
+                times.push(t);
+                break;
+            }
+            times.push(t);
+        }
+        let brute = brute_force_rate_check(r, &[(EdgeId(0), times.clone())]);
+        prop_assert_eq!(ok, brute, "r={} times={:?}", r, times);
+    }
+
+    /// Same equivalence for the (w, r) windowed validator.
+    #[test]
+    fn window_validator_equals_brute_force(
+        w in 2u64..10,
+        num in 1u64..10,
+        gaps in prop::collection::vec(0u64..3, 1..50),
+    ) {
+        let r = Ratio::new(num, 10);
+        let mut v = WindowValidator::new(w, r, 1);
+        let mut times = Vec::new();
+        let mut t = 0u64;
+        let mut ok = true;
+        for g in gaps {
+            t += g;
+            if v.record(EdgeId(0), t).is_err() {
+                ok = false;
+                times.push(t);
+                break;
+            }
+            times.push(t);
+        }
+        let brute = brute_force_window_check(w, r, &[(EdgeId(0), times.clone())]);
+        prop_assert_eq!(ok, brute, "w={} r={} times={:?}", w, r, times);
+    }
+
+    /// Any composition of floor-pattern streams with >= 1-step gaps on
+    /// a shared edge is rate-legal — the structural fact all the
+    /// adversary builders rely on.
+    #[test]
+    fn gapped_floor_streams_are_legal(
+        num in 6u64..12,
+        durations in prop::collection::vec(1u64..40, 1..6),
+        gaps in prop::collection::vec(1u64..5, 6),
+    ) {
+        let r = Ratio::new(num, 12);
+        let mut v = RateValidator::new(r, 1);
+        let mut start = 1u64;
+        for (i, &dur) in durations.iter().enumerate() {
+            let mut injected = 0u64;
+            for k in 1..=dur {
+                let want = r.floor_mul(k);
+                if want > injected {
+                    v.record(EdgeId(0), start + k - 1)
+                        .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+                    injected = want;
+                }
+            }
+            start += dur + gaps[i % gaps.len()];
+        }
+    }
+
+    /// Engine conservation: injected = absorbed + backlog, always.
+    #[test]
+    fn engine_conserves_packets(
+        seed_routes in prop::collection::vec(0usize..3, 0..20),
+        steps in 1u64..60,
+    ) {
+        let g = Arc::new(topologies::line(4));
+        let edges: Vec<EdgeId> = g.edge_ids().collect();
+        let mut eng = Engine::new(Arc::clone(&g), Fifo, EngineConfig::default());
+        for &i in &seed_routes {
+            let route = Route::new(&g, edges[i..].to_vec()).unwrap();
+            eng.seed(route, 0).unwrap();
+        }
+        eng.run_quiet(steps).unwrap();
+        let m = eng.metrics();
+        prop_assert_eq!(m.injected, seed_routes.len() as u64);
+        prop_assert_eq!(m.injected, m.absorbed + eng.backlog());
+        // after enough steps everything is absorbed (line of length 4,
+        // at most 20 packets)
+        if steps >= 24 {
+            prop_assert_eq!(eng.backlog(), 0);
+        }
+    }
+}
+
+/// Every schedule emitted by the three lemma builders passes the exact
+/// validator when replayed from the states the lemmas assume.
+#[test]
+fn lemma_builders_are_rate_legal() {
+    // Lemma 3.16 on a 3-edge line (the other two are covered by the
+    // aqt-core experiments, which run with validation on).
+    for (num, den) in [(11u64, 20u64), (3, 5), (3, 4), (9, 10)] {
+        let rate = Ratio::new(num, den);
+        let graph = Arc::new(topologies::line(3));
+        let e: Vec<EdgeId> = graph.edge_ids().collect();
+        let mut eng = Engine::new(
+            Arc::clone(&graph),
+            Fifo,
+            EngineConfig {
+                validate_rate: Some(rate),
+                ..Default::default()
+            },
+        );
+        let unit = Route::single(&graph, e[0]).unwrap();
+        for _ in 0..500 {
+            eng.seed(unit.clone(), 0).unwrap();
+        }
+        let stitch =
+            aqt_adversary::lemma316::build(&graph, e[0], e[1], e[2], rate, 500, 0, 0).unwrap();
+        stitch
+            .schedule
+            .run(&mut eng, stitch.finish)
+            .unwrap_or_else(|err| panic!("stitch at r={num}/{den} must be legal: {err}"));
+    }
+}
