@@ -10,9 +10,9 @@ use aqt_adversary::baselines::run_baseball_pump;
 use aqt_adversary::stochastic::{random_routes, InjectionStyle, SaturatingAdversary};
 use aqt_adversary::{lemma315, lemma316, lemma36, GadgetParams};
 use aqt_analysis::stability::{classify_series, Verdict};
-use aqt_graph::{topologies, DaisyChain, FnGadget, Graph, Route};
+use aqt_graph::{topologies, DaisyChain, EdgeId, FnGadget, Graph, Route};
 use aqt_protocols::{by_name, protocol_names, Fifo};
-use aqt_sim::{Engine, EngineConfig, EngineError, Protocol, Ratio, Time};
+use aqt_sim::{Engine, EngineConfig, FaultPlan, Injection, Protocol, Ratio, SimError, Time};
 
 use crate::instability::{InstabilityConfig, InstabilityConstruction};
 use crate::theory::StabilityCertificate;
@@ -49,7 +49,7 @@ pub struct E1Row {
 pub fn e1_fifo_instability(
     eps_list: &[(u64, u64)],
     iterations: usize,
-) -> Result<Vec<E1Row>, EngineError> {
+) -> Result<Vec<E1Row>, SimError> {
     let mut rows = Vec::new();
     for &(num, den) in eps_list {
         let mut cfg = InstabilityConfig::new(num, den);
@@ -107,7 +107,7 @@ fn seed_c_invariant(
     graph: &Graph,
     g: &aqt_graph::GadgetHandles,
     s: u64,
-) -> Result<(), EngineError> {
+) -> Result<(), SimError> {
     let n = g.n();
     for k in 0..s {
         let i = (k as usize) % n;
@@ -132,7 +132,7 @@ fn seed_c_invariant(
 pub fn e2_gadget_amplification(
     eps_list: &[(u64, u64)],
     s_multipliers: &[f64],
-) -> Result<Vec<AmplifyRow>, EngineError> {
+) -> Result<Vec<AmplifyRow>, SimError> {
     let mut rows = Vec::new();
     for &(num, den) in eps_list {
         let params = GadgetParams::new(num, den);
@@ -189,7 +189,7 @@ pub fn e2_gadget_amplification(
 pub fn e3_bootstrap(
     eps_list: &[(u64, u64)],
     s_multipliers: &[f64],
-) -> Result<Vec<AmplifyRow>, EngineError> {
+) -> Result<Vec<AmplifyRow>, SimError> {
     let mut rows = Vec::new();
     for &(num, den) in eps_list {
         let params = GadgetParams::new(num, den);
@@ -250,7 +250,7 @@ pub struct E4Row {
 }
 
 /// Run E4 on a 3-edge line for each rate.
-pub fn e4_stitch(rates: &[(u64, u64)], s: u64) -> Result<Vec<E4Row>, EngineError> {
+pub fn e4_stitch(rates: &[(u64, u64)], s: u64) -> Result<Vec<E4Row>, SimError> {
     let mut rows = Vec::new();
     for &(num, den) in rates {
         let rate = Ratio::new(num, den);
@@ -353,7 +353,7 @@ fn stability_cell(
     initial: u64,
     steps: u64,
     seed: u64,
-) -> Result<StabilityRow, EngineError> {
+) -> Result<StabilityRow, SimError> {
     let graph = Arc::new(graph.clone());
     let protocol = by_name(proto_name, seed).expect("known protocol");
     let time_priority = protocol.is_time_priority();
@@ -415,7 +415,7 @@ fn stability_cell(
 
 /// E5 — every greedy protocol × topology at `r = 1/(d+1)`: the
 /// `⌈wr⌉` bound of Theorem 4.1 must hold.
-pub fn e5_greedy_stability(d: usize, w: u64, steps: u64) -> Result<Vec<StabilityRow>, EngineError> {
+pub fn e5_greedy_stability(d: usize, w: u64, steps: u64) -> Result<Vec<StabilityRow>, SimError> {
     let rate = Ratio::new(1, d as u64 + 1);
     let mut rows = Vec::new();
     for (topo_name, graph) in stability_topologies() {
@@ -431,7 +431,7 @@ pub fn e5_greedy_stability(d: usize, w: u64, steps: u64) -> Result<Vec<Stability
 /// E6 — time-priority protocols (FIFO, LIS) at the higher rate
 /// `r = 1/d` (Theorem 4.3), plus non-time-priority controls at the
 /// same rate (for which the theorems are silent).
-pub fn e6_time_priority(d: usize, w: u64, steps: u64) -> Result<Vec<StabilityRow>, EngineError> {
+pub fn e6_time_priority(d: usize, w: u64, steps: u64) -> Result<Vec<StabilityRow>, SimError> {
     let rate = Ratio::new(1, d as u64);
     let mut rows = Vec::new();
     for (topo_name, graph) in stability_topologies() {
@@ -451,7 +451,7 @@ pub fn e7_initial_config(
     w: u64,
     initial: u64,
     steps: u64,
-) -> Result<Vec<StabilityRow>, EngineError> {
+) -> Result<Vec<StabilityRow>, SimError> {
     let rate = Ratio::new(1, d as u64 + 2); // strictly below 1/(d+1)
     let mut rows = Vec::new();
     for (topo_name, graph) in stability_topologies() {
@@ -533,7 +533,7 @@ pub fn e9_comparison(
     pump_seed: u64,
     pump_rounds: usize,
     ours_iterations: usize,
-) -> Result<Vec<E9Row>, EngineError> {
+) -> Result<Vec<E9Row>, SimError> {
     let mut rows = Vec::new();
     for &(num, den) in rates {
         let rate = Ratio::new(num, den);
@@ -588,7 +588,7 @@ pub struct E13Row {
 /// silent and the measured waits show how the guarantee erodes — the
 /// paper's Section 5 argues the `1/d`-type thresholds are within a
 /// small constant factor of optimal for route length `d`.
-pub fn e13_threshold_sharpness(d: usize, w: u64, steps: u64) -> Result<Vec<E13Row>, EngineError> {
+pub fn e13_threshold_sharpness(d: usize, w: u64, steps: u64) -> Result<Vec<E13Row>, SimError> {
     let mut rows = Vec::new();
     // r = f·(1/d) for f ∈ {0.6, 0.8, 1.0, 1.2, 1.5, 2.0} (f = f10/10).
     for f10 in [6u64, 8, 10, 12, 15, 20] {
@@ -654,7 +654,7 @@ pub fn e11_thinning_rates(
     eps_num: u64,
     eps_den: u64,
     s_multiplier: f64,
-) -> Result<Vec<E11Row>, EngineError> {
+) -> Result<Vec<E11Row>, SimError> {
     let params = GadgetParams::new(eps_num, eps_den);
     let chain = DaisyChain::new(params.n, 2);
     let graph = Arc::new(chain.graph.clone());
@@ -732,7 +732,7 @@ pub fn e12_settling_ablation(
     eps_num: u64,
     eps_den: u64,
     iterations: usize,
-) -> Result<Vec<E12Row>, EngineError> {
+) -> Result<Vec<E12Row>, SimError> {
     let mut rows = Vec::new();
     for (settle, s0_safety) in [(true, 2.0), (true, 3.0), (false, 2.0), (false, 3.0)] {
         let mut cfg = InstabilityConfig::new(eps_num, eps_den);
@@ -782,7 +782,7 @@ pub fn e10_landscape(
     eps_num: u64,
     eps_den: u64,
     iterations: usize,
-) -> Result<Vec<E10Row>, EngineError> {
+) -> Result<Vec<E10Row>, SimError> {
     let mut cfg = InstabilityConfig::new(eps_num, eps_den);
     cfg.iterations = iterations;
     e10_landscape_with(cfg)
@@ -791,7 +791,7 @@ pub fn e10_landscape(
 /// [`e10_landscape`] with full control over the construction's scale.
 /// Replays against LIS/NIS/FTG/… scan whole buffers per step, so large
 /// constructions are quadratic for them; tests pass a reduced config.
-pub fn e10_landscape_with(mut cfg: InstabilityConfig) -> Result<Vec<E10Row>, EngineError> {
+pub fn e10_landscape_with(mut cfg: InstabilityConfig) -> Result<Vec<E10Row>, SimError> {
     cfg.record_ops = true;
     let construction = InstabilityConstruction::new(cfg);
     let run = construction.run()?;
@@ -827,13 +827,207 @@ pub fn e10_landscape_with(mut cfg: InstabilityConfig) -> Result<Vec<E10Row>, Eng
 }
 
 // ---------------------------------------------------------------------
+// E14 — fault injection & recovery (Observation 4.4, Cor. 4.5/4.6).
+// ---------------------------------------------------------------------
+
+/// One row of experiment E14.
+#[derive(Debug, Clone)]
+pub struct E14Row {
+    /// Protocol name.
+    pub protocol: String,
+    /// Topology name.
+    pub topology: String,
+    /// Fault scenario (`"burst"` or `"outage"`).
+    pub scenario: String,
+    /// Backlog right after the fault window — the corollary's `S`.
+    pub s_fault: u64,
+    /// Observation 4.4's `w*` for this protocol class (`None` = the
+    /// rate is not strictly below the class threshold).
+    pub recovery_horizon: Option<u64>,
+    /// The Corollary 4.5/4.6 per-buffer wait bound `⌈w*/k⌉`.
+    pub recovery_bound: Option<u64>,
+    /// Max per-buffer wait measured after the fault window (the peak
+    /// metrics are reset when the window closes).
+    pub post_fault_max_wait: u64,
+    /// Steps after the fault window until the backlog first returned
+    /// to its pre-fault level (`None` = not within the horizon run).
+    pub resettle_delay: Option<u64>,
+    /// Conservation books balance: `injected + duplicated` equals
+    /// `absorbed + dropped +` live packets summed over the buffers.
+    pub conservation_ok: bool,
+    /// Fault events the engine actually logged.
+    pub faults_logged: usize,
+    /// The scenario's bound check — burst: post-fault max wait within
+    /// `⌈w*/k⌉`; outage: re-settling delay within `w*`.
+    pub bound_respected: bool,
+}
+
+/// One E14 cell: drive `protocol` on `graph` under a validated `(w,r)`
+/// adversary with the fault `plan` installed, and measure recovery
+/// after the fault window `[fault_start, fault_end]` closes.
+#[allow(clippy::too_many_arguments)] // internal helper; the experiment fn is the API
+fn e14_cell(
+    proto_name: &str,
+    topo_name: &str,
+    graph: &Graph,
+    scenario: &str,
+    plan: FaultPlan,
+    fault_start: Time,
+    fault_end: Time,
+    d: usize,
+    w: u64,
+    rate: Ratio,
+    post_steps: u64,
+    seed: u64,
+) -> Result<E14Row, SimError> {
+    let graph = Arc::new(graph.clone());
+    let protocol = by_name(proto_name, seed).expect("known protocol");
+    let time_priority = protocol.is_time_priority();
+    let mut eng = Engine::new(
+        Arc::clone(&graph),
+        protocol,
+        EngineConfig {
+            validate_window: Some((w, rate)),
+            ..Default::default()
+        },
+    );
+    eng.install_faults(plan)?;
+    let routes = random_routes(&graph, d, 64, seed);
+    let d_actual = routes.iter().map(Route::len).max().unwrap_or(1);
+    let mut adv = SaturatingAdversary::new(
+        &graph,
+        w,
+        rate,
+        routes,
+        InjectionStyle::Burst,
+        seed ^ 0x5eed,
+    );
+
+    // Steady state, then through the fault window (the adversary keeps
+    // injecting at its legal rate throughout).
+    let mut baseline = 0u64;
+    for t in 1..=fault_end {
+        if t == fault_start {
+            baseline = eng.backlog();
+        }
+        eng.step(adv.injections_for(t))?;
+    }
+    // The fault window just closed: the surviving backlog is the
+    // corollary's S-initial-configuration. Reset the peak metrics so
+    // the post-fault waits are measured in isolation.
+    let s_fault = eng.backlog();
+    eng.reset_peak_metrics();
+
+    let mut resettle_delay = None;
+    for k in 1..=post_steps {
+        eng.step(adv.injections_for(fault_end + k))?;
+        if resettle_delay.is_none() && eng.backlog() <= baseline {
+            resettle_delay = Some(k);
+        }
+    }
+
+    let cert = StabilityCertificate::with_initial(w, rate, d_actual, s_fault);
+    let recovery_horizon = cert.recovery_horizon(time_priority);
+    let recovery_bound = if time_priority {
+        cert.time_priority_bound().or_else(|| cert.greedy_bound())
+    } else {
+        cert.greedy_bound()
+    };
+    let post_fault_max_wait = eng.metrics().max_buffer_wait;
+    let live: u64 = graph.edge_ids().map(|e| eng.queue_len(e) as u64).sum();
+    let m = eng.metrics();
+    let conservation_ok = m.injected + m.duplicated == m.absorbed + m.dropped + live;
+    let bound_respected = match scenario {
+        "burst" => recovery_bound.is_none_or(|b| post_fault_max_wait <= b),
+        _ => recovery_horizon.is_none_or(|h| resettle_delay.is_some_and(|delay| delay <= h)),
+    };
+    Ok(E14Row {
+        protocol: proto_name.to_string(),
+        topology: topo_name.to_string(),
+        scenario: scenario.to_string(),
+        s_fault,
+        recovery_horizon,
+        recovery_bound,
+        post_fault_max_wait,
+        resettle_delay,
+        conservation_ok,
+        faults_logged: eng.fault_log().len(),
+        bound_respected,
+    })
+}
+
+/// E14 — fault recovery. A system running stably at `r = 1/(d+2)`
+/// (strictly below both class thresholds) is hit mid-run by faults;
+/// Observation 4.4 with `S` = the post-fault backlog then promises the
+/// system re-settles within `w* = ⌈(S+w+1)/(r*−r)⌉` steps, with
+/// per-buffer waits inside the Corollary 4.5/4.6 bound `⌈w*/k⌉`.
+///
+/// Two scenarios per (protocol, topology) cell, each also carrying a
+/// drop and a duplication fault so the conservation law
+/// (`injected + duplicated = absorbed + dropped + backlog`) is
+/// exercised:
+///
+/// * **burst** — an `S`-burst materializes mid-run (validator
+///   bypassed); the post-fault *max buffer wait* must respect
+///   `⌈w*/k⌉`.
+/// * **outage** — an edge goes silent for a window, backing traffic
+///   up behind it; the *re-settling delay* (backlog back at its
+///   pre-fault level) must respect `w*`.
+pub fn e14_fault_recovery(d: usize, w: u64) -> Result<Vec<E14Row>, SimError> {
+    let rate = Ratio::new(1, d as u64 + 2);
+    let t_fault: Time = 600;
+    let outage_len: Time = 40;
+    let post_steps = 6000;
+    let mut rows = Vec::new();
+    for (topo_name, graph) in [
+        ("ring-8", topologies::ring(8)),
+        ("grid-4x4", topologies::grid(4, 4)),
+    ] {
+        let edges: Vec<EdgeId> = graph.edge_ids().collect();
+        for p in ["FIFO", "LIS", "FTG"] {
+            let routes = random_routes(&graph, d, 64, 7);
+            let burst: Vec<Injection> = (0..48)
+                .map(|i| Injection::new(routes[i % routes.len()].clone(), 9000))
+                .collect();
+            let plan = FaultPlan::new()
+                .with_burst(t_fault, burst)
+                .with_drop(edges[0], t_fault)
+                .with_duplicate(edges[1 % edges.len()], t_fault);
+            rows.push(e14_cell(
+                p, topo_name, &graph, "burst", plan, t_fault, t_fault, d, w, rate, post_steps, 7,
+            )?);
+
+            let plan = FaultPlan::new()
+                .with_outage(edges[0], t_fault, t_fault + outage_len - 1)
+                .with_drop(edges[1 % edges.len()], t_fault + 5)
+                .with_duplicate(edges[2 % edges.len()], t_fault + 6);
+            rows.push(e14_cell(
+                p,
+                topo_name,
+                &graph,
+                "outage",
+                plan,
+                t_fault,
+                t_fault + outage_len - 1,
+                d,
+                w,
+                rate,
+                post_steps,
+                7,
+            )?);
+        }
+    }
+    Ok(rows)
+}
+
+// ---------------------------------------------------------------------
 // One-command reduced-scale tour.
 // ---------------------------------------------------------------------
 
 /// A compact, human-readable summary of key experiments at reduced
 /// scale — the one-command tour used by `examples/full_report.rs`.
 /// Returns (section title, lines).
-pub fn quick_report() -> Result<Vec<(String, Vec<String>)>, EngineError> {
+pub fn quick_report() -> Result<Vec<(String, Vec<String>)>, SimError> {
     let mut sections = Vec::new();
 
     let e1 = e1_fifo_instability(&[(1, 4)], 2)?;
@@ -892,6 +1086,21 @@ pub fn quick_report() -> Result<Vec<(String, Vec<String>)>, EngineError> {
                 )
             })
             .collect(),
+    ));
+
+    let e14 = e14_fault_recovery(3, 8)?;
+    let e14_viol = e14
+        .iter()
+        .filter(|r| !r.bound_respected || !r.conservation_ok)
+        .count();
+    sections.push((
+        "E14 / Observation 4.4 — fault recovery".to_string(),
+        vec![format!(
+            "{} fault cells (bursts, outages, drops, duplications), \
+             {} recovery-bound/conservation violations (theory: 0)",
+            e14.len(),
+            e14_viol
+        )],
     ));
 
     let e11 = e11_thinning_rates(1, 4, 1.5)?;

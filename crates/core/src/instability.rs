@@ -35,7 +35,7 @@ use aqt_adversary::{lemma315, lemma316, lemma36, GadgetParams};
 use aqt_graph::{GEpsilon, Route};
 use aqt_protocols::Fifo;
 use aqt_sim::metrics::BacklogSample;
-use aqt_sim::{Engine, EngineConfig, EngineError, Schedule, Time};
+use aqt_sim::{checkpoint, Engine, EngineConfig, EngineError, Schedule, SimError, Time};
 
 use crate::verify::{check_c_invariant, CInvariantReport};
 
@@ -67,6 +67,23 @@ pub struct InstabilityConfig {
     pub settle: bool,
     /// Backlog sampling interval (0 = auto: ~1000 samples).
     pub sample_every: Time,
+    /// Divergence watchdog: stop (with a structured report) once the
+    /// backlog exceeds this ceiling. `None` = unbounded. For a
+    /// construction whose *purpose* is divergence, the ceiling is the
+    /// success criterion turned into a resource bound: there is no
+    /// reason to keep simulating a queue that has already blown past
+    /// the target.
+    pub backlog_ceiling: Option<u64>,
+    /// Divergence watchdog: stop (with a structured report) once the
+    /// simulated clock exceeds this step budget. `None` = unbounded.
+    /// Guards against a mis-parameterized run crawling forever.
+    pub step_budget: Option<Time>,
+    /// Capture a full engine checkpoint at every iteration boundary
+    /// (kept in [`InstabilityRun::last_checkpoint`]); a killed run can
+    /// then [`InstabilityConstruction::resume`] from the last completed
+    /// iteration instead of starting over. Off by default — a
+    /// checkpoint clones every live packet.
+    pub checkpoint_iterations: bool,
 }
 
 impl InstabilityConfig {
@@ -83,8 +100,61 @@ impl InstabilityConfig {
             record_ops: false,
             settle: true,
             sample_every: 0,
+            backlog_ceiling: None,
+            step_budget: None,
+            checkpoint_iterations: false,
         }
     }
+}
+
+/// Which watchdog fired.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WatchdogKind {
+    /// The backlog exceeded [`InstabilityConfig::backlog_ceiling`].
+    BacklogCeiling {
+        /// The configured ceiling.
+        ceiling: u64,
+    },
+    /// The clock exceeded [`InstabilityConfig::step_budget`].
+    StepBudget {
+        /// The configured budget.
+        budget: Time,
+    },
+}
+
+/// Structured early-exit report from a divergence watchdog.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WatchdogReport {
+    /// Which limit fired.
+    pub kind: WatchdogKind,
+    /// Engine time at the trip.
+    pub time: Time,
+    /// Backlog at the trip.
+    pub backlog: u64,
+    /// 0-based iteration in progress when the watchdog fired.
+    pub iteration: usize,
+    /// Stage that had just finished.
+    pub stage: String,
+}
+
+/// Loop state at an iteration boundary: everything needed to continue
+/// the construction in a fresh process.
+#[derive(Debug, Clone)]
+pub struct InstabilityCheckpoint {
+    /// Full engine state (buffers, clock, metrics, validators).
+    pub engine: checkpoint::Checkpoint,
+    /// Completed iterations.
+    pub iteration: usize,
+    /// Fresh queue feeding the next iteration.
+    pub s_cur: u64,
+    /// Next free cohort tag.
+    pub tag_next: u32,
+    /// Adversary record so far (empty unless `record_ops`).
+    pub recorded: Schedule,
+    /// Per-iteration reports so far.
+    pub iterations_so_far: Vec<IterationReport>,
+    /// Divergence verdict so far.
+    pub diverged_so_far: bool,
 }
 
 /// Per-stage measurement.
@@ -146,6 +216,11 @@ pub struct InstabilityRun {
     /// Every adversary operation performed, with absolute times —
     /// replayable against other protocols (experiment E10).
     pub recorded: Schedule,
+    /// Set when a divergence watchdog ended the run early.
+    pub watchdog: Option<WatchdogReport>,
+    /// The newest iteration-boundary checkpoint (only with
+    /// [`InstabilityConfig::checkpoint_iterations`]).
+    pub last_checkpoint: Option<Box<InstabilityCheckpoint>>,
 }
 
 /// The Theorem 3.17 construction.
@@ -195,8 +270,21 @@ impl InstabilityConstruction {
         total as Time + 1000
     }
 
-    /// Run the closed loop and measure.
-    pub fn run(&self) -> Result<InstabilityRun, EngineError> {
+    /// Run the closed loop from the initial configuration and measure.
+    pub fn run(&self) -> Result<InstabilityRun, SimError> {
+        self.run_from(None)
+    }
+
+    /// Continue an interrupted run from an iteration-boundary
+    /// checkpoint (see [`InstabilityConfig::checkpoint_iterations`]).
+    /// The construction must be configured identically to the one that
+    /// produced the checkpoint; the resumed trajectory is then
+    /// step-for-step identical to the uninterrupted one.
+    pub fn resume(&self, ck: &InstabilityCheckpoint) -> Result<InstabilityRun, SimError> {
+        self.run_from(Some(ck))
+    }
+
+    fn run_from(&self, from: Option<&InstabilityCheckpoint>) -> Result<InstabilityRun, SimError> {
         let params = &self.params;
         let rate = params.rate;
         let n = params.n;
@@ -217,27 +305,62 @@ impl InstabilityConstruction {
             },
         );
 
-        // Initial configuration: S* unit-route packets at ingress(F(1)).
         let s_star = 2 * self.s0_effective();
         let ingress = self.geps.ingress();
-        let unit = Route::single(&graph, ingress)?;
-        for _ in 0..s_star {
-            eng.seed(unit.clone(), 0)?;
+        let unit = Route::single(&graph, ingress).map_err(aqt_sim::EngineError::from)?;
+
+        let (mut recorded, mut tag_next, mut iterations, mut s_cur, mut diverged, first_iter);
+        match from {
+            Some(ck) => {
+                checkpoint::restore(&mut eng, &ck.engine)?;
+                recorded = ck.recorded.clone();
+                tag_next = ck.tag_next;
+                iterations = ck.iterations_so_far.clone();
+                s_cur = ck.s_cur;
+                diverged = ck.diverged_so_far;
+                first_iter = ck.iteration;
+            }
+            None => {
+                // Initial configuration: S* unit-route packets at
+                // ingress(F(1)).
+                for _ in 0..s_star {
+                    eng.seed(unit.clone(), 0)?;
+                }
+                recorded = Schedule::new();
+                tag_next = 16;
+                iterations = Vec::with_capacity(self.cfg.iterations);
+                s_cur = s_star;
+                diverged = true;
+                first_iter = 0;
+            }
         }
-
-        let mut recorded = Schedule::new();
-        let mut tag_next: u32 = 16;
-        let mut alloc_tags = |k: u32| {
-            let t = tag_next;
-            tag_next += k;
-            t
+        // Each stage consumes a block of 4 cohort tags. (A plain
+        // variable, not a closure, so the current value can travel
+        // with iteration checkpoints.)
+        macro_rules! alloc_tags {
+            () => {{
+                let t = tag_next;
+                tag_next += 4;
+                t
+            }};
+        }
+        let tripped = |eng: &Engine<Fifo>| -> Option<WatchdogKind> {
+            if let Some(ceiling) = self.cfg.backlog_ceiling {
+                if eng.backlog() > ceiling {
+                    return Some(WatchdogKind::BacklogCeiling { ceiling });
+                }
+            }
+            if let Some(budget) = self.cfg.step_budget {
+                if eng.time() > budget {
+                    return Some(WatchdogKind::StepBudget { budget });
+                }
+            }
+            None
         };
+        let mut watchdog: Option<WatchdogReport> = None;
+        let mut last_checkpoint: Option<Box<InstabilityCheckpoint>> = None;
 
-        let mut iterations = Vec::with_capacity(self.cfg.iterations);
-        let mut s_cur = s_star;
-        let mut diverged = true;
-
-        for _iter in 0..self.cfg.iterations {
+        'iterations: for iter in first_iter..self.cfg.iterations {
             let mut stages = Vec::new();
             let s_iter_start = s_cur;
 
@@ -253,7 +376,7 @@ impl InstabilityConstruction {
                 params,
                 s_half,
                 eng.time(),
-                alloc_tags(4),
+                alloc_tags!(),
             )?;
             record(&mut recorded, &boot.schedule, self.cfg.record_ops);
             boot.schedule.run(&mut eng, boot.finish)?;
@@ -269,6 +392,21 @@ impl InstabilityConstruction {
                 s_out: s,
                 invariant: Some(inv),
             });
+            if let Some(kind) = tripped(&eng) {
+                watchdog = Some(WatchdogReport {
+                    kind,
+                    time: eng.time(),
+                    backlog: eng.backlog(),
+                    iteration: iter,
+                    stage: "bootstrap".into(),
+                });
+                iterations.push(IterationReport {
+                    s_start: s_iter_start,
+                    s_end: s,
+                    stages,
+                });
+                break 'iterations;
+            }
 
             // --- Step (2): walk the chain (Lemma 3.13 = (M-1) × Lemma 3.6). ---
             for k in 0..self.m - 1 {
@@ -283,7 +421,7 @@ impl InstabilityConstruction {
                     params,
                     s,
                     eng.time(),
-                    alloc_tags(4),
+                    alloc_tags!(),
                 )?;
                 record(&mut recorded, &step.schedule, self.cfg.record_ops);
                 step.schedule.run(&mut eng, step.finish)?;
@@ -301,6 +439,21 @@ impl InstabilityConstruction {
                     invariant: Some(inv),
                 });
                 s = s_out;
+                if let Some(kind) = tripped(&eng) {
+                    watchdog = Some(WatchdogReport {
+                        kind,
+                        time: eng.time(),
+                        backlog: eng.backlog(),
+                        iteration: iter,
+                        stage: format!("gadget {}", k + 1),
+                    });
+                    iterations.push(IterationReport {
+                        s_start: s_iter_start,
+                        s_end: s,
+                        stages,
+                    });
+                    break 'iterations;
+                }
             }
             if s < params.s0 {
                 diverged = false;
@@ -329,6 +482,21 @@ impl InstabilityConstruction {
                 s_out: q_egress,
                 invariant: None,
             });
+            if let Some(kind) = tripped(&eng) {
+                watchdog = Some(WatchdogReport {
+                    kind,
+                    time: eng.time(),
+                    backlog: eng.backlog(),
+                    iteration: iter,
+                    stage: "drain".into(),
+                });
+                iterations.push(IterationReport {
+                    s_start: s_iter_start,
+                    s_end: q_egress,
+                    stages,
+                });
+                break 'iterations;
+            }
 
             // --- Step (3): stitch (Lemma 3.16) over
             //     (egress(F(M)), e0, ingress(F(1))). ---
@@ -341,7 +509,7 @@ impl InstabilityConstruction {
                 rate,
                 q_egress,
                 eng.time(),
-                alloc_tags(4),
+                alloc_tags!(),
             )?;
             let fresh_tag = stitch.tags.fresh;
             record(&mut recorded, &stitch.schedule, self.cfg.record_ops);
@@ -408,6 +576,30 @@ impl InstabilityConstruction {
                 stages,
             });
             s_cur = total;
+            // An iteration boundary is the natural resume point: the
+            // whole queue is flat at the ingress, so the checkpoint is
+            // as small as it ever gets.
+            if self.cfg.checkpoint_iterations {
+                last_checkpoint = Some(Box::new(InstabilityCheckpoint {
+                    engine: checkpoint::checkpoint(&eng),
+                    iteration: iter + 1,
+                    s_cur,
+                    tag_next,
+                    recorded: recorded.clone(),
+                    iterations_so_far: iterations.clone(),
+                    diverged_so_far: diverged,
+                }));
+            }
+            if let Some(kind) = tripped(&eng) {
+                watchdog = Some(WatchdogReport {
+                    kind,
+                    time: eng.time(),
+                    backlog: eng.backlog(),
+                    iteration: iter,
+                    stage: "stitch".into(),
+                });
+                break 'iterations;
+            }
         }
 
         let max_backlog = eng
@@ -427,6 +619,8 @@ impl InstabilityConstruction {
             series: eng.metrics().series.clone(),
             recorded,
             iterations,
+            watchdog,
+            last_checkpoint,
         })
     }
 }

@@ -115,6 +115,23 @@ impl StabilityCertificate {
             self.greedy_bound()
         }
     }
+
+    /// Observation 4.4's recovery horizon
+    /// `w* = ⌈(S+w+1)/(r* − r)⌉`, with `r*` the stability threshold of
+    /// the protocol class (`1/d` for time-priority protocols, `1/(d+1)`
+    /// for greedy ones). It is the window length after which an
+    /// `S`-perturbed system again obeys the empty-start behavior — the
+    /// number the fault-recovery experiment (E14) compares measured
+    /// re-settling delays against. `None` when the rate is not strictly
+    /// below the class threshold (the observation needs `r < r*`).
+    pub fn recovery_horizon(&self, time_priority: bool) -> Option<u64> {
+        if time_priority && self.d > 0 {
+            self.w_star(self.d as u64)
+                .or_else(|| self.w_star(self.d as u64 + 1))
+        } else {
+            self.w_star(self.d as u64 + 1)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -176,6 +193,24 @@ mod tests {
                                                // adversary").
         let b = StabilityCertificate::new(12, Ratio::new(1, 5), 3);
         assert_eq!(b.greedy_bound(), Some(3));
+    }
+
+    #[test]
+    fn recovery_horizon_matches_w_star() {
+        // d = 2, r = 1/4, w = 5, S = 20 (the Corollary 4.5/4.6 cases):
+        // greedy r* = 1/3: w* = ⌈26/(1/12)⌉ = 312
+        // time-priority r* = 1/2: w* = ⌈26/(1/4)⌉ = 104
+        let c = StabilityCertificate::with_initial(5, Ratio::new(1, 4), 2, 20);
+        assert_eq!(c.recovery_horizon(false), Some(312));
+        assert_eq!(c.recovery_horizon(true), Some(104));
+        // The bounds are exactly ⌈w*/k⌉ of those horizons.
+        assert_eq!(c.greedy_bound(), Some(312u64.div_ceil(3)));
+        assert_eq!(c.time_priority_bound(), Some(104u64.div_ceil(2)));
+        // r at the threshold: no recovery guarantee.
+        let c = StabilityCertificate::with_initial(5, Ratio::new(1, 3), 2, 20);
+        assert_eq!(c.recovery_horizon(false), None);
+        // ...but a time-priority protocol still recovers (r < 1/d).
+        assert!(c.recovery_horizon(true).is_some());
     }
 
     #[test]

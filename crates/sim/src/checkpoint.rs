@@ -1,0 +1,266 @@
+//! Full-state checkpoints: crash-safe capture and bit-for-bit resume.
+//!
+//! A [`crate::snapshot::Snapshot`] captures the *network* state and is
+//! deliberately blind to everything else — which is why restoring one
+//! into a validating engine is refused. A [`Checkpoint`] captures the
+//! complete engine state:
+//!
+//! * the network snapshot (buffers, clock, id counter),
+//! * the full [`Metrics`] (peaks, per-edge counters, backlog series),
+//! * the adversary validator histories ([`RateValidator`] /
+//!   [`WindowValidator`]), so a resumed run keeps validating exactly
+//!   where it left off,
+//! * the reroute bookkeeping (`last_route_use`, which drives the
+//!   Definition 3.2 "new edge" check),
+//! * the fault log.
+//!
+//! The contract, enforced by the resume tests: running `N` steps, then
+//! checkpointing, restoring into a fresh engine, and running `M` more
+//! steps is **state-identical** to running `N + M` steps uninterrupted
+//! — including metrics, validator acceptance, and fault behavior.
+//!
+//! The installed [`crate::fault::FaultPlan`] is *not* part of a
+//! checkpoint: the plan is configuration (like the protocol and the
+//! graph), so a resuming engine is constructed with the same plan and
+//! the checkpoint supplies the dynamic state.
+
+use crate::engine::Engine;
+use crate::error::SimError;
+use crate::fault::FaultEvent;
+use crate::metrics::Metrics;
+use crate::packet::Time;
+use crate::protocol::Protocol;
+use crate::rate::{RateValidator, WindowValidator};
+use crate::snapshot::{self, Snapshot};
+
+/// A complete engine state capture. See the module docs for what it
+/// holds beyond a [`Snapshot`].
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// The network state (also usable standalone for diffing).
+    pub snapshot: Snapshot,
+    metrics: Metrics,
+    rate_validator: Option<RateValidator>,
+    window_validator: Option<WindowValidator>,
+    last_route_use: Vec<Option<Time>>,
+    fault_log: Vec<FaultEvent>,
+}
+
+impl Checkpoint {
+    /// Engine time at capture.
+    pub fn time(&self) -> Time {
+        self.snapshot.time
+    }
+
+    /// Backlog at capture.
+    pub fn backlog(&self) -> u64 {
+        self.metrics.backlog()
+    }
+
+    /// The captured metrics.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The captured fault log.
+    pub fn fault_log(&self) -> &[FaultEvent] {
+        &self.fault_log
+    }
+}
+
+/// Capture the complete state of `engine`.
+pub fn checkpoint<P: Protocol>(engine: &Engine<P>) -> Checkpoint {
+    let (rate_validator, window_validator, last_route_use, metrics, fault_log) =
+        engine.full_state();
+    Checkpoint {
+        snapshot: snapshot::capture(engine),
+        metrics: metrics.clone(),
+        rate_validator: rate_validator.cloned(),
+        window_validator: window_validator.cloned(),
+        last_route_use: last_route_use.to_vec(),
+        fault_log: fault_log.to_vec(),
+    }
+}
+
+/// Restore `ck` into `engine`, replacing its entire dynamic state
+/// (network, clock, metrics, validator histories, fault log).
+///
+/// Unlike [`snapshot::restore`], this works on validating engines —
+/// the validator histories travel with the checkpoint. The target must
+/// be over a graph with the same edge count, and its validator
+/// configuration must match the checkpoint's (a checkpoint taken from
+/// a rate-validating run cannot resume on an engine without that
+/// validator, and vice versa — silently changing what gets validated
+/// mid-run would make the resumed result incomparable).
+pub fn restore<P: Protocol>(engine: &mut Engine<P>, ck: &Checkpoint) -> Result<(), SimError> {
+    let edges = engine.graph().edge_count();
+    if ck.snapshot.buffers.len() != edges {
+        return Err(SimError::Checkpoint(format!(
+            "checkpoint has {} buffers but the graph has {} edges",
+            ck.snapshot.buffers.len(),
+            edges
+        )));
+    }
+    let (rate_v, window_v, _, _, _) = engine.full_state();
+    if rate_v.is_some() != ck.rate_validator.is_some() {
+        return Err(SimError::Checkpoint(
+            "rate-validator configuration differs between checkpoint and engine".into(),
+        ));
+    }
+    if window_v.is_some() != ck.window_validator.is_some() {
+        return Err(SimError::Checkpoint(
+            "window-validator configuration differs between checkpoint and engine".into(),
+        ));
+    }
+
+    // Restore metrics first (restore_state then overwrites the packet
+    // counters consistently with the snapshot).
+    engine.restore_full_state(
+        ck.rate_validator.clone(),
+        ck.window_validator.clone(),
+        ck.last_route_use.clone(),
+        ck.metrics.clone(),
+        ck.fault_log.clone(),
+    );
+    engine.restore_state(
+        ck.snapshot.time,
+        ck.snapshot.next_id,
+        ck.snapshot.injected,
+        ck.snapshot.absorbed,
+        ck.snapshot.dropped,
+        ck.snapshot.duplicated,
+        ck.snapshot.buffers.iter().map(|buf| {
+            buf.iter()
+                .map(|p| crate::packet::Packet {
+                    id: crate::packet::PacketId(p.id),
+                    injected_at: p.injected_at,
+                    arrived_at: p.arrived_at,
+                    tag: p.tag,
+                    route: std::sync::Arc::clone(&p.route),
+                    hop: p.hop,
+                })
+                .collect()
+        }),
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{EngineConfig, Injection};
+    use crate::packet::Packet;
+    use crate::ratio::Ratio;
+    use aqt_graph::{topologies, EdgeId, Graph, Route};
+    use std::collections::VecDeque;
+    use std::sync::Arc;
+
+    struct Fifo;
+    impl Protocol for Fifo {
+        fn name(&self) -> &str {
+            "FIFO"
+        }
+        fn select(&mut self, _: Time, _: EdgeId, _: &VecDeque<Packet>, _: &Graph) -> usize {
+            0
+        }
+    }
+
+    fn validating_engine() -> (Engine<Fifo>, Route) {
+        let g = Arc::new(topologies::line(2));
+        let edges: Vec<EdgeId> = g.edge_ids().collect();
+        let route = Route::new(&g, edges).unwrap();
+        let eng = Engine::new(
+            g,
+            Fifo,
+            EngineConfig {
+                validate_rate: Some(Ratio::new(1, 2)),
+                sample_every: 3,
+                ..Default::default()
+            },
+        );
+        (eng, route)
+    }
+
+    fn drive(eng: &mut Engine<Fifo>, route: &Route, steps: u64, offset: u64) {
+        // rate 1/2: inject every other step
+        for k in 0..steps {
+            if (offset + k).is_multiple_of(2) {
+                eng.step([Injection::new(route.clone(), 0)]).unwrap();
+            } else {
+                eng.step(std::iter::empty()).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn resume_is_identical_to_uninterrupted_even_with_validators() {
+        let (mut full, route) = validating_engine();
+        drive(&mut full, &route, 30, 0);
+
+        let (mut half, _) = validating_engine();
+        drive(&mut half, &route, 12, 0);
+        let ck = checkpoint(&half);
+
+        let (mut resumed, _) = validating_engine();
+        restore(&mut resumed, &ck).unwrap();
+        assert_eq!(resumed.time(), 12);
+        drive(&mut resumed, &route, 18, 12);
+
+        assert_eq!(snapshot::capture(&full), snapshot::capture(&resumed));
+        assert_eq!(full.metrics().injected, resumed.metrics().injected);
+        assert_eq!(full.metrics().absorbed, resumed.metrics().absorbed);
+        assert_eq!(
+            full.metrics().max_buffer_wait,
+            resumed.metrics().max_buffer_wait
+        );
+        assert_eq!(full.metrics().series, resumed.metrics().series);
+        assert_eq!(
+            full.metrics().crossings_per_edge,
+            resumed.metrics().crossings_per_edge
+        );
+    }
+
+    #[test]
+    fn resumed_validator_still_rejects_overload() {
+        let (mut eng, route) = validating_engine();
+        drive(&mut eng, &route, 10, 0);
+        let ck = checkpoint(&eng);
+        let (mut resumed, _) = validating_engine();
+        restore(&mut resumed, &ck).unwrap();
+        // two injections in consecutive steps break rate 1/2 given the
+        // resumed history
+        resumed.step([Injection::new(route.clone(), 0)]).unwrap();
+        assert!(resumed.step([Injection::new(route, 0)]).is_err());
+    }
+
+    #[test]
+    fn restore_rejects_validator_mismatch() {
+        let (eng, _) = validating_engine();
+        let ck = checkpoint(&eng);
+        let g = Arc::new(topologies::line(2));
+        let mut plain = Engine::new(g, Fifo, EngineConfig::default());
+        assert!(matches!(
+            restore(&mut plain, &ck),
+            Err(SimError::Checkpoint(_))
+        ));
+    }
+
+    #[test]
+    fn restore_rejects_graph_mismatch() {
+        let (eng, _) = validating_engine();
+        let ck = checkpoint(&eng);
+        let g = Arc::new(topologies::line(5));
+        let mut other = Engine::new(
+            g,
+            Fifo,
+            EngineConfig {
+                validate_rate: Some(Ratio::new(1, 2)),
+                ..Default::default()
+            },
+        );
+        assert!(matches!(
+            restore(&mut other, &ck),
+            Err(SimError::Checkpoint(_))
+        ));
+    }
+}

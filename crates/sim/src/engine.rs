@@ -42,6 +42,7 @@ use std::sync::Arc;
 
 use aqt_graph::{EdgeId, Graph, Route, RouteError};
 
+use crate::fault::{FaultEvent, FaultPlan};
 use crate::metrics::{BacklogSample, Metrics};
 use crate::packet::{Packet, PacketId, Time};
 use crate::protocol::Protocol;
@@ -78,6 +79,13 @@ pub enum EngineError {
     Reroute(String),
     /// API misuse (e.g. seeding after the simulation started).
     Usage(String),
+    /// A protocol implementation broke its contract (e.g. selected an
+    /// out-of-range packet index).
+    Protocol(String),
+    /// An engine invariant failed to hold — a bug in the engine
+    /// itself, reported instead of panicking so a sweep harness can
+    /// quarantine the run.
+    Internal(String),
 }
 
 impl std::fmt::Display for EngineError {
@@ -87,6 +95,8 @@ impl std::fmt::Display for EngineError {
             EngineError::Route(e) => write!(f, "invalid route: {e}"),
             EngineError::Reroute(s) => write!(f, "illegal reroute: {s}"),
             EngineError::Usage(s) => write!(f, "engine misuse: {s}"),
+            EngineError::Protocol(s) => write!(f, "protocol contract violation: {s}"),
+            EngineError::Internal(s) => write!(f, "engine invariant violation: {s}"),
         }
     }
 }
@@ -137,6 +147,10 @@ pub struct Engine<P: Protocol> {
     last_route_use: Vec<Option<Time>>,
     /// Workhorse buffer reused across steps.
     in_transit: Vec<Packet>,
+    /// Installed fault schedule, if any.
+    faults: Option<FaultPlan>,
+    /// Every fault that took effect, in time order.
+    fault_log: Vec<FaultEvent>,
 }
 
 impl<P: Protocol> Engine<P> {
@@ -160,7 +174,41 @@ impl<P: Protocol> Engine<P> {
             window_validator,
             last_route_use: vec![None; m],
             in_transit: Vec::new(),
+            faults: None,
+            fault_log: Vec::new(),
         }
+    }
+
+    /// Install a fault schedule. Only permitted before the first step,
+    /// so a faulted run is replayable end to end from (plan, schedule).
+    pub fn install_faults(&mut self, plan: FaultPlan) -> Result<(), EngineError> {
+        if self.time != 0 {
+            return Err(EngineError::Usage(
+                "install_faults() is only allowed before the first step".into(),
+            ));
+        }
+        plan.validate().map_err(EngineError::Usage)?;
+        for o in plan.outages() {
+            if o.edge.index() >= self.graph.edge_count() {
+                return Err(EngineError::Usage(format!(
+                    "fault plan references edge {:?} but the graph has {} edges",
+                    o.edge,
+                    self.graph.edge_count()
+                )));
+            }
+        }
+        self.faults = Some(plan);
+        Ok(())
+    }
+
+    /// The installed fault schedule, if any.
+    pub fn faults(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
+    }
+
+    /// Every fault that took effect so far, in time order.
+    pub fn fault_log(&self) -> &[FaultEvent] {
+        &self.fault_log
     }
 
     /// Current time (number of completed steps).
@@ -179,6 +227,14 @@ impl<P: Protocol> Engine<P> {
     #[inline]
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
+    }
+
+    /// Zero the peak metrics (`max_queue_per_edge`, `max_buffer_wait`,
+    /// `max_latency`), keeping the conservation totals. The recovery
+    /// experiments call this at the end of a fault window so the
+    /// post-fault peaks are measured in isolation.
+    pub fn reset_peak_metrics(&mut self) {
+        self.metrics.reset_peaks();
     }
 
     /// The driving protocol.
@@ -218,21 +274,66 @@ impl<P: Protocol> Engine<P> {
 
     /// Replace the network state wholesale (snapshot restore). The
     /// caller (`crate::snapshot::restore`) has validated preconditions.
+    #[allow(clippy::too_many_arguments)] // crate-internal; mirrors the Snapshot fields
     pub(crate) fn restore_state(
         &mut self,
         time: Time,
         next_id: u64,
         injected: u64,
         absorbed: u64,
+        dropped: u64,
+        duplicated: u64,
         buffers: impl Iterator<Item = VecDeque<Packet>>,
     ) {
         self.time = time;
         self.next_id = next_id;
         self.metrics.injected = injected;
         self.metrics.absorbed = absorbed;
+        self.metrics.dropped = dropped;
+        self.metrics.duplicated = duplicated;
         for (slot, buf) in self.buffers.iter_mut().zip(buffers) {
             *slot = buf;
         }
+    }
+
+    /// Checkpoint support (crate-only): the full internal state beyond
+    /// what [`crate::snapshot::Snapshot`] captures — validator
+    /// histories, complete metrics, reroute bookkeeping, fault log.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn full_state(
+        &self,
+    ) -> (
+        Option<&RateValidator>,
+        Option<&WindowValidator>,
+        &[Option<Time>],
+        &Metrics,
+        &[FaultEvent],
+    ) {
+        (
+            self.rate_validator.as_ref(),
+            self.window_validator.as_ref(),
+            &self.last_route_use,
+            &self.metrics,
+            &self.fault_log,
+        )
+    }
+
+    /// Checkpoint support (crate-only): restore the state captured by
+    /// [`Engine::full_state`]. The caller (`crate::checkpoint`) has
+    /// validated that the checkpoint matches this engine's graph.
+    pub(crate) fn restore_full_state(
+        &mut self,
+        rate_validator: Option<RateValidator>,
+        window_validator: Option<WindowValidator>,
+        last_route_use: Vec<Option<Time>>,
+        metrics: Metrics,
+        fault_log: Vec<FaultEvent>,
+    ) {
+        self.rate_validator = rate_validator;
+        self.window_validator = window_validator;
+        self.last_route_use = last_route_use;
+        self.metrics = metrics;
+        self.fault_log = fault_log;
     }
 
     /// Release excess capacity held by emptied buffers. Long runs of
@@ -307,41 +408,79 @@ impl<P: Protocol> Engine<P> {
     {
         let t = self.time + 1;
         self.time = t;
+        let faults_active = self.faults.as_ref().is_some_and(|f| f.active_at(t));
 
-        // Substep 1: send one packet from each nonempty buffer.
+        // Substep 1: send one packet from each nonempty buffer, unless
+        // an outage fault has the edge down this step.
         debug_assert!(self.in_transit.is_empty());
         for ei in 0..self.buffers.len() {
             let edge = EdgeId(ei as u32);
             if self.buffers[ei].is_empty() {
                 continue;
             }
+            if faults_active && self.faults.as_ref().is_some_and(|f| f.edge_down(edge, t)) {
+                self.fault_log
+                    .push(FaultEvent::OutageSuppressedSend { time: t, edge });
+                continue;
+            }
             let idx = self
                 .protocol
                 .select(t, edge, &self.buffers[ei], &self.graph);
             let q = &mut self.buffers[ei];
-            assert!(idx < q.len(), "protocol selected out-of-range index");
-            let p = if idx == 0 {
-                q.pop_front().expect("nonempty")
-            } else {
-                q.remove(idx).expect("index checked")
-            };
+            let qlen = q.len();
+            let p = q.remove(idx).ok_or_else(|| {
+                EngineError::Protocol(format!(
+                    "protocol selected index {idx} from a queue of length {qlen}"
+                ))
+            })?;
             let wait = t - p.arrived_at;
             self.metrics.on_send(edge, wait);
             self.in_transit.push(p);
         }
 
-        // Substep 2a: receive.
+        // Substep 2a: receive. Drop and duplication faults act here —
+        // on the wire, between send and receive.
         let mut in_transit = std::mem::take(&mut self.in_transit);
-        for mut p in in_transit.drain(..) {
-            if p.on_last_edge() {
-                self.metrics.on_absorb(t - p.injected_at);
+        for p in in_transit.drain(..) {
+            let crossed = p.current_edge();
+            let (lost, copied) = match (faults_active, &self.faults) {
+                (true, Some(f)) => (f.drops_at(crossed, t), f.duplicates_at(crossed, t)),
+                _ => (false, false),
+            };
+            if lost {
+                self.metrics.dropped += 1;
+                self.fault_log.push(FaultEvent::PacketDropped {
+                    time: t,
+                    edge: crossed,
+                    id: p.id,
+                });
+                continue;
+            }
+            let copy = if copied {
+                let id = PacketId(self.next_id);
+                self.next_id += 1;
+                self.metrics.duplicated += 1;
+                self.fault_log.push(FaultEvent::PacketDuplicated {
+                    time: t,
+                    edge: crossed,
+                    original: p.id,
+                    clone: id,
+                });
+                Some(Packet { id, ..p.clone() })
             } else {
-                p.hop += 1;
-                p.arrived_at = t;
-                let next = p.current_edge();
-                self.buffers[next.index()].push_back(p);
-                let len = self.buffers[next.index()].len() as u64;
-                self.metrics.on_queue_len(next, len);
+                None
+            };
+            for mut q in std::iter::once(p).chain(copy) {
+                if q.on_last_edge() {
+                    self.metrics.on_absorb(t - q.injected_at);
+                } else {
+                    q.hop += 1;
+                    q.arrived_at = t;
+                    let next = q.current_edge();
+                    self.buffers[next.index()].push_back(q);
+                    let len = self.buffers[next.index()].len() as u64;
+                    self.metrics.on_queue_len(next, len);
+                }
             }
         }
         self.in_transit = in_transit;
@@ -359,6 +498,33 @@ impl<P: Protocol> Engine<P> {
                 self.touch_edge_use(e, t);
             }
             self.admit(inj.route.shared(), t, inj.tag);
+        }
+
+        // Substep 2b (faults): scheduled bursts materialize after the
+        // adversary's injections, bypassing the validators — the
+        // Observation 4.4 allowance applied mid-run.
+        if faults_active {
+            let burst: Vec<Injection> = self
+                .faults
+                .as_ref()
+                .map(|f| {
+                    f.bursts_at(t)
+                        .flat_map(|b| b.injections.iter().cloned())
+                        .collect()
+                })
+                .unwrap_or_default();
+            if !burst.is_empty() {
+                self.fault_log.push(FaultEvent::BurstInjected {
+                    time: t,
+                    count: burst.len() as u64,
+                });
+                for inj in burst {
+                    for &e in inj.route.edges() {
+                        self.touch_edge_use(e, t);
+                    }
+                    self.admit(inj.route.shared(), t, inj.tag);
+                }
+            }
         }
 
         // Sampling.
@@ -494,7 +660,11 @@ impl<P: Protocol> Engine<P> {
                     continue;
                 }
                 let key = p.route.as_ptr();
-                let new_route = cache.get(&key).expect("populated in first pass");
+                let new_route = cache.get(&key).ok_or_else(|| {
+                    EngineError::Internal(
+                        "route cache missed a cohort route populated in the first pass".into(),
+                    )
+                })?;
                 p.route = Arc::clone(new_route);
                 max_t = max_t.max(p.injected_at);
                 count += 1;
@@ -557,11 +727,9 @@ impl<P: Protocol> Engine<P> {
         // New-edge check: t* = min injection time over ALL live packets;
         // every suffix edge must be unused by any route injected at
         // time >= t* - ceil(1/r).
-        let t_star = self
-            .packets()
-            .map(|p| p.injected_at)
-            .min()
-            .expect("cohort nonempty implies live packets exist");
+        let t_star = self.packets().map(|p| p.injected_at).min().ok_or_else(|| {
+            EngineError::Internal("nonempty reroute cohort but no live packets".into())
+        })?;
         let threshold = t_star.saturating_sub(rate.ceil_inv());
         for &e in suffix {
             if let Some(last) = self.last_route_use[e.index()] {

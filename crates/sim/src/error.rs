@@ -1,0 +1,81 @@
+//! The workspace error hierarchy.
+//!
+//! Two roots:
+//!
+//! * [`SimError`] — anything that goes wrong *inside* a simulation:
+//!   engine errors (adversary constraint violations, protocol contract
+//!   breaches), checkpoint mismatches. One simulation failing is a
+//!   result, not a crash; experiment drivers convert a `SimError` into
+//!   a structured report entry.
+//! * [`crate::parallel::HarnessError`] — anything that goes wrong in
+//!   the machinery *around* simulations: a sweep job that panicked on
+//!   every attempt, a missing result slot. Harness errors carry enough
+//!   context (job index, attempt count, panic payload) to re-run the
+//!   one poisoned job.
+
+use crate::engine::EngineError;
+use crate::parallel::HarnessError;
+
+/// Top-level simulation error.
+#[derive(Debug)]
+pub enum SimError {
+    /// The engine rejected an operation or detected a violation.
+    Engine(EngineError),
+    /// A checkpoint could not be restored into the target engine.
+    Checkpoint(String),
+    /// The surrounding harness failed (sweep-job panic, lost result).
+    Harness(HarnessError),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Engine(e) => write!(f, "{e}"),
+            SimError::Checkpoint(s) => write!(f, "checkpoint restore failed: {s}"),
+            SimError::Harness(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Engine(e) => Some(e),
+            SimError::Harness(e) => Some(e),
+            SimError::Checkpoint(_) => None,
+        }
+    }
+}
+
+impl From<EngineError> for SimError {
+    fn from(e: EngineError) -> Self {
+        SimError::Engine(e)
+    }
+}
+
+impl From<HarnessError> for SimError {
+    fn from(e: HarnessError) -> Self {
+        SimError::Harness(e)
+    }
+}
+
+impl From<aqt_graph::RouteError> for SimError {
+    fn from(e: aqt_graph::RouteError) -> Self {
+        SimError::Engine(EngineError::from(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let e: SimError = EngineError::Usage("nope".into()).into();
+        assert!(e.to_string().contains("nope"));
+        let h: SimError = HarnessError::MissingResult { index: 3 }.into();
+        assert!(h.to_string().contains("3"));
+        let c = SimError::Checkpoint("graph mismatch".into());
+        assert!(c.to_string().contains("graph mismatch"));
+    }
+}

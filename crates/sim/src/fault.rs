@@ -1,0 +1,282 @@
+//! Scheduled fault injection: the adversary's environment gets to
+//! misbehave too.
+//!
+//! The paper's recovery results (Observation 4.4, Corollaries 4.5/4.6)
+//! quantify how a stable greedy system re-settles after finding itself
+//! in an arbitrary `S`-initial configuration. A [`FaultPlan`] produces
+//! such configurations *dynamically*, mid-run, by four fault shapes:
+//!
+//! * **Edge outage** — the buffer at an edge sends nothing during a
+//!   closed step interval `[from, until]`. Packets keep arriving, so
+//!   the buffer grows; when the edge recovers the accumulated backlog
+//!   is exactly an `S`-configuration concentrated on that buffer.
+//! * **Packet drop** — the packet crossing an edge at one scheduled
+//!   step is lost in transit (never received).
+//! * **Packet duplication** — the packet crossing an edge at one
+//!   scheduled step is received twice; the copy gets a fresh id and
+//!   the same remaining route.
+//! * **S-burst** — a batch of packets materializes at a scheduled
+//!   step, bypassing the adversary validators. This is the
+//!   `S`-initial-configuration allowance of Observation 4.4 granted at
+//!   a time `> 0`, which is exactly how experiment E14 constructs its
+//!   recovery scenarios.
+//!
+//! Faults are keyed purely by `(edge, step)`, so a faulted run is as
+//! replayable as a fault-free one: same plan, same schedule, same
+//! trajectory. Every fault that takes effect is appended to the
+//! engine's [`fault log`](crate::engine::Engine::fault_log) (a
+//! scheduled fault with no effect — an outage over an empty buffer, a
+//! drop on an idle edge — is *not* logged, so the log records what
+//! happened, not what was wished for).
+
+use aqt_graph::EdgeId;
+
+use crate::engine::Injection;
+use crate::packet::{PacketId, Time};
+
+/// A scheduled edge outage: no packet leaves `edge`'s buffer during
+/// any step `t` with `from ≤ t ≤ until`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Outage {
+    /// The silenced edge.
+    pub edge: EdgeId,
+    /// First affected step.
+    pub from: Time,
+    /// Last affected step (inclusive).
+    pub until: Time,
+}
+
+/// A scheduled burst: `injections` are admitted in substep 2 of step
+/// `time`, bypassing the adversary validators (the Observation 4.4
+/// allowance, applied mid-run).
+#[derive(Debug, Clone)]
+pub struct Burst {
+    /// Step of the burst.
+    pub time: Time,
+    /// The packets that materialize.
+    pub injections: Vec<Injection>,
+}
+
+/// A deterministic schedule of faults, installed into an engine before
+/// the run starts ([`crate::engine::Engine::install_faults`]).
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    outages: Vec<Outage>,
+    drops: Vec<(EdgeId, Time)>,
+    duplicates: Vec<(EdgeId, Time)>,
+    bursts: Vec<Burst>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Add an edge outage over the closed step interval
+    /// `[from, until]`.
+    pub fn with_outage(mut self, edge: EdgeId, from: Time, until: Time) -> Self {
+        self.outages.push(Outage { edge, from, until });
+        self
+    }
+
+    /// Drop the packet crossing `edge` at step `time` (if any).
+    pub fn with_drop(mut self, edge: EdgeId, time: Time) -> Self {
+        self.drops.push((edge, time));
+        self
+    }
+
+    /// Duplicate the packet crossing `edge` at step `time` (if any).
+    pub fn with_duplicate(mut self, edge: EdgeId, time: Time) -> Self {
+        self.duplicates.push((edge, time));
+        self
+    }
+
+    /// Materialize `injections` at step `time`, bypassing the
+    /// adversary validators.
+    pub fn with_burst(mut self, time: Time, injections: Vec<Injection>) -> Self {
+        self.bursts.push(Burst { time, injections });
+        self
+    }
+
+    /// No faults scheduled at all?
+    pub fn is_empty(&self) -> bool {
+        self.outages.is_empty()
+            && self.drops.is_empty()
+            && self.duplicates.is_empty()
+            && self.bursts.is_empty()
+    }
+
+    /// The last step at which any fault is scheduled (0 if empty).
+    pub fn horizon(&self) -> Time {
+        let o = self.outages.iter().map(|o| o.until).max().unwrap_or(0);
+        let d = self.drops.iter().map(|&(_, t)| t).max().unwrap_or(0);
+        let u = self.duplicates.iter().map(|&(_, t)| t).max().unwrap_or(0);
+        let b = self.bursts.iter().map(|b| b.time).max().unwrap_or(0);
+        o.max(d).max(u).max(b)
+    }
+
+    /// Total packets scheduled to materialize via bursts.
+    pub fn burst_packet_count(&self) -> u64 {
+        self.bursts.iter().map(|b| b.injections.len() as u64).sum()
+    }
+
+    /// Scheduled outage windows.
+    pub fn outages(&self) -> &[Outage] {
+        &self.outages
+    }
+
+    /// Well-formedness: nonempty intervals, fault times ≥ 1 (step 0
+    /// does not exist; use [`crate::engine::Engine::seed`] for initial
+    /// configurations).
+    pub fn validate(&self) -> Result<(), String> {
+        for o in &self.outages {
+            if o.from == 0 || o.from > o.until {
+                return Err(format!(
+                    "outage on edge {:?} has empty or zero-start interval [{}, {}]",
+                    o.edge, o.from, o.until
+                ));
+            }
+        }
+        for &(e, t) in self.drops.iter().chain(&self.duplicates) {
+            if t == 0 {
+                return Err(format!("drop/duplicate on edge {e:?} scheduled at step 0"));
+            }
+        }
+        for b in &self.bursts {
+            if b.time == 0 {
+                return Err("burst scheduled at step 0 (seed the engine instead)".into());
+            }
+            if b.injections.is_empty() {
+                return Err(format!("burst at step {} is empty", b.time));
+            }
+        }
+        Ok(())
+    }
+
+    /// Is `edge` down at step `t`?
+    #[inline]
+    pub fn edge_down(&self, edge: EdgeId, t: Time) -> bool {
+        self.outages
+            .iter()
+            .any(|o| o.edge == edge && o.from <= t && t <= o.until)
+    }
+
+    /// Should the packet crossing `edge` at step `t` be dropped?
+    #[inline]
+    pub fn drops_at(&self, edge: EdgeId, t: Time) -> bool {
+        self.drops.contains(&(edge, t))
+    }
+
+    /// Should the packet crossing `edge` at step `t` be duplicated?
+    #[inline]
+    pub fn duplicates_at(&self, edge: EdgeId, t: Time) -> bool {
+        self.duplicates.contains(&(edge, t))
+    }
+
+    /// Bursts scheduled at step `t`.
+    #[inline]
+    pub fn bursts_at(&self, t: Time) -> impl Iterator<Item = &Burst> {
+        self.bursts.iter().filter(move |b| b.time == t)
+    }
+
+    /// Cheap hot-path filter: can any fault fire at step `t`? The
+    /// engine consults this once per step before the per-edge checks.
+    #[inline]
+    pub fn active_at(&self, t: Time) -> bool {
+        self.outages.iter().any(|o| o.from <= t && t <= o.until)
+            || self.drops.iter().any(|&(_, ft)| ft == t)
+            || self.duplicates.iter().any(|&(_, ft)| ft == t)
+            || self.bursts.iter().any(|b| b.time == t)
+    }
+}
+
+/// One fault that took effect, as recorded in the engine's fault log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// An outage suppressed the send from a nonempty buffer.
+    OutageSuppressedSend {
+        /// Step of the suppressed send.
+        time: Time,
+        /// The silenced edge.
+        edge: EdgeId,
+    },
+    /// A packet was lost in transit.
+    PacketDropped {
+        /// Step of the loss.
+        time: Time,
+        /// The edge the packet was crossing.
+        edge: EdgeId,
+        /// The lost packet.
+        id: PacketId,
+    },
+    /// A packet was received twice.
+    PacketDuplicated {
+        /// Step of the duplication.
+        time: Time,
+        /// The edge the packet was crossing.
+        edge: EdgeId,
+        /// The original packet.
+        original: PacketId,
+        /// The fresh id assigned to the copy.
+        clone: PacketId,
+    },
+    /// A burst materialized.
+    BurstInjected {
+        /// Step of the burst.
+        time: Time,
+        /// Number of packets admitted.
+        count: u64,
+    },
+}
+
+impl FaultEvent {
+    /// The step at which the fault took effect.
+    pub fn time(&self) -> Time {
+        match self {
+            FaultEvent::OutageSuppressedSend { time, .. }
+            | FaultEvent::PacketDropped { time, .. }
+            | FaultEvent::PacketDuplicated { time, .. }
+            | FaultEvent::BurstInjected { time, .. } => *time,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_queries() {
+        let e0 = EdgeId(0);
+        let e1 = EdgeId(1);
+        let plan = FaultPlan::new()
+            .with_outage(e0, 5, 8)
+            .with_drop(e1, 3)
+            .with_duplicate(e1, 4);
+        assert!(plan.validate().is_ok());
+        assert!(!plan.is_empty());
+        assert_eq!(plan.horizon(), 8);
+        assert!(plan.edge_down(e0, 5));
+        assert!(plan.edge_down(e0, 8));
+        assert!(!plan.edge_down(e0, 4));
+        assert!(!plan.edge_down(e0, 9));
+        assert!(!plan.edge_down(e1, 6));
+        assert!(plan.drops_at(e1, 3));
+        assert!(!plan.drops_at(e0, 3));
+        assert!(plan.duplicates_at(e1, 4));
+        assert!(plan.active_at(3));
+        assert!(plan.active_at(6));
+        assert!(!plan.active_at(9));
+    }
+
+    #[test]
+    fn validation_rejects_malformed_plans() {
+        let e = EdgeId(0);
+        assert!(FaultPlan::new().with_outage(e, 0, 5).validate().is_err());
+        assert!(FaultPlan::new().with_outage(e, 7, 5).validate().is_err());
+        assert!(FaultPlan::new().with_drop(e, 0).validate().is_err());
+        assert!(FaultPlan::new().with_burst(3, vec![]).validate().is_err());
+        assert!(FaultPlan::new().validate().is_ok());
+    }
+}

@@ -29,10 +29,19 @@
 //!   adversary `A'` that injects the final (extended) routes.
 //! * [`metrics::Metrics`] — queue peaks, per-buffer waiting times
 //!   (the quantity bounded by Theorems 4.1/4.3), backlog time series.
-//! * [`parallel`] — a scoped thread-pool for embarrassingly parallel
-//!   parameter sweeps.
+//! * [`fault::FaultPlan`] — deterministic fault injection (edge
+//!   outages, in-transit drops/duplications, mid-run `S`-bursts), the
+//!   substrate for the recovery experiments around Observation 4.4.
+//! * [`checkpoint`] — full-state checkpoints (validators included) so
+//!   long runs survive interruption and resume bit-for-bit.
+//! * [`parallel`] — a crash-safe scoped thread-pool for embarrassingly
+//!   parallel parameter sweeps (per-job panic isolation, bounded
+//!   retry, quarantine).
 
+pub mod checkpoint;
 pub mod engine;
+pub mod error;
+pub mod fault;
 pub mod metrics;
 pub mod packet;
 pub mod parallel;
@@ -44,9 +53,13 @@ pub mod snapshot;
 pub mod source;
 pub mod trace;
 
-pub use engine::{Engine, EngineConfig, EngineError};
+pub use checkpoint::Checkpoint;
+pub use engine::{Engine, EngineConfig, EngineError, Injection};
+pub use error::SimError;
+pub use fault::{FaultEvent, FaultPlan};
 pub use metrics::Metrics;
 pub use packet::{Packet, PacketId, Time};
+pub use parallel::{HarnessError, JobOutcome, SweepConfig, SweepReport};
 pub use protocol::Protocol;
 pub use rate::{RateValidator, RateViolation, WindowValidator};
 pub use ratio::Ratio;

@@ -36,10 +36,15 @@ pub struct Metrics {
     pub max_buffer_wait: Time,
     /// All-time maximum end-to-end latency (injection to absorption).
     pub max_latency: Time,
-    /// Total packets injected (including initial configuration).
+    /// Total packets injected (including initial configuration and
+    /// fault bursts).
     pub injected: u64,
     /// Total packets absorbed at their destinations.
     pub absorbed: u64,
+    /// Packets lost in transit to a drop fault.
+    pub dropped: u64,
+    /// Extra packets created by duplication faults.
+    pub duplicated: u64,
     /// Sampled backlog series (empty if sampling is disabled).
     pub series: Vec<BacklogSample>,
     /// Sampling interval in steps (0 = disabled).
@@ -55,14 +60,28 @@ impl Metrics {
             max_latency: 0,
             injected: 0,
             absorbed: 0,
+            dropped: 0,
+            duplicated: 0,
             series: Vec::new(),
             sample_every,
         }
     }
 
-    /// Packets currently in the network.
+    /// Packets currently in the network. With faults, the conservation
+    /// law is `injected + duplicated = absorbed + dropped + backlog`.
     pub fn backlog(&self) -> u64 {
-        self.injected - self.absorbed
+        self.injected + self.duplicated - self.absorbed - self.dropped
+    }
+
+    /// Forget all *peak* statistics (queue peaks, wait/latency peaks)
+    /// while keeping the running totals. Experiment E14 calls this at
+    /// the end of a fault window so the post-fault peaks — the
+    /// quantities Corollaries 4.5/4.6 bound — are measured in
+    /// isolation from the fault transient itself.
+    pub fn reset_peaks(&mut self) {
+        self.max_queue_per_edge.iter_mut().for_each(|q| *q = 0);
+        self.max_buffer_wait = 0;
+        self.max_latency = 0;
     }
 
     /// The largest buffer occupancy seen anywhere, at any time.
@@ -133,6 +152,34 @@ mod tests {
         assert_eq!(m.max_queue(), 5);
         assert_eq!(m.hottest_edge(), Some((EdgeId(1), 5)));
         assert_eq!(m.max_queue_per_edge, vec![0, 5, 4]);
+    }
+
+    #[test]
+    fn conservation_with_faults() {
+        let mut m = Metrics::new(1, 0);
+        m.injected = 10;
+        m.duplicated = 2;
+        m.dropped = 3;
+        m.on_absorb(1);
+        m.on_absorb(1);
+        // 10 + 2 = 2 absorbed + 3 dropped + backlog
+        assert_eq!(m.backlog(), 7);
+    }
+
+    #[test]
+    fn reset_peaks_keeps_totals() {
+        let mut m = Metrics::new(2, 0);
+        m.injected = 4;
+        m.on_queue_len(EdgeId(0), 9);
+        m.on_send(EdgeId(1), 6);
+        m.on_absorb(11);
+        m.reset_peaks();
+        assert_eq!(m.max_queue(), 0);
+        assert_eq!(m.max_buffer_wait, 0);
+        assert_eq!(m.max_latency, 0);
+        assert_eq!(m.injected, 4);
+        assert_eq!(m.absorbed, 1);
+        assert_eq!(m.crossings(EdgeId(1)), 1);
     }
 
     #[test]

@@ -1,14 +1,273 @@
-//! Scoped thread-pool for parameter sweeps.
+//! Crash-safe scoped thread-pool for parameter sweeps.
 //!
 //! A single AQT run is inherently sequential (the model is a global
 //! synchronous clock), but the experiments sweep over protocols, rates,
-//! topologies and seeds — embarrassingly parallel work. This module
-//! provides an ordered `par_map` built on `std::thread::scope` and a
-//! `crossbeam` channel as the work queue, following the structure
-//! recommended by the Rust concurrency guides: immutable shared input,
-//! per-task owned output, no locks on the hot path.
+//! topologies and seeds — embarrassingly parallel work. Two entry
+//! points:
+//!
+//! * [`par_map`] — the classic ordered map. A panicking job panics the
+//!   sweep (standard `std::thread::scope` semantics). Use it when every
+//!   job is trusted.
+//! * [`run_sweep`] — the crash-safe harness. Every job runs under
+//!   [`std::panic::catch_unwind`]; a panicking job is retried with
+//!   exponential backoff up to [`SweepConfig::max_retries`] times and
+//!   then **quarantined**, while every other job still completes and
+//!   returns its result. A 200-point sweep with one poisoned parameter
+//!   combination yields 199 results plus a structured
+//!   [`JobFailure`] — not an abort after hours of compute.
+//!
+//! Built on `std` only: jobs are claimed from a shared atomic cursor
+//! (no work-stealing, no channels), results land in per-slot cells, so
+//! input order is preserved without any sorting.
 
-use crossbeam::channel;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Errors surfaced by the sweep harness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HarnessError {
+    /// A job panicked on every attempt and was quarantined.
+    JobPanicked {
+        /// Input index of the job.
+        index: usize,
+        /// Attempts made (1 + retries).
+        attempts: u32,
+        /// Panic payload of the last attempt.
+        message: String,
+    },
+    /// A result slot was never filled (worker died outside a job —
+    /// should be unreachable; reported instead of unwrapped).
+    MissingResult {
+        /// Input index of the missing result.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for HarnessError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HarnessError::JobPanicked {
+                index,
+                attempts,
+                message,
+            } => write!(
+                f,
+                "sweep job {index} panicked on all {attempts} attempts: {message}"
+            ),
+            HarnessError::MissingResult { index } => {
+                write!(f, "sweep job {index} produced no result")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HarnessError {}
+
+/// Sweep harness configuration.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Worker threads (`0` = available parallelism).
+    pub threads: usize,
+    /// Retries after the first failed attempt of a job.
+    pub max_retries: u32,
+    /// Backoff before retry `k` (0-based): `backoff_base << k`.
+    pub backoff_base: Duration,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            threads: 0,
+            max_retries: 2,
+            backoff_base: Duration::from_millis(10),
+        }
+    }
+}
+
+impl SweepConfig {
+    /// A config with `threads` workers and no retries (fail fast into
+    /// quarantine).
+    pub fn no_retry(threads: usize) -> Self {
+        SweepConfig {
+            threads,
+            max_retries: 0,
+            backoff_base: Duration::ZERO,
+        }
+    }
+}
+
+/// A quarantined job: every attempt panicked.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobFailure {
+    /// Input index of the job.
+    pub index: usize,
+    /// Attempts made (1 + retries).
+    pub attempts: u32,
+    /// Panic payload of the last attempt.
+    pub message: String,
+}
+
+/// Outcome of one sweep job.
+#[derive(Debug, Clone)]
+pub enum JobOutcome<R> {
+    /// The job completed (possibly after retries).
+    Done(R),
+    /// The job was quarantined after exhausting its retries.
+    Quarantined(JobFailure),
+}
+
+impl<R> JobOutcome<R> {
+    /// The result, if the job completed.
+    pub fn ok(&self) -> Option<&R> {
+        match self {
+            JobOutcome::Done(r) => Some(r),
+            JobOutcome::Quarantined(_) => None,
+        }
+    }
+}
+
+/// Aggregated result of a crash-safe sweep.
+#[derive(Debug)]
+pub struct SweepReport<R> {
+    /// One outcome per input, in input order.
+    pub outcomes: Vec<JobOutcome<R>>,
+    /// Total attempts across all jobs (== inputs when nothing failed).
+    pub attempts: u64,
+}
+
+impl<R> SweepReport<R> {
+    /// Completed results in input order (quarantined jobs skipped) —
+    /// the partial aggregation a long sweep reports.
+    pub fn results(&self) -> impl Iterator<Item = &R> {
+        self.outcomes.iter().filter_map(JobOutcome::ok)
+    }
+
+    /// The quarantine list.
+    pub fn quarantined(&self) -> Vec<&JobFailure> {
+        self.outcomes
+            .iter()
+            .filter_map(|o| match o {
+                JobOutcome::Quarantined(q) => Some(q),
+                JobOutcome::Done(_) => None,
+            })
+            .collect()
+    }
+
+    /// `Ok(results)` if nothing was quarantined, else the first
+    /// failure as a typed error.
+    pub fn into_complete(self) -> Result<Vec<R>, HarnessError> {
+        let mut out = Vec::with_capacity(self.outcomes.len());
+        for o in self.outcomes {
+            match o {
+                JobOutcome::Done(r) => out.push(r),
+                JobOutcome::Quarantined(q) => {
+                    return Err(HarnessError::JobPanicked {
+                        index: q.index,
+                        attempts: q.attempts,
+                        message: q.message,
+                    })
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Render a panic payload for quarantine reports.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "non-string panic payload".into())
+    }
+}
+
+/// Map `f` over `inputs` with per-job panic isolation, bounded retry
+/// with exponential backoff, and a quarantine list for jobs that fail
+/// every attempt. Input order is preserved in
+/// [`SweepReport::outcomes`].
+///
+/// `f` receives `(index, &item)` — by reference, so a retried job
+/// re-reads the same input.
+pub fn run_sweep<T, R, F>(inputs: Vec<T>, cfg: &SweepConfig, f: F) -> SweepReport<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = inputs.len();
+    let threads = effective_threads(cfg.threads, n);
+    let slots: Vec<Mutex<Option<JobOutcome<R>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    let attempts_total = AtomicUsize::new(0);
+
+    let run_one = |i: usize, item: &T| -> JobOutcome<R> {
+        let mut last_message = String::new();
+        let max_attempts = 1 + cfg.max_retries;
+        for attempt in 0..max_attempts {
+            if attempt > 0 {
+                let backoff = cfg
+                    .backoff_base
+                    .saturating_mul(1u32 << (attempt - 1).min(16));
+                if backoff > Duration::ZERO {
+                    std::thread::sleep(backoff);
+                }
+            }
+            attempts_total.fetch_add(1, Ordering::Relaxed);
+            match catch_unwind(AssertUnwindSafe(|| f(i, item))) {
+                Ok(r) => return JobOutcome::Done(r),
+                Err(payload) => last_message = panic_message(payload.as_ref()),
+            }
+        }
+        JobOutcome::Quarantined(JobFailure {
+            index: i,
+            attempts: max_attempts,
+            message: last_message,
+        })
+    };
+
+    if threads <= 1 || n <= 1 {
+        for (i, item) in inputs.iter().enumerate() {
+            *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(run_one(i, item));
+        }
+    } else {
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let outcome = run_one(i, &inputs[i]);
+                    *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(outcome);
+                });
+            }
+        });
+    }
+
+    let outcomes = slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| {
+            slot.into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .unwrap_or(JobOutcome::Quarantined(JobFailure {
+                    index: i,
+                    attempts: 0,
+                    message: HarnessError::MissingResult { index: i }.to_string(),
+                }))
+        })
+        .collect();
+    SweepReport {
+        outcomes,
+        attempts: attempts_total.load(Ordering::Relaxed) as u64,
+    }
+}
 
 /// Map `f` over `inputs` using `threads` worker threads, preserving
 /// input order in the output. `threads == 0` selects the available
@@ -17,7 +276,8 @@ use crossbeam::channel;
 /// `f` receives `(index, item)`.
 ///
 /// # Panics
-/// Propagates the first panic from a worker (standard scope semantics).
+/// Propagates the first panic from a worker (standard scope
+/// semantics). For panic isolation use [`run_sweep`].
 pub fn par_map<T, R, F>(inputs: Vec<T>, threads: usize, f: F) -> Vec<R>
 where
     T: Send,
@@ -34,36 +294,34 @@ where
     }
 
     let n = inputs.len();
-    let (work_tx, work_rx) = channel::unbounded::<(usize, T)>();
-    let (res_tx, res_rx) = channel::unbounded::<(usize, R)>();
-    for item in inputs.into_iter().enumerate() {
-        work_tx.send(item).expect("receiver alive");
-    }
-    drop(work_tx);
-
+    let jobs: Vec<Mutex<Option<T>>> = inputs.into_iter().map(|x| Mutex::new(Some(x))).collect();
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            let work_rx = work_rx.clone();
-            let res_tx = res_tx.clone();
-            let f = &f;
-            scope.spawn(move || {
-                while let Ok((i, item)) = work_rx.recv() {
-                    let r = f(i, item);
-                    if res_tx.send((i, r)).is_err() {
-                        break;
-                    }
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
                 }
+                let item = jobs[i]
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .take()
+                    .expect("job claimed exactly once");
+                let r = f(i, item);
+                *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(r);
             });
         }
-        drop(res_tx);
-        let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
-        while let Ok((i, r)) = res_rx.recv() {
-            out[i] = Some(r);
-        }
-        out.into_iter()
-            .map(|o| o.expect("all workers completed"))
-            .collect()
-    })
+    });
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .expect("all workers completed without panicking")
+        })
+        .collect()
 }
 
 fn effective_threads(requested: usize, work_items: usize) -> usize {
@@ -121,5 +379,76 @@ mod tests {
         });
         assert_eq!(out.len(), 32);
         assert_eq!(count.load(Ordering::Relaxed), 32);
+    }
+
+    #[test]
+    fn sweep_isolates_a_panicking_job() {
+        let cfg = SweepConfig {
+            threads: 4,
+            max_retries: 2,
+            backoff_base: Duration::from_millis(1),
+        };
+        let report = run_sweep((0..20u64).collect(), &cfg, |_, &x| {
+            if x == 13 {
+                panic!("poisoned parameter combination: {x}");
+            }
+            x * 2
+        });
+        assert_eq!(report.outcomes.len(), 20);
+        let results: Vec<u64> = report.results().copied().collect();
+        assert_eq!(results.len(), 19);
+        let expected: Vec<u64> = (0..20).filter(|&x| x != 13).map(|x| x * 2).collect();
+        assert_eq!(results, expected);
+        let q = report.quarantined();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q[0].index, 13);
+        assert_eq!(q[0].attempts, 3); // 1 + 2 retries
+        assert!(q[0].message.contains("poisoned"));
+        // 19 clean jobs, 3 attempts on the poisoned one
+        assert_eq!(report.attempts, 19 + 3);
+    }
+
+    #[test]
+    fn sweep_retry_recovers_flaky_jobs() {
+        let flake = AtomicUsize::new(0);
+        let cfg = SweepConfig {
+            threads: 2,
+            max_retries: 3,
+            backoff_base: Duration::ZERO,
+        };
+        let report = run_sweep(vec![1u32, 2, 3], &cfg, |_, &x| {
+            if x == 2 && flake.fetch_add(1, Ordering::SeqCst) < 2 {
+                panic!("transient fault");
+            }
+            x
+        });
+        let complete = report.into_complete().expect("retries recover the flake");
+        assert_eq!(complete, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn sweep_into_complete_surfaces_typed_error() {
+        let report = run_sweep(vec![0u8, 1], &SweepConfig::no_retry(1), |_, &x| {
+            if x == 1 {
+                panic!("always");
+            }
+            x
+        });
+        match report.into_complete() {
+            Err(HarnessError::JobPanicked {
+                index, attempts, ..
+            }) => {
+                assert_eq!(index, 1);
+                assert_eq!(attempts, 1);
+            }
+            other => panic!("expected JobPanicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sweep_single_threaded_path() {
+        let report = run_sweep(vec![5u64], &SweepConfig::default(), |i, &x| x + i as u64);
+        assert_eq!(report.results().copied().collect::<Vec<_>>(), vec![5]);
+        assert!(report.quarantined().is_empty());
     }
 }

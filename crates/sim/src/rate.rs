@@ -380,13 +380,13 @@ mod tests {
         use rand::{Rng, SeedableRng};
         let mut rng = rand::rngs::StdRng::seed_from_u64(7);
         for trial in 0..200 {
-            let r = Ratio::new(1 + rng.gen_range(0..10), 11);
+            let r = Ratio::new(1 + rng.gen_range(0..10u64), 11);
             let mut v = RateValidator::new(r, 1);
             let mut times = Vec::new();
             let mut t = 0u64;
             let mut incremental_ok = true;
             for _ in 0..40 {
-                t += rng.gen_range(0..4);
+                t += rng.gen_range(0..4u64);
                 if v.record(E, t).is_err() {
                     incremental_ok = false;
                     break;
@@ -453,7 +453,7 @@ mod tests {
             let mut t = 0u64;
             let mut ok = true;
             for _ in 0..30 {
-                t += rng.gen_range(0..3);
+                t += rng.gen_range(0..3u64);
                 if v.record(E, t).is_err() {
                     ok = false;
                     break;

@@ -35,6 +35,10 @@ pub struct Snapshot {
     pub injected: u64,
     /// Absorbed counter at capture.
     pub absorbed: u64,
+    /// Packets lost to drop faults at capture.
+    pub dropped: u64,
+    /// Packets created by duplication faults at capture.
+    pub duplicated: u64,
 }
 
 /// A captured packet.
@@ -80,6 +84,8 @@ pub fn capture<P: Protocol>(engine: &Engine<P>) -> Snapshot {
         next_id: engine.next_packet_id(),
         injected: engine.metrics().injected,
         absorbed: engine.metrics().absorbed,
+        dropped: engine.metrics().dropped,
+        duplicated: engine.metrics().duplicated,
     }
 }
 
@@ -104,6 +110,8 @@ pub fn restore<P: Protocol>(engine: &mut Engine<P>, snap: &Snapshot) -> Result<(
         snap.next_id,
         snap.injected,
         snap.absorbed,
+        snap.dropped,
+        snap.duplicated,
         snap.buffers.iter().map(|buf| {
             buf.iter()
                 .map(|p| Packet {

@@ -6,12 +6,21 @@
 //! yields one event. Zero cost when unused; O(live packets) per traced
 //! step. Intended for debugging adversary constructions and for the
 //! worked examples — not for multi-million-step production runs.
+//!
+//! Faults are traced exactly: the recorder keeps a cursor into the
+//! engine's [`fault log`](Engine::fault_log), so a packet that
+//! vanished because a drop fault ate it yields [`TraceEvent::Dropped`]
+//! (not a spurious `Absorbed`), a duplicate's first appearance yields
+//! [`TraceEvent::Duplicated`] (not a spurious `Injected`), and outage
+//! and burst faults appear as their own events even when no packet
+//! visibly moved.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use aqt_graph::EdgeId;
 
 use crate::engine::Engine;
+use crate::fault::FaultEvent;
 use crate::packet::Time;
 use crate::protocol::Protocol;
 use crate::snapshot::{capture, Snapshot};
@@ -48,15 +57,52 @@ pub enum TraceEvent {
         /// The last buffer it occupied.
         from: EdgeId,
     },
+    /// The packet was lost to a drop fault.
+    Dropped {
+        /// Step of the fault (exact, from the fault log).
+        time: Time,
+        /// Packet id.
+        id: u64,
+        /// The edge it was crossing.
+        edge: EdgeId,
+    },
+    /// The packet came into being as a duplication-fault copy.
+    Duplicated {
+        /// Step of the fault (exact, from the fault log).
+        time: Time,
+        /// The copy's id.
+        id: u64,
+        /// The original packet's id.
+        original: u64,
+        /// The edge crossed when the duplication happened.
+        edge: EdgeId,
+    },
+    /// An outage fault suppressed a send from a nonempty buffer.
+    EdgeDown {
+        /// Step of the suppressed send (exact, from the fault log).
+        time: Time,
+        /// The silenced edge.
+        edge: EdgeId,
+    },
+    /// A burst fault materialized packets.
+    Burst {
+        /// Step of the burst (exact, from the fault log).
+        time: Time,
+        /// Number of packets admitted.
+        count: u64,
+    },
 }
 
 impl TraceEvent {
-    /// The event's packet id.
-    pub fn id(&self) -> u64 {
+    /// The event's packet id (`None` for network-level fault events).
+    pub fn id(&self) -> Option<u64> {
         match self {
             TraceEvent::Injected { id, .. }
             | TraceEvent::Moved { id, .. }
-            | TraceEvent::Absorbed { id, .. } => *id,
+            | TraceEvent::Absorbed { id, .. }
+            | TraceEvent::Dropped { id, .. }
+            | TraceEvent::Duplicated { id, .. } => Some(*id),
+            TraceEvent::EdgeDown { .. } | TraceEvent::Burst { .. } => None,
         }
     }
 }
@@ -64,6 +110,8 @@ impl TraceEvent {
 /// Records packet events by diffing engine snapshots.
 pub struct TraceRecorder {
     prev: Snapshot,
+    /// How much of the engine's fault log has been consumed.
+    fault_cursor: usize,
     /// All events observed so far, in (time, id) order.
     pub events: Vec<TraceEvent>,
 }
@@ -83,21 +131,44 @@ impl TraceRecorder {
     pub fn new<P: Protocol>(engine: &Engine<P>) -> Self {
         TraceRecorder {
             prev: capture(engine),
+            fault_cursor: engine.fault_log().len(),
             events: Vec::new(),
         }
     }
 
     /// Diff the engine's state against the last observation and append
-    /// the events. Call once after each (batch of) step(s); events are
-    /// stamped with the engine's current time.
+    /// the events. Call once after each (batch of) step(s); packet
+    /// movement events are stamped with the engine's current time,
+    /// fault events with their exact fault-log time.
     pub fn observe<P: Protocol>(&mut self, engine: &Engine<P>) {
         let now = capture(engine);
         let time = now.time;
         let before = positions(&self.prev);
         let after = positions(&now);
+
+        // Faults since the last observation, so disappearances and
+        // appearances they caused are not misread as absorb/inject.
+        let faults = &engine.fault_log()[self.fault_cursor..];
+        self.fault_cursor = engine.fault_log().len();
+        let dropped_ids: HashSet<u64> = faults
+            .iter()
+            .filter_map(|f| match f {
+                FaultEvent::PacketDropped { id, .. } => Some(id.0),
+                _ => None,
+            })
+            .collect();
+        let clone_ids: HashSet<u64> = faults
+            .iter()
+            .filter_map(|f| match f {
+                FaultEvent::PacketDuplicated { clone, .. } => Some(clone.0),
+                _ => None,
+            })
+            .collect();
+
         let mut batch = Vec::new();
         for (&id, &edge) in &after {
             match before.get(&id) {
+                None if clone_ids.contains(&id) => {} // Duplicated event below
                 None => batch.push(TraceEvent::Injected { time, id, edge }),
                 Some(&prev_edge) if prev_edge != edge => batch.push(TraceEvent::Moved {
                     time,
@@ -108,14 +179,35 @@ impl TraceRecorder {
                 _ => {}
             }
         }
-        for (&id, &edge) in &before {
-            if !after.contains_key(&id) {
-                batch.push(TraceEvent::Absorbed {
-                    time,
-                    id,
-                    from: edge,
-                });
+        for &id in before.keys() {
+            if !after.contains_key(&id) && !dropped_ids.contains(&id) {
+                let from = before[&id];
+                batch.push(TraceEvent::Absorbed { time, id, from });
             }
+        }
+        for f in faults {
+            batch.push(match *f {
+                FaultEvent::PacketDropped { time, edge, id } => TraceEvent::Dropped {
+                    time,
+                    id: id.0,
+                    edge,
+                },
+                FaultEvent::PacketDuplicated {
+                    time,
+                    edge,
+                    original,
+                    clone,
+                } => TraceEvent::Duplicated {
+                    time,
+                    id: clone.0,
+                    original: original.0,
+                    edge,
+                },
+                FaultEvent::OutageSuppressedSend { time, edge } => {
+                    TraceEvent::EdgeDown { time, edge }
+                }
+                FaultEvent::BurstInjected { time, count } => TraceEvent::Burst { time, count },
+            });
         }
         batch.sort_by_key(|e| e.id());
         self.events.extend(batch);
@@ -124,7 +216,7 @@ impl TraceRecorder {
 
     /// Events for one packet, in observation order.
     pub fn history(&self, id: u64) -> Vec<&TraceEvent> {
-        self.events.iter().filter(|e| e.id() == id).collect()
+        self.events.iter().filter(|e| e.id() == Some(id)).collect()
     }
 }
 

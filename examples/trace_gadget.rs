@@ -88,6 +88,11 @@ fn main() {
             TraceEvent::Absorbed { time, from, .. } => {
                 println!("  t={time:>6}  absorbed after {}", graph.edge_name(*from))
             }
+            // No faults are installed in this example.
+            TraceEvent::Dropped { .. }
+            | TraceEvent::Duplicated { .. }
+            | TraceEvent::EdgeDown { .. }
+            | TraceEvent::Burst { .. } => {}
         }
     }
 
