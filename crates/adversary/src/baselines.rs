@@ -190,8 +190,7 @@ fn pump_round(
     // The next round's queue: packets at e_next whose remaining route
     // is exactly [e_next].
     let q = eng
-        .queue(e_next)
-        .iter()
+        .queue_iter(e_next)
         .filter(|p| p.remaining() == 1)
         .count() as u64;
     Ok(q)

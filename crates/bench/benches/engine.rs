@@ -1,0 +1,232 @@
+//! Engine hot-path benchmark: the staged pipeline (active-edge set +
+//! discipline fast paths) against the retained pre-refactor reference
+//! loop (`EngineConfig::reference_pipeline`), on the three workloads
+//! the layering targets:
+//!
+//! * **instability** — a recorded Theorem 3.17 `G_ε` run replayed end
+//!   to end (huge backlogs on a handful of edges, `Extend` reroutes);
+//! * **sweep** — one stability-sweep cell (torus, saturating
+//!   adversary, many moderately-filled buffers);
+//! * **drain** — a seeded line(256) draining through one edge while
+//!   255 buffers stay empty (the pure active-set case).
+//!
+//! Besides the criterion output, writes `BENCH_engine.json` at the
+//! repository root with steps/sec before/after, so the repo's perf
+//! trajectory has a recorded baseline. `BENCH_SMOKE=1` shrinks every
+//! workload to a single cheap sample (the CI smoke job).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use aqt_adversary::stochastic::{random_routes, InjectionStyle, SaturatingAdversary};
+use aqt_core::instability::{InstabilityConfig, InstabilityConstruction, InstabilityRun};
+use aqt_graph::{topologies, Route};
+use aqt_protocols::Fifo;
+use aqt_sim::{Engine, EngineConfig, Ratio};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+/// Pre-refactor seed measurements (commit 8270fdf, monolithic
+/// `Engine::step`, release profile, this container class) — the fixed
+/// "before the layering existed" reference alongside the in-binary
+/// reference-loop numbers measured fresh below.
+const SEED_BASELINE: &[(&str, f64)] = &[
+    ("instability", 505_208.0),
+    ("sweep", 171_209.0),
+    ("drain", 2_427_423.0),
+];
+
+fn smoke() -> bool {
+    std::env::var_os("BENCH_SMOKE").is_some()
+}
+
+fn engine_cfg(reference: bool) -> EngineConfig {
+    EngineConfig {
+        reference_pipeline: reference,
+        ..Default::default()
+    }
+}
+
+/// One timed measurement: steps simulated and the wall time of the
+/// stepping alone (setup excluded).
+#[derive(Clone, Copy)]
+struct Sample {
+    steps: u64,
+    secs: f64,
+}
+
+/// Best (min-time) sample of a batch.
+fn best(samples: &[Sample]) -> Sample {
+    *samples
+        .iter()
+        .min_by(|a, b| a.secs.total_cmp(&b.secs))
+        .expect("at least one sample")
+}
+
+fn replay_instability(
+    construction: &InstabilityConstruction,
+    run: &InstabilityRun,
+    reference: bool,
+) -> Sample {
+    let graph = Arc::new(construction.geps.graph.clone());
+    let ingress = construction.geps.ingress();
+    let unit = Route::single(&graph, ingress).expect("unit route");
+    let mut eng = Engine::new(Arc::clone(&graph), Fifo, engine_cfg(reference));
+    for _ in 0..run.s_star {
+        eng.seed(unit.clone(), 0).expect("seeding");
+    }
+    let sched = run.recorded.clone();
+    let t0 = Instant::now();
+    sched.run(&mut eng, run.total_steps).expect("replay");
+    Sample {
+        steps: run.total_steps,
+        secs: t0.elapsed().as_secs_f64(),
+    }
+}
+
+fn run_sweep(reference: bool) -> Sample {
+    let steps = if smoke() { 2_000 } else { 20_000u64 };
+    let graph = Arc::new(topologies::torus(4, 4));
+    let routes = random_routes(&graph, 4, 64, 11);
+    let mut adv = SaturatingAdversary::new(
+        &graph,
+        16,
+        Ratio::new(1, 5),
+        routes,
+        InjectionStyle::Burst,
+        5,
+    );
+    let mut eng = Engine::new(Arc::clone(&graph), Fifo, engine_cfg(reference));
+    let t0 = Instant::now();
+    for t in 1..=steps {
+        eng.step(adv.injections_for(t)).expect("no validators on");
+    }
+    Sample {
+        steps,
+        secs: t0.elapsed().as_secs_f64(),
+    }
+}
+
+fn run_drain(reference: bool) -> Sample {
+    let k = if smoke() { 2_000 } else { 20_000u64 };
+    let graph = Arc::new(topologies::line(256));
+    let e0 = graph.edge_ids().next().expect("line has edges");
+    let unit = Route::single(&graph, e0).expect("unit route");
+    let mut eng = Engine::new(Arc::clone(&graph), Fifo, engine_cfg(reference));
+    for _ in 0..k {
+        eng.seed(unit.clone(), 0).expect("seeding");
+    }
+    let steps = k + 16;
+    let t0 = Instant::now();
+    eng.run_quiet(steps).expect("quiet drain");
+    assert_eq!(eng.backlog(), 0, "drain must complete");
+    Sample {
+        steps,
+        secs: t0.elapsed().as_secs_f64(),
+    }
+}
+
+fn write_json(results: &[(&str, Sample, Sample)]) {
+    let mut out = String::from("{\n");
+    out.push_str("  \"generated_by\": \"cargo bench -p aqt-bench --bench engine\",\n");
+    out.push_str(&format!("  \"smoke\": {},\n", smoke()));
+    out.push_str("  \"pre_refactor_seed_baseline\": {\n");
+    out.push_str("    \"commit\": \"8270fdf\",\n");
+    out.push_str(
+        "    \"note\": \"monolithic Engine::step measured before the layered refactor; \
+         steps/sec, release profile, full-size workloads\",\n",
+    );
+    for (i, (name, rate)) in SEED_BASELINE.iter().enumerate() {
+        let comma = if i + 1 < SEED_BASELINE.len() { "," } else { "" };
+        out.push_str(&format!("    \"{name}_steps_per_sec\": {rate:.0}{comma}\n"));
+    }
+    out.push_str("  },\n");
+    out.push_str("  \"workloads\": [\n");
+    for (i, (name, before, after)) in results.iter().enumerate() {
+        let rb = before.steps as f64 / before.secs;
+        let ra = after.steps as f64 / after.secs;
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"name\": \"{name}\", \"steps\": {}, \
+             \"before\": {{\"secs\": {:.6}, \"steps_per_sec\": {rb:.0}}}, \
+             \"after\": {{\"secs\": {:.6}, \"steps_per_sec\": {ra:.0}}}, \
+             \"speedup\": {:.3}}}{comma}\n",
+            before.steps,
+            before.secs,
+            after.secs,
+            ra / rb
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
+    std::fs::write(path, out).expect("write BENCH_engine.json");
+    println!("wrote {path}");
+}
+
+fn bench(c: &mut Criterion) {
+    let samples = if smoke() { 1 } else { 3 };
+    // Record the G_ε adversary once; replays drive both pipelines.
+    let construction = {
+        let mut cfg = InstabilityConfig::new(1, 4);
+        cfg.iterations = 1;
+        cfg.record_ops = true;
+        cfg.validate = false;
+        if smoke() {
+            cfg.s0_safety = 1.0;
+            cfg.m_override = Some(4);
+        } else {
+            cfg.s0_safety = 2.0;
+            cfg.m_margin = 1.5;
+        }
+        InstabilityConstruction::new(cfg)
+    };
+    let run = construction.run().expect("legal adversary");
+
+    type Workload<'a> = (&'a str, Box<dyn Fn(bool) -> Sample + 'a>, u64);
+    let mut results: Vec<(&str, Sample, Sample)> = Vec::new();
+    let workloads: Vec<Workload> = vec![
+        (
+            "instability",
+            Box::new(|r| replay_instability(&construction, &run, r)),
+            run.total_steps,
+        ),
+        (
+            "sweep",
+            Box::new(run_sweep),
+            if smoke() { 2_000 } else { 20_000 },
+        ),
+        (
+            "drain",
+            Box::new(run_drain),
+            if smoke() { 2_016 } else { 20_016 },
+        ),
+    ];
+
+    for (name, workload, steps) in &workloads {
+        let mut g = c.benchmark_group(format!("engine/{name}"));
+        g.sample_size(samples);
+        g.throughput(Throughput::Elements(*steps));
+        let mut pair: Vec<Sample> = Vec::new();
+        for (label, reference) in [("reference", true), ("pipeline", false)] {
+            let mut batch: Vec<Sample> = Vec::new();
+            g.bench_with_input(BenchmarkId::from_parameter(label), &reference, |b, &r| {
+                b.iter(|| batch.push(workload(r)));
+            });
+            pair.push(best(&batch));
+        }
+        g.finish();
+        results.push((name, pair[0], pair[1]));
+    }
+
+    for (name, before, after) in &results {
+        println!(
+            "engine/{name}: {:.0} -> {:.0} steps/s ({:.2}x)",
+            before.steps as f64 / before.secs,
+            after.steps as f64 / after.secs,
+            (after.steps as f64 / after.secs) / (before.steps as f64 / before.secs)
+        );
+    }
+    write_json(&results);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -276,18 +276,17 @@ pub fn e4_stitch(rates: &[(u64, u64)], s: u64) -> Result<Vec<E4Row>, SimError> {
         let mut settle = 0;
         loop {
             let only_a2 = eng.backlog() == eng.queue_len(e[2]) as u64;
-            let front_fresh = eng.queue(e[2]).front().is_none_or(|p| p.tag == fresh_tag);
+            let front_fresh = eng
+                .queue_iter(e[2])
+                .next()
+                .is_none_or(|p| p.tag == fresh_tag);
             if (only_a2 && front_fresh) || settle > 4 * s {
                 break;
             }
             eng.run_quiet(1)?;
             settle += 1;
         }
-        let fresh = eng
-            .queue(e[2])
-            .iter()
-            .filter(|p| p.tag == fresh_tag)
-            .count() as u64;
+        let fresh = eng.queue_iter(e[2]).filter(|p| p.tag == fresh_tag).count() as u64;
         let r = rate.as_f64();
         rows.push(E4Row {
             rate: r,

@@ -302,6 +302,7 @@ impl InstabilityConstruction {
                 validate_reroutes: self.cfg.validate,
                 validate_window: None,
                 sample_every,
+                ..Default::default()
             },
         );
 
@@ -428,7 +429,6 @@ impl InstabilityConstruction {
                 if self.cfg.settle {
                     settle_boundary(&mut eng, &self.geps.gadgets[k + 1], 4 * s)?;
                 }
-                eng.compact_buffers();
                 let inv = check_c_invariant(&eng, &self.geps.gadgets[k + 1]);
                 let s_out = inv.s_effective();
                 stages.push(StageReport {
@@ -471,8 +471,7 @@ impl InstabilityConstruction {
             let egress = self.geps.egress();
             eng.run_quiet(s + n as u64)?;
             let q_egress = eng
-                .queue(egress)
-                .iter()
+                .queue_iter(egress)
                 .filter(|p| p.remaining() == 1)
                 .count() as u64;
             stages.push(StageReport {
@@ -523,8 +522,8 @@ impl InstabilityConstruction {
             while settle < 4 * q_egress + 16 {
                 let only_ingress = eng.backlog() == eng.queue_len(ingress) as u64;
                 let front_fresh = eng
-                    .queue(ingress)
-                    .front()
+                    .queue_iter(ingress)
+                    .next()
                     .is_none_or(|p| p.tag == fresh_tag);
                 if only_ingress && front_fresh {
                     break;
@@ -532,7 +531,6 @@ impl InstabilityConstruction {
                 eng.run_quiet(1)?;
                 settle += 1;
             }
-            eng.compact_buffers();
             // The next iteration's flat queue: every unit-route packet
             // at the ingress. Almost all are stitch-fresh; a handful of
             // carrier/mixer packets can interleave behind the first
@@ -541,13 +539,11 @@ impl InstabilityConstruction {
             // packets queued ahead of them for no benefit). They are
             // counted in, with a purity floor asserted.
             let total = eng
-                .queue(ingress)
-                .iter()
+                .queue_iter(ingress)
                 .filter(|p| p.remaining() == 1)
                 .count() as u64;
             let fresh = eng
-                .queue(ingress)
-                .iter()
+                .queue_iter(ingress)
                 .filter(|p| p.tag == fresh_tag && p.remaining() == 1)
                 .count() as u64;
             debug_assert_eq!(
@@ -667,11 +663,7 @@ fn settle_boundary(
     // once per step.
     let mut steps = 0u64;
     while steps < cap {
-        let foreign = eng
-            .queue(g.ingress)
-            .iter()
-            .filter(|p| is_foreign(p))
-            .count() as u64;
+        let foreign = eng.queue_iter(g.ingress).filter(|p| is_foreign(p)).count() as u64;
         if foreign == 0 {
             break;
         }

@@ -77,15 +77,15 @@ pub fn check_c_invariant<P: Protocol>(engine: &Engine<P>, g: &GadgetHandles) -> 
     let mut e_all_nonempty = true;
     let mut e_misrouted = 0u64;
     for i in 0..n {
-        let q = engine.queue(g.e_path[i]);
-        if q.is_empty() {
+        let qlen = engine.queue_len(g.e_path[i]);
+        if qlen == 0 {
             e_all_nonempty = false;
         }
-        e_total += q.len() as u64;
+        e_total += qlen as u64;
         // expected remaining prefix: e_i, …, e_n, a'
         let mut prefix: Vec<aqt_graph::EdgeId> = g.e_path[i..].to_vec();
         prefix.push(g.egress);
-        for p in q {
+        for p in engine.queue_iter(g.e_path[i]) {
             if !remaining_starts_with(p, &prefix) {
                 e_misrouted += 1;
             }
@@ -98,7 +98,7 @@ pub fn check_c_invariant<P: Protocol>(engine: &Engine<P>, g: &GadgetHandles) -> 
         let mut prefix: Vec<aqt_graph::EdgeId> = vec![g.ingress];
         prefix.extend_from_slice(&g.f_path);
         prefix.push(g.egress);
-        for p in engine.queue(g.ingress) {
+        for p in engine.queue_iter(g.ingress) {
             if remaining_starts_with(p, &prefix) {
                 a_count += 1;
             } else {

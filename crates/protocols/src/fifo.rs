@@ -3,7 +3,7 @@
 use std::collections::VecDeque;
 
 use aqt_graph::{EdgeId, Graph};
-use aqt_sim::{Packet, Protocol, Time};
+use aqt_sim::{Discipline, Packet, Protocol, Time};
 
 /// FIFO selects the packet that arrived at the buffer earliest. Since
 /// the engine keeps buffers in arrival order, that is always index 0.
@@ -32,6 +32,10 @@ impl Protocol for Fifo {
 
     fn is_time_priority(&self) -> bool {
         true
+    }
+
+    fn discipline(&self) -> Discipline {
+        Discipline::ArrivalOrder
     }
 }
 

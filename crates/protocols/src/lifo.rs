@@ -3,7 +3,7 @@
 use std::collections::VecDeque;
 
 use aqt_graph::{EdgeId, Graph};
-use aqt_sim::{Packet, Protocol, Time};
+use aqt_sim::{Discipline, Packet, Protocol, Time};
 
 /// LIFO selects the packet that arrived at the buffer latest; among
 /// packets that arrived in the same substep it picks the one enqueued
@@ -28,6 +28,10 @@ impl Protocol for Lifo {
 
     fn is_historic(&self) -> bool {
         true
+    }
+
+    fn discipline(&self) -> Discipline {
+        Discipline::ReverseArrival
     }
 }
 

@@ -64,4 +64,54 @@ mod tests {
     fn all_protocols_count() {
         assert_eq!(all_protocols(0).len(), protocol_names().len());
     }
+
+    /// The [`aqt_sim::Discipline`] contract: on every queue, a declared
+    /// fast path must pick exactly the index `select` picks. Exercised
+    /// over queues with heavy key collisions so the tie-breaks are hit.
+    #[test]
+    fn declared_disciplines_agree_with_select() {
+        use aqt_graph::EdgeId;
+        use aqt_sim::Packet;
+        use std::collections::VecDeque;
+
+        let g = aqt_graph::topologies::line(1);
+        let mut lcg: u64 = 0x243F6A8885A308D3;
+        let mut next = |m: u64| {
+            lcg = lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (lcg >> 33) % m
+        };
+        for trial in 0..200 {
+            let len = 1 + next(12) as usize;
+            let q: VecDeque<Packet> = (0..len)
+                .map(|i| {
+                    // small value ranges => plenty of ties
+                    let injected = next(4);
+                    let arrived = injected + next(4);
+                    let route_len = 1 + next(4) as usize;
+                    let hop = next(route_len as u64) as u32;
+                    Packet::synthetic(
+                        i as u64,
+                        injected,
+                        arrived,
+                        0,
+                        (0..route_len).map(|k| EdgeId(k as u32)).collect(),
+                        hop,
+                    )
+                })
+                .collect();
+            for mut p in all_protocols(7) {
+                if let Some(fast) = p.discipline().index_in(&q) {
+                    let slow = p.select(100 + trial, EdgeId(0), &q, &g);
+                    assert_eq!(
+                        fast,
+                        slow,
+                        "{} discipline disagrees with select on trial {trial}",
+                        p.name()
+                    );
+                }
+            }
+        }
+    }
 }

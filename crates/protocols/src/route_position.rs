@@ -3,7 +3,7 @@
 use std::collections::VecDeque;
 
 use aqt_graph::{EdgeId, Graph};
-use aqt_sim::{Packet, Protocol, Time};
+use aqt_sim::{Discipline, Packet, Protocol, Time};
 
 use crate::ordering::{argmax_front, argmin_front};
 
@@ -26,6 +26,10 @@ impl Protocol for Ftg {
     fn select(&mut self, _: Time, _: EdgeId, queue: &VecDeque<Packet>, _: &Graph) -> usize {
         argmax_front(queue, |p| p.remaining())
     }
+
+    fn discipline(&self) -> Discipline {
+        Discipline::KeyedMaxFront(|p| (p.remaining() as u64, 0))
+    }
 }
 
 /// NTG — nearest-to-go: the packet with the fewest remaining edges
@@ -45,6 +49,10 @@ impl Protocol for Ntg {
     #[inline]
     fn select(&mut self, _: Time, _: EdgeId, queue: &VecDeque<Packet>, _: &Graph) -> usize {
         argmin_front(queue, |p| p.remaining())
+    }
+
+    fn discipline(&self) -> Discipline {
+        Discipline::KeyedMin(|p| (p.remaining() as u64, 0))
     }
 }
 
@@ -70,6 +78,10 @@ impl Protocol for Ffs {
     fn is_historic(&self) -> bool {
         true
     }
+
+    fn discipline(&self) -> Discipline {
+        Discipline::KeyedMaxFront(|p| (p.traversed() as u64, 0))
+    }
 }
 
 /// NTS — nearest-to-source: the packet that has traversed the fewest
@@ -89,6 +101,10 @@ impl Protocol for Nts {
 
     fn is_historic(&self) -> bool {
         true
+    }
+
+    fn discipline(&self) -> Discipline {
+        Discipline::KeyedMin(|p| (p.traversed() as u64, 0))
     }
 }
 

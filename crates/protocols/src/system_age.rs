@@ -3,7 +3,7 @@
 use std::collections::VecDeque;
 
 use aqt_graph::{EdgeId, Graph};
-use aqt_sim::{Packet, Protocol, Time};
+use aqt_sim::{Discipline, Packet, Protocol, Time};
 
 use crate::ordering::{argmax_back, argmin_front};
 
@@ -33,6 +33,12 @@ impl Protocol for Lis {
     fn is_time_priority(&self) -> bool {
         true
     }
+
+    fn discipline(&self) -> Discipline {
+        // Same key as select: injection time, packet id as tie-break
+        // (lower id = injected earlier within the substep).
+        Discipline::KeyedMin(|p| (p.injected_at, p.id.0))
+    }
 }
 
 /// NIS — newest-in-system (sometimes called SIS, shortest-in-system):
@@ -55,6 +61,10 @@ impl Protocol for Nis {
 
     fn is_historic(&self) -> bool {
         true
+    }
+
+    fn discipline(&self) -> Discipline {
+        Discipline::KeyedMaxBack(|p| (p.injected_at, 0))
     }
 }
 

@@ -1,0 +1,285 @@
+//! The buffer layer: packet queues plus an active-edge set.
+//!
+//! [`BufferStore`] owns one queue per edge and is the only code that
+//! touches the underlying containers. Two representation decisions
+//! live here, hidden from every other layer:
+//!
+//! * **Canonical arrival order.** Each buffer is a `VecDeque<Packet>`
+//!   in arrival order with the engine's deterministic tie-break
+//!   (transits by ascending crossed edge, then injections in
+//!   submission order). Protocols, snapshots, and invariant checkers
+//!   all observe this order; disciplines with a fast path select
+//!   *positions within it* rather than replacing it.
+//! * **The active-edge set.** The step loop of the Theorem 3.17
+//!   instability runs spends most of its time in regimes where a
+//!   handful of the graph's edges hold enormous backlogs and every
+//!   other buffer is empty (gadget boundaries, drain phases). Scanning
+//!   all `E` buffers per step — the pre-refactor behaviour, retained
+//!   as [`crate::EngineConfig::reference_pipeline`] — is O(E) of pure
+//!   overhead in exactly the runs that need the most steps. The store
+//!   therefore maintains the invariant *every nonempty buffer is in
+//!   the active list*; substep 1 iterates only that list.
+//!
+//! Activation is eager (a push to an empty buffer appends the edge),
+//! deactivation is lazy: an emptied buffer stays listed until the next
+//! [`BufferStore::begin_step`], which sorts the list back into
+//! ascending edge order (the send order the model semantics require),
+//! drops entries whose buffers are empty, and releases excess capacity
+//! held by the emptied queues (a `VecDeque` never shrinks on its own,
+//! and gadget-boundary buffers peak in the millions of packets).
+
+use std::collections::VecDeque;
+
+use crate::packet::Packet;
+
+/// Shrink an emptied/shrunken queue only past this capacity: below it
+/// the retained allocation is noise, and shrinking tiny buffers that
+/// oscillate between empty and length 1 would thrash the allocator.
+const COMPACT_MIN_CAPACITY: usize = 64;
+
+/// Owns every edge buffer; see the module docs for the representation.
+#[derive(Debug)]
+pub struct BufferStore {
+    queues: Vec<VecDeque<Packet>>,
+    /// Edges whose buffers may be nonempty, ascending after
+    /// [`BufferStore::begin_step`]. Superset of the nonempty edges.
+    active: Vec<u32>,
+    /// `in_active[e]` ⇔ `e ∈ active` (prevents duplicate entries).
+    in_active: Vec<bool>,
+    /// Set when an activation appended out of order.
+    needs_sort: bool,
+}
+
+impl BufferStore {
+    /// Empty buffers for `edge_count` edges.
+    pub fn new(edge_count: usize) -> Self {
+        BufferStore {
+            queues: vec![VecDeque::new(); edge_count],
+            active: Vec::new(),
+            in_active: vec![false; edge_count],
+            needs_sort: false,
+        }
+    }
+
+    /// Number of edges (buffers).
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Current length of the buffer at edge index `edge`.
+    #[inline]
+    pub fn len(&self, edge: usize) -> usize {
+        self.queues[edge].len()
+    }
+
+    /// Iterate the buffer at edge index `edge` in arrival order.
+    #[inline]
+    pub fn iter(&self, edge: usize) -> impl Iterator<Item = &Packet> {
+        self.queues[edge].iter()
+    }
+
+    /// Mutably iterate the buffer at edge index `edge` in arrival
+    /// order. Packet mutation only — lengths cannot change through
+    /// this, so the active set stays consistent.
+    #[inline]
+    pub fn iter_mut(&mut self, edge: usize) -> impl Iterator<Item = &mut Packet> {
+        self.queues[edge].iter_mut()
+    }
+
+    /// Every live packet: buffer order within each edge, edges
+    /// ascending.
+    pub fn packets(&self) -> impl Iterator<Item = &Packet> {
+        self.queues.iter().flat_map(|q| q.iter())
+    }
+
+    /// The raw queue (crate-internal: [`crate::Protocol::select`] takes
+    /// `&VecDeque<Packet>`, and the deprecated `Engine::queue` still
+    /// exposes it).
+    #[inline]
+    pub(crate) fn queue(&self, edge: usize) -> &VecDeque<Packet> {
+        &self.queues[edge]
+    }
+
+    /// Append `p` to the buffer at edge index `edge`, activating the
+    /// edge if needed. Returns the new queue length.
+    #[inline]
+    pub fn push_back(&mut self, edge: usize, p: Packet) -> usize {
+        if !self.in_active[edge] {
+            self.in_active[edge] = true;
+            self.active.push(edge as u32);
+            self.needs_sort = true;
+        }
+        let q = &mut self.queues[edge];
+        q.push_back(p);
+        q.len()
+    }
+
+    /// Remove and return the packet at `pos` in the buffer at edge
+    /// index `edge` (`None` if out of range). Positions 0 and
+    /// `len - 1` are O(1); interior positions cost one memmove of the
+    /// shorter side. Deactivation of an emptied buffer is deferred to
+    /// [`BufferStore::begin_step`].
+    #[inline]
+    pub fn remove(&mut self, edge: usize, pos: usize) -> Option<Packet> {
+        self.queues[edge].remove(pos)
+    }
+
+    /// Prepare the active list for one step's send substep: restore
+    /// ascending edge order, drop entries whose buffers emptied since
+    /// the last step, and compact those buffers' capacity. After this
+    /// call, `active_edge(0..active_count())` is exactly the ascending
+    /// list of nonempty edges.
+    pub fn begin_step(&mut self) {
+        if self.needs_sort {
+            self.active.sort_unstable();
+            self.needs_sort = false;
+        }
+        let queues = &mut self.queues;
+        let in_active = &mut self.in_active;
+        self.active.retain(|&e| {
+            let q = &mut queues[e as usize];
+            if q.is_empty() {
+                in_active[e as usize] = false;
+                if q.capacity() > COMPACT_MIN_CAPACITY {
+                    q.shrink_to_fit();
+                }
+                false
+            } else {
+                true
+            }
+        });
+    }
+
+    /// Entries in the active list (valid between `begin_step` calls).
+    #[inline]
+    pub fn active_count(&self) -> usize {
+        self.active.len()
+    }
+
+    /// The `k`-th active edge index.
+    #[inline]
+    pub fn active_edge(&self, k: usize) -> usize {
+        self.active[k] as usize
+    }
+
+    /// Largest current buffer occupancy anywhere. Every nonempty
+    /// buffer is active, so scanning the active list suffices.
+    pub fn max_len(&self) -> u64 {
+        self.active
+            .iter()
+            .map(|&e| self.queues[e as usize].len() as u64)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Replace every buffer wholesale (snapshot/checkpoint restore)
+    /// and rebuild the active set from scratch.
+    pub fn replace_all(&mut self, buffers: impl Iterator<Item = VecDeque<Packet>>) {
+        for (slot, buf) in self.queues.iter_mut().zip(buffers) {
+            *slot = buf;
+        }
+        self.active.clear();
+        for (e, q) in self.queues.iter().enumerate() {
+            self.in_active[e] = !q.is_empty();
+            if !q.is_empty() {
+                self.active.push(e as u32);
+            }
+        }
+        self.needs_sort = false; // rebuilt in ascending order
+    }
+
+    /// Release excess capacity on every oversized, mostly-empty buffer
+    /// (the policy of the deprecated `Engine::compact_buffers`; routine
+    /// compaction now happens in [`BufferStore::begin_step`]).
+    pub fn compact_all(&mut self) {
+        for q in &mut self.queues {
+            if q.capacity() > COMPACT_MIN_CAPACITY && q.len() < q.capacity() / 4 {
+                q.shrink_to_fit();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{Packet, PacketId};
+    use aqt_graph::EdgeId;
+    use std::sync::Arc;
+
+    fn pkt(id: u64) -> Packet {
+        Packet {
+            id: PacketId(id),
+            injected_at: 0,
+            arrived_at: 0,
+            tag: 0,
+            route: Arc::from(vec![EdgeId(0)].as_slice()),
+            hop: 0,
+        }
+    }
+
+    #[test]
+    fn activation_tracks_nonempty_buffers() {
+        let mut s = BufferStore::new(5);
+        s.begin_step();
+        assert_eq!(s.active_count(), 0);
+        s.push_back(3, pkt(0));
+        s.push_back(1, pkt(1));
+        s.push_back(3, pkt(2));
+        s.begin_step();
+        assert_eq!(s.active_count(), 2);
+        // ascending edge order, no duplicates
+        assert_eq!(s.active_edge(0), 1);
+        assert_eq!(s.active_edge(1), 3);
+        assert_eq!(s.len(3), 2);
+        assert_eq!(s.max_len(), 2);
+    }
+
+    #[test]
+    fn lazy_deactivation_on_begin_step() {
+        let mut s = BufferStore::new(2);
+        s.push_back(0, pkt(0));
+        s.begin_step();
+        assert_eq!(s.active_count(), 1);
+        assert_eq!(s.remove(0, 0).unwrap().id, PacketId(0));
+        // still listed until the next begin_step...
+        assert_eq!(s.active_count(), 1);
+        s.begin_step();
+        assert_eq!(s.active_count(), 0);
+        // ...and re-activation after deactivation works
+        s.push_back(0, pkt(1));
+        s.begin_step();
+        assert_eq!(s.active_count(), 1);
+    }
+
+    #[test]
+    fn replace_all_rebuilds_active_set() {
+        let mut s = BufferStore::new(3);
+        s.push_back(0, pkt(0));
+        let fresh = vec![
+            VecDeque::new(),
+            VecDeque::from(vec![pkt(7)]),
+            VecDeque::from(vec![pkt(8), pkt(9)]),
+        ];
+        s.replace_all(fresh.into_iter());
+        s.begin_step();
+        assert_eq!(s.active_count(), 2);
+        assert_eq!(s.active_edge(0), 1);
+        assert_eq!(s.active_edge(1), 2);
+        assert_eq!(s.len(0), 0);
+        assert_eq!(s.packets().count(), 3);
+    }
+
+    #[test]
+    fn emptied_buffers_release_capacity() {
+        let mut s = BufferStore::new(1);
+        for i in 0..1000 {
+            s.push_back(0, pkt(i));
+        }
+        while s.remove(0, 0).is_some() {}
+        assert!(s.queue(0).capacity() > COMPACT_MIN_CAPACITY);
+        s.begin_step();
+        assert!(s.queue(0).capacity() <= COMPACT_MIN_CAPACITY);
+    }
+}

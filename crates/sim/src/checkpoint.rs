@@ -93,6 +93,12 @@ pub fn checkpoint<P: Protocol>(engine: &Engine<P>) -> Checkpoint {
 /// validator, and vice versa — silently changing what gets validated
 /// mid-run would make the resumed result incomparable).
 pub fn restore<P: Protocol>(engine: &mut Engine<P>, ck: &Checkpoint) -> Result<(), SimError> {
+    if ck.snapshot.schema != snapshot::SNAPSHOT_SCHEMA_VERSION {
+        return Err(SimError::SchemaMismatch {
+            found: ck.snapshot.schema,
+            expected: snapshot::SNAPSHOT_SCHEMA_VERSION,
+        });
+    }
     let edges = engine.graph().edge_count();
     if ck.snapshot.buffers.len() != edges {
         return Err(SimError::Checkpoint(format!(
@@ -242,6 +248,21 @@ mod tests {
         assert!(matches!(
             restore(&mut plain, &ck),
             Err(SimError::Checkpoint(_))
+        ));
+    }
+
+    #[test]
+    fn restore_rejects_schema_mismatch() {
+        let (eng, _) = validating_engine();
+        let mut ck = checkpoint(&eng);
+        ck.snapshot.schema = snapshot::SNAPSHOT_SCHEMA_VERSION + 1;
+        let (mut other, _) = validating_engine();
+        assert!(matches!(
+            restore(&mut other, &ck),
+            Err(SimError::SchemaMismatch {
+                expected: snapshot::SNAPSHOT_SCHEMA_VERSION,
+                ..
+            })
         ));
     }
 

@@ -42,10 +42,11 @@ use std::sync::Arc;
 
 use aqt_graph::{EdgeId, Graph, Route, RouteError};
 
+use crate::buffer::BufferStore;
 use crate::fault::{FaultEvent, FaultPlan};
 use crate::metrics::{BacklogSample, Metrics};
 use crate::packet::{Packet, PacketId, Time};
-use crate::protocol::Protocol;
+use crate::protocol::{Discipline, Protocol};
 use crate::rate::{RateValidator, RateViolation, WindowValidator};
 use crate::ratio::Ratio;
 
@@ -65,6 +66,14 @@ pub struct EngineConfig {
     pub validate_reroutes: bool,
     /// Sample the backlog series every this many steps (0 = never).
     pub sample_every: Time,
+    /// Run the retained pre-refactor step loop instead of the staged
+    /// pipeline: scan **every** edge buffer each step and always go
+    /// through the virtual [`Protocol::select`], ignoring both the
+    /// active-edge set and the protocol's declared [`Discipline`].
+    /// The trajectories are identical (the equivalence proptests pin
+    /// this); only the cost differs. Used by those proptests and by
+    /// the engine benchmark's "before" measurements.
+    pub reference_pipeline: bool,
 }
 
 /// Errors surfaced by the engine. After an error the engine state is
@@ -135,18 +144,25 @@ impl Injection {
 pub struct Engine<P: Protocol> {
     graph: Arc<Graph>,
     protocol: P,
+    /// The protocol's declared fast path, sampled once at construction
+    /// (the [`Discipline`] contract requires it to be constant).
+    discipline: Discipline,
     cfg: EngineConfig,
     time: Time,
     next_id: u64,
-    buffers: Vec<VecDeque<Packet>>,
+    buffers: BufferStore,
     metrics: Metrics,
     rate_validator: Option<RateValidator>,
     window_validator: Option<WindowValidator>,
     /// Latest injection time of any packet whose (effective) route uses
     /// each edge — drives the "new edge" check of Definition 3.2.
     last_route_use: Vec<Option<Time>>,
-    /// Workhorse buffer reused across steps.
+    /// Workhorse buffer reused across steps: packets on the wire
+    /// between substep 1 and the fault stage.
     in_transit: Vec<Packet>,
+    /// Workhorse buffer reused across steps: packets that survived the
+    /// wire-fault stage, awaiting receive.
+    delivered: Vec<Packet>,
     /// Installed fault schedule, if any.
     faults: Option<FaultPlan>,
     /// Every fault that took effect, in time order.
@@ -162,18 +178,21 @@ impl<P: Protocol> Engine<P> {
             .validate_window
             .map(|(w, r)| WindowValidator::new(w, r, m));
         let metrics = Metrics::new(m, cfg.sample_every);
+        let discipline = protocol.discipline();
         Engine {
             graph,
             protocol,
+            discipline,
             cfg,
             time: 0,
             next_id: 0,
-            buffers: vec![VecDeque::new(); m],
+            buffers: BufferStore::new(m),
             metrics,
             rate_validator,
             window_validator,
             last_route_use: vec![None; m],
             in_transit: Vec::new(),
+            delivered: Vec::new(),
             faults: None,
             fault_log: Vec::new(),
         }
@@ -246,14 +265,22 @@ impl<P: Protocol> Engine<P> {
     /// Current length of the buffer at the tail of `edge`.
     #[inline]
     pub fn queue_len(&self, edge: EdgeId) -> usize {
-        self.buffers[edge.index()].len()
+        self.buffers.len(edge.index())
+    }
+
+    /// Iterate the buffer at the tail of `edge` in queue (arrival)
+    /// order, front (oldest) first.
+    #[inline]
+    pub fn queue_iter(&self, edge: EdgeId) -> impl Iterator<Item = &Packet> {
+        self.buffers.iter(edge.index())
     }
 
     /// Read-only view of the buffer at the tail of `edge`, in queue
     /// (arrival) order.
+    #[deprecated(note = "leaks the buffer representation; use `queue_iter` / `queue_len`")]
     #[inline]
     pub fn queue(&self, edge: EdgeId) -> &VecDeque<Packet> {
-        &self.buffers[edge.index()]
+        self.buffers.queue(edge.index())
     }
 
     /// Total packets currently in the network.
@@ -291,9 +318,7 @@ impl<P: Protocol> Engine<P> {
         self.metrics.absorbed = absorbed;
         self.metrics.dropped = dropped;
         self.metrics.duplicated = duplicated;
-        for (slot, buf) in self.buffers.iter_mut().zip(buffers) {
-            *slot = buf;
-        }
+        self.buffers.replace_all(buffers);
     }
 
     /// Checkpoint support (crate-only): the full internal state beyond
@@ -336,23 +361,18 @@ impl<P: Protocol> Engine<P> {
         self.fault_log = fault_log;
     }
 
-    /// Release excess capacity held by emptied buffers. Long runs of
-    /// the instability construction push millions of packets through
-    /// each gadget boundary; `VecDeque` never shrinks on its own, so a
-    /// chain of gadgets would otherwise retain the *peak* capacity of
-    /// every buffer it ever filled. Drivers call this between stages.
+    /// Release excess capacity held by emptied buffers.
+    #[deprecated(
+        note = "the engine now compacts emptied buffers automatically at each step boundary"
+    )]
     pub fn compact_buffers(&mut self) {
-        for b in &mut self.buffers {
-            if b.capacity() > 64 && b.len() < b.capacity() / 4 {
-                b.shrink_to_fit();
-            }
-        }
+        self.buffers.compact_all();
     }
 
     /// Iterate over every live packet (buffer order within each edge,
     /// edges ascending).
     pub fn packets(&self) -> impl Iterator<Item = &Packet> {
-        self.buffers.iter().flat_map(|b| b.iter())
+        self.buffers.packets()
     }
 
     /// Place a packet in the network as part of the initial
@@ -393,15 +413,20 @@ impl<P: Protocol> Engine<P> {
             route,
             hop: 0,
         };
-        self.buffers[first.index()].push_back(p);
+        let len = self.buffers.push_back(first.index(), p) as u64;
         self.metrics.injected += 1;
-        let len = self.buffers[first.index()].len() as u64;
         self.metrics.on_queue_len(first, len);
         id
     }
 
     /// Execute one step with the given injections (occurring in
     /// substep 2 of this step).
+    ///
+    /// The step is a pipeline of substages, in model order: send
+    /// (substep 1), wire faults, receive (substep 2a), inject
+    /// (substep 2b), burst faults, sample. Each substage is a method
+    /// so the equivalence proptests and the reference loop
+    /// ([`EngineConfig::reference_pipeline`]) can pin the composition.
     pub fn step<I>(&mut self, injections: I) -> Result<(), EngineError>
     where
         I: IntoIterator<Item = Injection>,
@@ -410,12 +435,57 @@ impl<P: Protocol> Engine<P> {
         self.time = t;
         let faults_active = self.faults.as_ref().is_some_and(|f| f.active_at(t));
 
-        // Substep 1: send one packet from each nonempty buffer, unless
-        // an outage fault has the edge down this step.
         debug_assert!(self.in_transit.is_empty());
-        for ei in 0..self.buffers.len() {
+        if self.cfg.reference_pipeline {
+            self.substep_send_reference(t, faults_active)?;
+        } else {
+            self.substep_send(t, faults_active)?;
+        }
+        self.substep_wire_faults(t, faults_active);
+        self.substep_receive(t);
+        self.substep_inject(t, injections)?;
+        self.substep_burst(t, faults_active);
+        self.substep_sample(t);
+        Ok(())
+    }
+
+    /// Substep 1: send one packet from each nonempty buffer, unless an
+    /// outage fault has the edge down this step. Iterates the active
+    /// set only (ascending edge order, same order the full scan
+    /// produces) and pops through the cached [`Discipline`] when the
+    /// protocol declared one.
+    fn substep_send(&mut self, t: Time, faults_active: bool) -> Result<(), EngineError> {
+        self.buffers.begin_step();
+        // Active entries are exactly the nonempty edges after
+        // begin_step, and stay nonempty until their own send below
+        // (substep 1 never appends to buffers).
+        for k in 0..self.buffers.active_count() {
+            let ei = self.buffers.active_edge(k);
             let edge = EdgeId(ei as u32);
-            if self.buffers[ei].is_empty() {
+            if faults_active && self.faults.as_ref().is_some_and(|f| f.edge_down(edge, t)) {
+                self.fault_log
+                    .push(FaultEvent::OutageSuppressedSend { time: t, edge });
+                continue;
+            }
+            let idx = match self.discipline.index_in(self.buffers.queue(ei)) {
+                Some(i) => i,
+                None => self
+                    .protocol
+                    .select(t, edge, self.buffers.queue(ei), &self.graph),
+            };
+            self.finish_send(t, ei, edge, idx)?;
+        }
+        Ok(())
+    }
+
+    /// Substep 1, pre-refactor form: scan every edge buffer and always
+    /// dispatch through [`Protocol::select`]. Kept verbatim so the
+    /// equivalence proptests have a second, independent implementation
+    /// to compare against and the benchmark has an honest "before".
+    fn substep_send_reference(&mut self, t: Time, faults_active: bool) -> Result<(), EngineError> {
+        for ei in 0..self.buffers.edge_count() {
+            let edge = EdgeId(ei as u32);
+            if self.buffers.len(ei) == 0 {
                 continue;
             }
             if faults_active && self.faults.as_ref().is_some_and(|f| f.edge_down(edge, t)) {
@@ -425,27 +495,50 @@ impl<P: Protocol> Engine<P> {
             }
             let idx = self
                 .protocol
-                .select(t, edge, &self.buffers[ei], &self.graph);
-            let q = &mut self.buffers[ei];
-            let qlen = q.len();
-            let p = q.remove(idx).ok_or_else(|| {
-                EngineError::Protocol(format!(
-                    "protocol selected index {idx} from a queue of length {qlen}"
-                ))
-            })?;
-            let wait = t - p.arrived_at;
-            self.metrics.on_send(edge, wait);
-            self.in_transit.push(p);
+                .select(t, edge, self.buffers.queue(ei), &self.graph);
+            self.finish_send(t, ei, edge, idx)?;
         }
+        Ok(())
+    }
 
-        // Substep 2a: receive. Drop and duplication faults act here —
-        // on the wire, between send and receive.
+    /// Shared tail of both send substeps: pop the selected packet,
+    /// record the send, put the packet on the wire.
+    #[inline]
+    fn finish_send(
+        &mut self,
+        t: Time,
+        ei: usize,
+        edge: EdgeId,
+        idx: usize,
+    ) -> Result<(), EngineError> {
+        let qlen = self.buffers.len(ei);
+        let p = self.buffers.remove(ei, idx).ok_or_else(|| {
+            EngineError::Protocol(format!(
+                "protocol selected index {idx} from a queue of length {qlen}"
+            ))
+        })?;
+        let wait = t - p.arrived_at;
+        self.metrics.on_send(edge, wait);
+        self.in_transit.push(p);
+        Ok(())
+    }
+
+    /// Wire-fault stage: drop and duplication faults act here — on the
+    /// wire, between send and receive. Moves `in_transit` survivors
+    /// (each possibly followed by its duplicate) into `delivered`; a
+    /// plain swap when no fault is active this step.
+    fn substep_wire_faults(&mut self, t: Time, faults_active: bool) {
+        debug_assert!(self.delivered.is_empty());
+        if !faults_active {
+            std::mem::swap(&mut self.in_transit, &mut self.delivered);
+            return;
+        }
         let mut in_transit = std::mem::take(&mut self.in_transit);
         for p in in_transit.drain(..) {
             let crossed = p.current_edge();
-            let (lost, copied) = match (faults_active, &self.faults) {
-                (true, Some(f)) => (f.drops_at(crossed, t), f.duplicates_at(crossed, t)),
-                _ => (false, false),
+            let (lost, copied) = match &self.faults {
+                Some(f) => (f.drops_at(crossed, t), f.duplicates_at(crossed, t)),
+                None => (false, false),
             };
             if lost {
                 self.metrics.dropped += 1;
@@ -470,22 +563,35 @@ impl<P: Protocol> Engine<P> {
             } else {
                 None
             };
-            for mut q in std::iter::once(p).chain(copy) {
-                if q.on_last_edge() {
-                    self.metrics.on_absorb(t - q.injected_at);
-                } else {
-                    q.hop += 1;
-                    q.arrived_at = t;
-                    let next = q.current_edge();
-                    self.buffers[next.index()].push_back(q);
-                    let len = self.buffers[next.index()].len() as u64;
-                    self.metrics.on_queue_len(next, len);
-                }
-            }
+            self.delivered.push(p);
+            self.delivered.extend(copy);
         }
         self.in_transit = in_transit;
+    }
 
-        // Substep 2b: inject.
+    /// Substep 2a: receive. Absorb packets at their destination,
+    /// append the rest to the next buffer on their route.
+    fn substep_receive(&mut self, t: Time) {
+        let mut delivered = std::mem::take(&mut self.delivered);
+        for mut p in delivered.drain(..) {
+            if p.on_last_edge() {
+                self.metrics.on_absorb(t - p.injected_at);
+            } else {
+                p.hop += 1;
+                p.arrived_at = t;
+                let next = p.current_edge();
+                let len = self.buffers.push_back(next.index(), p) as u64;
+                self.metrics.on_queue_len(next, len);
+            }
+        }
+        self.delivered = delivered;
+    }
+
+    /// Substep 2b: the adversary's injections, through the validators.
+    fn substep_inject<I>(&mut self, t: Time, injections: I) -> Result<(), EngineError>
+    where
+        I: IntoIterator<Item = Injection>,
+    {
         for inj in injections {
             let edges = inj.route.edges();
             if let Some(v) = self.rate_validator.as_mut() {
@@ -499,49 +605,51 @@ impl<P: Protocol> Engine<P> {
             }
             self.admit(inj.route.shared(), t, inj.tag);
         }
+        Ok(())
+    }
 
-        // Substep 2b (faults): scheduled bursts materialize after the
-        // adversary's injections, bypassing the validators — the
-        // Observation 4.4 allowance applied mid-run.
-        if faults_active {
-            let burst: Vec<Injection> = self
-                .faults
-                .as_ref()
-                .map(|f| {
-                    f.bursts_at(t)
-                        .flat_map(|b| b.injections.iter().cloned())
-                        .collect()
-                })
-                .unwrap_or_default();
-            if !burst.is_empty() {
-                self.fault_log.push(FaultEvent::BurstInjected {
-                    time: t,
-                    count: burst.len() as u64,
-                });
-                for inj in burst {
-                    for &e in inj.route.edges() {
-                        self.touch_edge_use(e, t);
-                    }
-                    self.admit(inj.route.shared(), t, inj.tag);
+    /// Burst-fault stage: scheduled bursts materialize after the
+    /// adversary's injections, bypassing the validators — the
+    /// Observation 4.4 allowance applied mid-run.
+    fn substep_burst(&mut self, t: Time, faults_active: bool) {
+        if !faults_active {
+            return;
+        }
+        let burst: Vec<Injection> = self
+            .faults
+            .as_ref()
+            .map(|f| {
+                f.bursts_at(t)
+                    .flat_map(|b| b.injections.iter().cloned())
+                    .collect()
+            })
+            .unwrap_or_default();
+        if !burst.is_empty() {
+            self.fault_log.push(FaultEvent::BurstInjected {
+                time: t,
+                count: burst.len() as u64,
+            });
+            for inj in burst {
+                for &e in inj.route.edges() {
+                    self.touch_edge_use(e, t);
                 }
+                self.admit(inj.route.shared(), t, inj.tag);
             }
         }
+    }
 
-        // Sampling.
+    /// Sampling stage: append to the backlog series on schedule.
+    fn substep_sample(&mut self, t: Time) {
         if self.cfg.sample_every > 0 && t.is_multiple_of(self.cfg.sample_every) {
-            let max_queue = self
-                .buffers
-                .iter()
-                .map(|b| b.len() as u64)
-                .max()
-                .unwrap_or(0);
+            // max_len scans the active set; every nonempty buffer is
+            // active, so this equals the max over all buffers.
+            let max_queue = self.buffers.max_len();
             self.metrics.series.push(BacklogSample {
                 time: t,
                 backlog: self.metrics.backlog(),
                 max_queue,
             });
         }
-        Ok(())
     }
 
     /// Run `steps` steps with no injections.
@@ -586,12 +694,7 @@ impl<P: Protocol> Engine<P> {
         // Collect cohort references.
         let cohort_count: usize = buffers
             .iter()
-            .map(|e| {
-                self.buffers[e.index()]
-                    .iter()
-                    .filter(|p| selected(p))
-                    .count()
-            })
+            .map(|e| self.buffers.iter(e.index()).filter(|p| selected(p)).count())
             .sum();
         if cohort_count == 0 {
             return Ok(0);
@@ -607,7 +710,7 @@ impl<P: Protocol> Engine<P> {
             std::collections::HashMap::new();
         // First pass: validate + populate cache (immutable borrow).
         for &be in buffers {
-            for p in self.buffers[be.index()].iter().filter(|p| selected(p)) {
+            for p in self.buffers.iter(be.index()).filter(|p| selected(p)) {
                 let key = p.route.as_ptr();
                 if let std::collections::hash_map::Entry::Vacant(slot) = cache.entry(key) {
                     let mut edges = Vec::with_capacity(p.route.len() + suffix.len());
@@ -629,8 +732,8 @@ impl<P: Protocol> Engine<P> {
             let mut inject_times: Vec<Time> = buffers
                 .iter()
                 .flat_map(|e| {
-                    self.buffers[e.index()]
-                        .iter()
+                    self.buffers
+                        .iter(e.index())
                         .filter(|p| selected(p))
                         .map(|p| p.injected_at)
                 })
@@ -655,7 +758,7 @@ impl<P: Protocol> Engine<P> {
         let mut max_t = 0;
         let mut count = 0;
         for &be in buffers {
-            for p in self.buffers[be.index()].iter_mut() {
+            for p in self.buffers.iter_mut(be.index()) {
                 if last_edge.is_some_and(|e| p.route.last() != Some(&e)) {
                     continue;
                 }
@@ -707,7 +810,7 @@ impl<P: Protocol> Engine<P> {
         if last_edge.is_none() {
             let mut iter = buffers
                 .iter()
-                .flat_map(|e| self.buffers[e.index()].iter())
+                .flat_map(|e| self.buffers.iter(e.index()))
                 .filter(|p| selected(p));
             let first = match iter.next() {
                 Some(p) => p,
@@ -833,10 +936,8 @@ mod tests {
         eng.seed(long, 2).unwrap();
         eng.run_quiet(2).unwrap();
         // tag-1 crossed e0 at step 1 and sits ahead of tag-2 at e1
-        let q = eng.queue(edges[1]);
-        assert_eq!(q.len(), 2);
-        assert_eq!(q[0].tag, 1);
-        assert_eq!(q[1].tag, 2);
+        let tags: Vec<u32> = eng.queue_iter(edges[1]).map(|p| p.tag).collect();
+        assert_eq!(tags, vec![1, 2]);
     }
 
     #[test]

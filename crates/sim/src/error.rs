@@ -23,6 +23,14 @@ pub enum SimError {
     Engine(EngineError),
     /// A checkpoint could not be restored into the target engine.
     Checkpoint(String),
+    /// A snapshot carried an unsupported schema version (produced by
+    /// an older or newer build of this crate).
+    SchemaMismatch {
+        /// The version stamped on the snapshot.
+        found: u32,
+        /// The version this build reads and writes.
+        expected: u32,
+    },
     /// The surrounding harness failed (sweep-job panic, lost result).
     Harness(HarnessError),
 }
@@ -32,6 +40,10 @@ impl std::fmt::Display for SimError {
         match self {
             SimError::Engine(e) => write!(f, "{e}"),
             SimError::Checkpoint(s) => write!(f, "checkpoint restore failed: {s}"),
+            SimError::SchemaMismatch { found, expected } => write!(
+                f,
+                "snapshot schema version {found} is not supported (this build reads version {expected})"
+            ),
             SimError::Harness(e) => write!(f, "{e}"),
         }
     }
@@ -43,6 +55,7 @@ impl std::error::Error for SimError {
             SimError::Engine(e) => Some(e),
             SimError::Harness(e) => Some(e),
             SimError::Checkpoint(_) => None,
+            SimError::SchemaMismatch { .. } => None,
         }
     }
 }
@@ -77,5 +90,11 @@ mod tests {
         assert!(h.to_string().contains("3"));
         let c = SimError::Checkpoint("graph mismatch".into());
         assert!(c.to_string().contains("graph mismatch"));
+        let s = SimError::SchemaMismatch {
+            found: 1,
+            expected: 2,
+        };
+        assert!(s.to_string().contains("version 1"));
+        assert!(s.to_string().contains("version 2"));
     }
 }

@@ -38,6 +38,7 @@
 //!   parallel parameter sweeps (per-job panic isolation, bounded
 //!   retry, quarantine).
 
+pub mod buffer;
 pub mod checkpoint;
 pub mod engine;
 pub mod error;
@@ -53,6 +54,7 @@ pub mod snapshot;
 pub mod source;
 pub mod trace;
 
+pub use buffer::BufferStore;
 pub use checkpoint::Checkpoint;
 pub use engine::{Engine, EngineConfig, EngineError, Injection};
 pub use error::SimError;
@@ -60,9 +62,9 @@ pub use fault::{FaultEvent, FaultPlan};
 pub use metrics::Metrics;
 pub use packet::{Packet, PacketId, Time};
 pub use parallel::{HarnessError, JobOutcome, SweepConfig, SweepReport};
-pub use protocol::Protocol;
+pub use protocol::{Discipline, Protocol, SelectKey};
 pub use rate::{RateValidator, RateViolation, WindowValidator};
 pub use ratio::Ratio;
 pub use schedule::{Schedule, ScheduleOp};
-pub use snapshot::Snapshot;
+pub use snapshot::{Snapshot, SNAPSHOT_SCHEMA_VERSION};
 pub use source::{run_with_source, TrafficSource};

@@ -21,6 +21,99 @@ use aqt_graph::{EdgeId, Graph};
 
 use crate::packet::{Packet, Time};
 
+/// Priority key for keyed disciplines. The second component is the
+/// tie-break (typically the packet id); comparison is lexicographic.
+pub type SelectKey = (u64, u64);
+
+/// A protocol's declared selection structure — the engine's fast path.
+///
+/// Most of the paper's protocols pick either an end of the
+/// arrival-order buffer or an extremum of a per-packet key. Declaring
+/// that shape lets the engine pop the chosen packet without the
+/// virtual [`Protocol::select`] call and without a bounds-checked
+/// interior `remove` — O(1) for the end disciplines, one key scan for
+/// the keyed ones.
+///
+/// **Contract:** for every reachable `(time, edge, queue, graph)`,
+/// [`Discipline::index_in`] on the declared discipline must return
+/// exactly the index [`Protocol::select`] would return (`select`
+/// remains the semantic definition and the fallback). The discipline
+/// must be constant over the protocol instance's lifetime: the engine
+/// samples it once at construction. Stateful protocols (e.g. a seeded
+/// RNG that must advance on every send) must declare
+/// [`Discipline::Custom`].
+#[derive(Clone, Copy, Debug)]
+pub enum Discipline {
+    /// Send the oldest arrival — buffer front (FIFO).
+    ArrivalOrder,
+    /// Send the newest arrival — buffer back (LIFO).
+    ReverseArrival,
+    /// Send the packet minimizing the key; ties to the frontmost
+    /// (first minimum in arrival order wins).
+    KeyedMin(fn(&Packet) -> SelectKey),
+    /// Send the packet maximizing the key; ties to the frontmost
+    /// (first maximum in arrival order wins).
+    KeyedMaxFront(fn(&Packet) -> SelectKey),
+    /// Send the packet maximizing the key; ties to the backmost
+    /// (last maximum in arrival order wins).
+    KeyedMaxBack(fn(&Packet) -> SelectKey),
+    /// No fast path — the engine calls [`Protocol::select`].
+    Custom,
+}
+
+impl Discipline {
+    /// The index [`Protocol::select`] would return on `queue`, or
+    /// `None` for [`Discipline::Custom`]. `queue` must be nonempty.
+    ///
+    /// The tie-breaks mirror the scan helpers the protocols are built
+    /// from: `KeyedMin`/`KeyedMaxFront` keep the first extremum
+    /// (strict comparison), `KeyedMaxBack` keeps the last (`>=`).
+    #[inline]
+    pub fn index_in(&self, queue: &VecDeque<Packet>) -> Option<usize> {
+        match *self {
+            Discipline::ArrivalOrder => Some(0),
+            Discipline::ReverseArrival => Some(queue.len() - 1),
+            Discipline::KeyedMin(key) => {
+                let mut best = 0;
+                let mut best_key = key(&queue[0]);
+                for (i, p) in queue.iter().enumerate().skip(1) {
+                    let k = key(p);
+                    if k < best_key {
+                        best = i;
+                        best_key = k;
+                    }
+                }
+                Some(best)
+            }
+            Discipline::KeyedMaxFront(key) => {
+                let mut best = 0;
+                let mut best_key = key(&queue[0]);
+                for (i, p) in queue.iter().enumerate().skip(1) {
+                    let k = key(p);
+                    if k > best_key {
+                        best = i;
+                        best_key = k;
+                    }
+                }
+                Some(best)
+            }
+            Discipline::KeyedMaxBack(key) => {
+                let mut best = 0;
+                let mut best_key = key(&queue[0]);
+                for (i, p) in queue.iter().enumerate().skip(1) {
+                    let k = key(p);
+                    if k >= best_key {
+                        best = i;
+                        best_key = k;
+                    }
+                }
+                Some(best)
+            }
+            Discipline::Custom => None,
+        }
+    }
+}
+
 /// A greedy contention-resolution scheduling policy.
 pub trait Protocol {
     /// Display name, e.g. `"FIFO"`.
@@ -50,6 +143,14 @@ pub trait Protocol {
     fn is_time_priority(&self) -> bool {
         false
     }
+
+    /// The selection structure, for the engine's fast path. Default
+    /// [`Discipline::Custom`] (always correct: the engine falls back
+    /// to [`Protocol::select`]). See [`Discipline`] for the contract
+    /// an override must satisfy.
+    fn discipline(&self) -> Discipline {
+        Discipline::Custom
+    }
 }
 
 /// Blanket impl so `Box<dyn Protocol>` can drive an [`crate::Engine`].
@@ -74,6 +175,10 @@ impl Protocol for Box<dyn Protocol + '_> {
 
     fn is_time_priority(&self) -> bool {
         (**self).is_time_priority()
+    }
+
+    fn discipline(&self) -> Discipline {
+        (**self).discipline()
     }
 }
 
@@ -117,5 +222,35 @@ mod tests {
             hop: 0,
         });
         assert_eq!(b.select(1, EdgeId(0), &q, &g), 0);
+        assert!(matches!(b.discipline(), Discipline::Custom));
+    }
+
+    fn pkt(id: u64, injected_at: Time) -> Packet {
+        Packet {
+            id: crate::packet::PacketId(id),
+            injected_at,
+            arrived_at: injected_at,
+            tag: 0,
+            route: vec![EdgeId(0)].into(),
+            hop: 0,
+        }
+    }
+
+    #[test]
+    fn discipline_tie_breaks() {
+        // keys: [5, 3, 3, 5]
+        let q: VecDeque<Packet> = [pkt(0, 5), pkt(1, 3), pkt(2, 3), pkt(3, 5)]
+            .into_iter()
+            .collect();
+        let key: fn(&Packet) -> SelectKey = |p| (p.injected_at, 0);
+        assert_eq!(Discipline::ArrivalOrder.index_in(&q), Some(0));
+        assert_eq!(Discipline::ReverseArrival.index_in(&q), Some(3));
+        // first minimum wins
+        assert_eq!(Discipline::KeyedMin(key).index_in(&q), Some(1));
+        // first maximum wins
+        assert_eq!(Discipline::KeyedMaxFront(key).index_in(&q), Some(0));
+        // last maximum wins
+        assert_eq!(Discipline::KeyedMaxBack(key).index_in(&q), Some(3));
+        assert_eq!(Discipline::Custom.index_in(&q), None);
     }
 }

@@ -22,9 +22,24 @@ use crate::engine::{Engine, EngineError};
 use crate::packet::{Packet, Time};
 use crate::protocol::Protocol;
 
+/// The snapshot schema version this build writes and accepts.
+///
+/// Version history:
+/// * 1 — implicit (pre-versioning): snapshots had no stamp.
+/// * 2 — the `schema` field itself, introduced with the layered-engine
+///   buffer representation.
+///
+/// Bump on any change to the meaning or layout of [`Snapshot`] /
+/// [`PacketState`]; [`restore`] and [`crate::checkpoint::restore`]
+/// reject any other value, so a state capture can never be silently
+/// misread across a format change.
+pub const SNAPSHOT_SCHEMA_VERSION: u32 = 2;
+
 /// A point-in-time capture of the network state.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Snapshot {
+    /// Format version stamp; see [`SNAPSHOT_SCHEMA_VERSION`].
+    pub schema: u32,
     /// Engine time at capture.
     pub time: Time,
     /// Buffer contents per edge, in queue order.
@@ -65,8 +80,7 @@ pub fn capture<P: Protocol>(engine: &Engine<P>) -> Snapshot {
         .edge_ids()
         .map(|e| {
             engine
-                .queue(e)
-                .iter()
+                .queue_iter(e)
                 .map(|p| PacketState {
                     id: p.id.0,
                     injected_at: p.injected_at,
@@ -79,6 +93,7 @@ pub fn capture<P: Protocol>(engine: &Engine<P>) -> Snapshot {
         })
         .collect();
     Snapshot {
+        schema: SNAPSHOT_SCHEMA_VERSION,
         time: engine.time(),
         buffers,
         next_id: engine.next_packet_id(),
@@ -93,6 +108,12 @@ pub fn capture<P: Protocol>(engine: &Engine<P>) -> Snapshot {
 /// clock. The engine must have been created without validators (their
 /// histories cannot be rewound).
 pub fn restore<P: Protocol>(engine: &mut Engine<P>, snap: &Snapshot) -> Result<(), EngineError> {
+    if snap.schema != SNAPSHOT_SCHEMA_VERSION {
+        return Err(EngineError::Usage(format!(
+            "snapshot schema version {} is not supported (this build reads version {})",
+            snap.schema, SNAPSHOT_SCHEMA_VERSION
+        )));
+    }
     if engine.has_validators() {
         return Err(EngineError::Usage(
             "cannot restore a snapshot into a validating engine".into(),
@@ -189,6 +210,15 @@ mod tests {
             },
         );
         assert!(restore(&mut v, &snap).is_err());
+    }
+
+    #[test]
+    fn restore_rejects_schema_mismatch() {
+        let (mut a, _) = engine();
+        let mut snap = capture(&a);
+        assert_eq!(snap.schema, SNAPSHOT_SCHEMA_VERSION);
+        snap.schema = SNAPSHOT_SCHEMA_VERSION + 1;
+        assert!(restore(&mut a, &snap).is_err());
     }
 
     #[test]

@@ -1,0 +1,189 @@
+//! The staged step pipeline (active-edge iteration + discipline fast
+//! paths) must be trajectory-identical to the retained pre-refactor
+//! reference loop (`EngineConfig::reference_pipeline`): same buffers,
+//! same metrics counters and series, same fault log, for every
+//! protocol, schedule, and fault plan. These tests are the license for
+//! the engine's fast path — if one fails, the optimization changed the
+//! model.
+
+use std::sync::Arc;
+
+use aqt_core::instability::{InstabilityConfig, InstabilityConstruction};
+use aqt_graph::{topologies, EdgeId, Graph, Route};
+use aqt_protocols::registry::{by_name, protocol_names};
+use aqt_protocols::Fifo;
+use aqt_sim::{snapshot, Engine, EngineConfig, FaultPlan, Injection, Metrics, Protocol, Schedule};
+use proptest::prelude::*;
+
+/// A length-3 route around `ring(6)` starting at edge `start`.
+fn ring_route(g: &Arc<Graph>, start: u64) -> Route {
+    let ids = vec![
+        EdgeId((start % 6) as u32),
+        EdgeId(((start + 1) % 6) as u32),
+        EdgeId(((start + 2) % 6) as u32),
+    ];
+    Route::new(g, ids).expect("contiguous ring edges")
+}
+
+fn config(reference: bool) -> EngineConfig {
+    EngineConfig {
+        sample_every: 3,
+        reference_pipeline: reference,
+        ..Default::default()
+    }
+}
+
+/// Drive `steps` steps, injecting per the decoded plan: at step `t`,
+/// one packet for every entry `(t, start)` in `inj`.
+fn drive<P: Protocol>(eng: &mut Engine<P>, g: &Arc<Graph>, inj: &[(u64, u64)], steps: u64) {
+    for t in 1..=steps {
+        let packets: Vec<Injection> = inj
+            .iter()
+            .filter(|&&(at, _)| at == t)
+            .map(|&(_, start)| Injection::new(ring_route(g, start), start as u32))
+            .collect();
+        eng.step(packets).unwrap();
+    }
+}
+
+fn assert_counters_equal(a: &Metrics, b: &Metrics) {
+    assert_eq!(a.injected, b.injected);
+    assert_eq!(a.absorbed, b.absorbed);
+    assert_eq!(a.dropped, b.dropped);
+    assert_eq!(a.duplicated, b.duplicated);
+    assert_eq!(a.max_buffer_wait, b.max_buffer_wait);
+    assert_eq!(a.max_latency, b.max_latency);
+    assert_eq!(a.max_queue_per_edge, b.max_queue_per_edge);
+    assert_eq!(a.crossings_per_edge, b.crossings_per_edge);
+    assert_eq!(a.series, b.series);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random schedules x all protocols x random fault plans: the two
+    /// pipelines produce the same snapshot, metrics, fault log, and
+    /// the books balance.
+    #[test]
+    fn pipelines_agree_on_random_runs(
+        proto in 0usize..9,
+        inj_raw in prop::collection::vec(0u64..360, 0..40),
+        drops in prop::collection::vec(0u64..300, 0..4),
+        dups in prop::collection::vec(0u64..300, 0..4),
+        outage in 0u64..300,
+        outage_len in 0u64..8,
+        burst_at in 1u64..50,
+        burst_n in 0usize..6,
+    ) {
+        let g = Arc::new(topologies::ring(6));
+        let name = protocol_names()[proto];
+        // decode each scalar into (step 1..=60, route start 0..6)
+        let inj: Vec<(u64, u64)> = inj_raw.iter().map(|&v| (1 + v / 6, v % 6)).collect();
+
+        let mut plan = FaultPlan::new();
+        for &d in &drops {
+            plan = plan.with_drop(EdgeId((d % 6) as u32), 1 + d / 6);
+        }
+        for &d in &dups {
+            plan = plan.with_duplicate(EdgeId((d % 6) as u32), 1 + d / 6);
+        }
+        let from = 1 + outage / 6;
+        plan = plan.with_outage(EdgeId((outage % 6) as u32), from, from + outage_len);
+        if burst_n > 0 {
+            plan = plan.with_burst(
+                burst_at,
+                vec![Injection::new(ring_route(&g, burst_at), 99); burst_n],
+            );
+        }
+
+        let mut fast = Engine::new(
+            Arc::clone(&g),
+            by_name(name, 11).unwrap(),
+            config(false),
+        );
+        let mut slow = Engine::new(
+            Arc::clone(&g),
+            by_name(name, 11).unwrap(),
+            config(true),
+        );
+        fast.install_faults(plan.clone()).unwrap();
+        slow.install_faults(plan).unwrap();
+
+        drive(&mut fast, &g, &inj, 70);
+        drive(&mut slow, &g, &inj, 70);
+
+        prop_assert_eq!(snapshot::capture(&fast), snapshot::capture(&slow));
+        prop_assert_eq!(fast.fault_log(), slow.fault_log());
+        assert_counters_equal(fast.metrics(), slow.metrics());
+
+        // packet conservation, independently recounted
+        let live: u64 = g.edge_ids().map(|e| fast.queue_len(e) as u64).sum();
+        let m = fast.metrics();
+        prop_assert_eq!(m.injected + m.duplicated, m.absorbed + m.dropped + live);
+    }
+}
+
+/// Deterministic cross-check on every bundled protocol: a congested
+/// phase (all sources firing) followed by a full drain, no faults.
+#[test]
+fn pipelines_agree_for_every_protocol_through_a_drain() {
+    let g = Arc::new(topologies::ring(6));
+    for &name in protocol_names() {
+        let mut fast = Engine::new(Arc::clone(&g), by_name(name, 5).unwrap(), config(false));
+        let mut slow = Engine::new(Arc::clone(&g), by_name(name, 5).unwrap(), config(true));
+        for eng in [&mut fast, &mut slow] {
+            for t in 1..=40u64 {
+                let inj: Vec<Injection> = (0..(t % 4))
+                    .map(|k| Injection::new(ring_route(&g, t + k), t as u32))
+                    .collect();
+                eng.step(inj).unwrap();
+            }
+            // quiet drain: the active-edge set shrinks to nothing
+            eng.run_quiet(60).unwrap();
+        }
+        assert_eq!(
+            snapshot::capture(&fast),
+            snapshot::capture(&slow),
+            "{name}: snapshots diverge"
+        );
+        assert_counters_equal(fast.metrics(), slow.metrics());
+        assert_eq!(fast.backlog(), 0, "{name}: drain must complete");
+    }
+}
+
+/// The recorded Theorem 3.17 adversary (which exercises `Extend` ops —
+/// the Lemma 3.3 reroutes — plus massive single-edge backlogs) replays
+/// identically through both pipelines.
+#[test]
+fn pipelines_agree_on_a_recorded_instability_run() {
+    let mut cfg = InstabilityConfig::new(1, 4);
+    cfg.iterations = 1;
+    cfg.s0_safety = 1.0;
+    cfg.m_override = Some(4);
+    cfg.record_ops = true;
+    cfg.validate = false;
+    let construction = InstabilityConstruction::new(cfg);
+    let run = construction.run().expect("legal adversary");
+
+    let graph = Arc::new(construction.geps.graph.clone());
+    let ingress = construction.geps.ingress();
+    let unit = Route::single(&graph, ingress).expect("unit route");
+
+    let replay = |reference: bool| {
+        let mut eng = Engine::new(Arc::clone(&graph), Fifo, config(reference));
+        for _ in 0..run.s_star {
+            eng.seed(unit.clone(), 0).expect("seeding");
+        }
+        let sched: Schedule = run.recorded.clone();
+        sched.run(&mut eng, run.total_steps).expect("replay");
+        eng
+    };
+    let fast = replay(false);
+    let slow = replay(true);
+
+    assert_eq!(snapshot::capture(&fast), snapshot::capture(&slow));
+    assert_counters_equal(fast.metrics(), slow.metrics());
+    // and both match the driver's own measurement of the final queue
+    let s_end = run.iterations.last().expect("one iteration").s_end;
+    assert_eq!(fast.backlog(), s_end);
+}

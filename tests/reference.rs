@@ -143,8 +143,7 @@ fn differential_run(policy: RefPolicy, seed: u64, steps: u64) {
         let (ref_buffers, ref_absorbed) = reference.fingerprint();
         for e in arc.edge_ids() {
             let eng_buf: Vec<(u64, usize)> = engine
-                .queue(e)
-                .iter()
+                .queue_iter(e)
                 .map(|p| (p.id.0, p.traversed()))
                 .collect();
             assert_eq!(

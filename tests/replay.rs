@@ -46,5 +46,5 @@ fn recorded_schedule_reproduces_the_fifo_run() {
     // And those packets all sit at the ingress with unit remaining
     // routes, ready for the next iteration.
     assert_eq!(eng.queue_len(ingress) as u64, s_end);
-    assert!(eng.queue(ingress).iter().all(|p| p.remaining() == 1));
+    assert!(eng.queue_iter(ingress).all(|p| p.remaining() == 1));
 }

@@ -25,7 +25,7 @@ fn protocol_orderings_end_to_end() {
     }
     let mut order = Vec::new();
     for _ in 0..3 {
-        order.push(eng.queue(e)[0].tag);
+        order.push(eng.queue_iter(e).next().unwrap().tag);
         eng.run_quiet(1).unwrap();
     }
     assert_eq!(order, vec![0, 1, 2]);
@@ -37,7 +37,7 @@ fn protocol_orderings_end_to_end() {
     }
     // after one step the last-seeded packet (tag 2) is gone
     eng.run_quiet(1).unwrap();
-    let tags: Vec<u32> = eng.queue(e).iter().map(|p| p.tag).collect();
+    let tags: Vec<u32> = eng.queue_iter(e).map(|p| p.tag).collect();
     assert_eq!(tags, vec![0, 1]);
 
     // LIS prefers the earliest injection: inject late packet, seed old.
@@ -45,7 +45,7 @@ fn protocol_orderings_end_to_end() {
     eng.seed(route.clone(), 7).unwrap(); // injected_at = 0
     eng.step([Injection::new(route.clone(), 9)]).unwrap(); // t = 1, old seed sent
                                                            // at t=1 the seed (older) was sent; the new packet remains
-    let tags: Vec<u32> = eng.queue(e).iter().map(|p| p.tag).collect();
+    let tags: Vec<u32> = eng.queue_iter(e).map(|p| p.tag).collect();
     assert_eq!(tags, vec![9]);
 }
 

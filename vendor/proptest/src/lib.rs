@@ -114,7 +114,7 @@ pub mod prop {
         use rand::rngs::StdRng;
         use rand::Rng;
 
-        /// Admissible length ranges for [`vec`].
+        /// Admissible length ranges for [`vec()`].
         #[derive(Debug, Clone, Copy)]
         pub struct SizeRange {
             lo: usize,
