@@ -1,7 +1,8 @@
 //! Engine hot-path benchmark: the staged pipeline (active-edge set +
 //! discipline fast paths) against the retained pre-refactor reference
-//! loop (`EngineConfig::reference_pipeline`), on the three workloads
-//! the layering targets:
+//! loop (`EngineConfig::reference_pipeline`), plus the pipeline with
+//! the runtime sentinel attached at its default cadence, on the three
+//! workloads the layering targets:
 //!
 //! * **instability** — a recorded Theorem 3.17 `G_ε` run replayed end
 //!   to end (huge backlogs on a handful of edges, `Extend` reroutes);
@@ -11,9 +12,11 @@
 //!   255 buffers stay empty (the pure active-set case).
 //!
 //! Besides the criterion output, writes `BENCH_engine.json` at the
-//! repository root with steps/sec before/after, so the repo's perf
-//! trajectory has a recorded baseline. `BENCH_SMOKE=1` shrinks every
-//! workload to a single cheap sample (the CI smoke job).
+//! repository root with steps/sec for all three modes (the
+//! `sentinel_vs_pipeline` ratio is the sentinel's measured overhead),
+//! so the repo's perf trajectory has a recorded baseline.
+//! `BENCH_SMOKE=1` shrinks every workload to a single cheap sample
+//! (the CI smoke job).
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -22,7 +25,7 @@ use aqt_adversary::stochastic::{random_routes, InjectionStyle, SaturatingAdversa
 use aqt_core::instability::{InstabilityConfig, InstabilityConstruction, InstabilityRun};
 use aqt_graph::{topologies, Route};
 use aqt_protocols::Fifo;
-use aqt_sim::{Engine, EngineConfig, Ratio};
+use aqt_sim::{Engine, EngineConfig, Ratio, SentinelConfig};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 /// Pre-refactor seed measurements (commit 8270fdf, monolithic
@@ -39,12 +42,42 @@ fn smoke() -> bool {
     std::env::var_os("BENCH_SMOKE").is_some()
 }
 
-fn engine_cfg(reference: bool) -> EngineConfig {
-    EngineConfig {
-        reference_pipeline: reference,
-        ..Default::default()
+/// The three engine configurations under comparison.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Pre-refactor monolithic loop (`EngineConfig::reference_pipeline`).
+    Reference,
+    /// The staged pipeline with discipline fast paths.
+    Pipeline,
+    /// The staged pipeline with the runtime sentinel at its default
+    /// cadence — measures the self-checking overhead.
+    Sentinel,
+}
+
+impl Mode {
+    fn label(self) -> &'static str {
+        match self {
+            Mode::Reference => "reference",
+            Mode::Pipeline => "pipeline",
+            Mode::Sentinel => "sentinel",
+        }
+    }
+
+    /// A fresh engine for this mode on `graph`.
+    fn engine(self, graph: &Arc<aqt_graph::Graph>) -> Engine<Fifo> {
+        let cfg = EngineConfig {
+            reference_pipeline: self == Mode::Reference,
+            ..Default::default()
+        };
+        let mut eng = Engine::new(Arc::clone(graph), Fifo, cfg);
+        if self == Mode::Sentinel {
+            eng.attach_sentinel(SentinelConfig::default());
+        }
+        eng
     }
 }
+
+const MODES: [Mode; 3] = [Mode::Reference, Mode::Pipeline, Mode::Sentinel];
 
 /// One timed measurement: steps simulated and the wall time of the
 /// stepping alone (setup excluded).
@@ -65,12 +98,12 @@ fn best(samples: &[Sample]) -> Sample {
 fn replay_instability(
     construction: &InstabilityConstruction,
     run: &InstabilityRun,
-    reference: bool,
+    mode: Mode,
 ) -> Sample {
     let graph = Arc::new(construction.geps.graph.clone());
     let ingress = construction.geps.ingress();
     let unit = Route::single(&graph, ingress).expect("unit route");
-    let mut eng = Engine::new(Arc::clone(&graph), Fifo, engine_cfg(reference));
+    let mut eng = mode.engine(&graph);
     for _ in 0..run.s_star {
         eng.seed(unit.clone(), 0).expect("seeding");
     }
@@ -83,7 +116,7 @@ fn replay_instability(
     }
 }
 
-fn run_sweep(reference: bool) -> Sample {
+fn run_sweep(mode: Mode) -> Sample {
     let steps = if smoke() { 2_000 } else { 20_000u64 };
     let graph = Arc::new(topologies::torus(4, 4));
     let routes = random_routes(&graph, 4, 64, 11);
@@ -95,7 +128,7 @@ fn run_sweep(reference: bool) -> Sample {
         InjectionStyle::Burst,
         5,
     );
-    let mut eng = Engine::new(Arc::clone(&graph), Fifo, engine_cfg(reference));
+    let mut eng = mode.engine(&graph);
     let t0 = Instant::now();
     for t in 1..=steps {
         eng.step(adv.injections_for(t)).expect("no validators on");
@@ -106,12 +139,12 @@ fn run_sweep(reference: bool) -> Sample {
     }
 }
 
-fn run_drain(reference: bool) -> Sample {
+fn run_drain(mode: Mode) -> Sample {
     let k = if smoke() { 2_000 } else { 20_000u64 };
     let graph = Arc::new(topologies::line(256));
     let e0 = graph.edge_ids().next().expect("line has edges");
     let unit = Route::single(&graph, e0).expect("unit route");
-    let mut eng = Engine::new(Arc::clone(&graph), Fifo, engine_cfg(reference));
+    let mut eng = mode.engine(&graph);
     for _ in 0..k {
         eng.seed(unit.clone(), 0).expect("seeding");
     }
@@ -125,7 +158,7 @@ fn run_drain(reference: bool) -> Sample {
     }
 }
 
-fn write_json(results: &[(&str, Sample, Sample)]) {
+fn write_json(results: &[(&str, [Sample; 3])]) {
     let mut out = String::from("{\n");
     out.push_str("  \"generated_by\": \"cargo bench -p aqt-bench --bench engine\",\n");
     out.push_str(&format!("  \"smoke\": {},\n", smoke()));
@@ -141,19 +174,28 @@ fn write_json(results: &[(&str, Sample, Sample)]) {
     }
     out.push_str("  },\n");
     out.push_str("  \"workloads\": [\n");
-    for (i, (name, before, after)) in results.iter().enumerate() {
-        let rb = before.steps as f64 / before.secs;
-        let ra = after.steps as f64 / after.secs;
+    for (i, (name, samples)) in results.iter().enumerate() {
+        let [reference, pipeline, sentinel] = samples;
         let comma = if i + 1 < results.len() { "," } else { "" };
         out.push_str(&format!(
-            "    {{\"name\": \"{name}\", \"steps\": {}, \
-             \"before\": {{\"secs\": {:.6}, \"steps_per_sec\": {rb:.0}}}, \
-             \"after\": {{\"secs\": {:.6}, \"steps_per_sec\": {ra:.0}}}, \
-             \"speedup\": {:.3}}}{comma}\n",
-            before.steps,
-            before.secs,
-            after.secs,
-            ra / rb
+            "    {{\"name\": \"{name}\", \"steps\": {},\n",
+            reference.steps
+        ));
+        for (mode, s) in MODES.iter().zip(samples.iter()) {
+            let rate = s.steps as f64 / s.secs;
+            out.push_str(&format!(
+                "     \"{}\": {{\"secs\": {:.6}, \"steps_per_sec\": {rate:.0}}},\n",
+                mode.label(),
+                s.secs
+            ));
+        }
+        let rr = reference.steps as f64 / reference.secs;
+        let rp = pipeline.steps as f64 / pipeline.secs;
+        let rs = sentinel.steps as f64 / sentinel.secs;
+        out.push_str(&format!(
+            "     \"speedup\": {:.3}, \"sentinel_vs_pipeline\": {:.3}}}{comma}\n",
+            rp / rr,
+            rs / rp
         ));
     }
     out.push_str("  ]\n}\n");
@@ -181,12 +223,12 @@ fn bench(c: &mut Criterion) {
     };
     let run = construction.run().expect("legal adversary");
 
-    type Workload<'a> = (&'a str, Box<dyn Fn(bool) -> Sample + 'a>, u64);
-    let mut results: Vec<(&str, Sample, Sample)> = Vec::new();
+    type Workload<'a> = (&'a str, Box<dyn Fn(Mode) -> Sample + 'a>, u64);
+    let mut results: Vec<(&str, [Sample; 3])> = Vec::new();
     let workloads: Vec<Workload> = vec![
         (
             "instability",
-            Box::new(|r| replay_instability(&construction, &run, r)),
+            Box::new(|m| replay_instability(&construction, &run, m)),
             run.total_steps,
         ),
         (
@@ -205,24 +247,27 @@ fn bench(c: &mut Criterion) {
         let mut g = c.benchmark_group(format!("engine/{name}"));
         g.sample_size(samples);
         g.throughput(Throughput::Elements(*steps));
-        let mut pair: Vec<Sample> = Vec::new();
-        for (label, reference) in [("reference", true), ("pipeline", false)] {
+        let mut triple: Vec<Sample> = Vec::new();
+        for mode in MODES {
             let mut batch: Vec<Sample> = Vec::new();
-            g.bench_with_input(BenchmarkId::from_parameter(label), &reference, |b, &r| {
-                b.iter(|| batch.push(workload(r)));
+            g.bench_with_input(BenchmarkId::from_parameter(mode.label()), &mode, |b, &m| {
+                b.iter(|| batch.push(workload(m)));
             });
-            pair.push(best(&batch));
+            triple.push(best(&batch));
         }
         g.finish();
-        results.push((name, pair[0], pair[1]));
+        results.push((name, [triple[0], triple[1], triple[2]]));
     }
 
-    for (name, before, after) in &results {
+    for (name, [reference, pipeline, sentinel]) in &results {
+        let rr = reference.steps as f64 / reference.secs;
+        let rp = pipeline.steps as f64 / pipeline.secs;
+        let rs = sentinel.steps as f64 / sentinel.secs;
         println!(
-            "engine/{name}: {:.0} -> {:.0} steps/s ({:.2}x)",
-            before.steps as f64 / before.secs,
-            after.steps as f64 / after.secs,
-            (after.steps as f64 / after.secs) / (before.steps as f64 / before.secs)
+            "engine/{name}: {rr:.0} -> {rp:.0} steps/s ({:.2}x); \
+             with sentinel {rs:.0} ({:.3} of pipeline)",
+            rp / rr,
+            rs / rp
         );
     }
     write_json(&results);

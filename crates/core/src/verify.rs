@@ -18,7 +18,12 @@
 //! `S₀`, shows up here as a tiny deficit the safety factor covers).
 
 use aqt_graph::GadgetHandles;
-use aqt_sim::{Engine, Packet, Protocol};
+use aqt_sim::{
+    CertificateSpec, Engine, InvariantKind, Packet, Protocol, ReproBundle, SentinelConfig,
+    SimError, Violation, ViolationReport,
+};
+
+use crate::theory::StabilityCertificate;
 
 /// Measured state of a gadget vs. `C(S, F_n)`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -123,6 +128,86 @@ pub fn check_c_invariant<P: Protocol>(engine: &Engine<P>, g: &GadgetHandles) -> 
     }
 }
 
+/// The sentinel-side mirror of a [`StabilityCertificate`]: the same
+/// `(w, r, d, S)` parameters plus the protocol-class flag the
+/// theorems dispatch on. `spec.bound()` computes exactly what
+/// [`StabilityCertificate::bound_for`] computes (pinned equal by the
+/// tests below), so the engine's certificate invariant enforces the
+/// theorem this crate derives.
+pub fn certificate_spec(cert: &StabilityCertificate, time_priority: bool) -> CertificateSpec {
+    CertificateSpec {
+        window: cert.window,
+        rate: cert.rate,
+        d: cert.d as u64,
+        initial: cert.initial,
+        time_priority,
+    }
+}
+
+/// Arm `engine`'s sentinel with the theorem certificate matching
+/// `cert` and the engine's protocol class, so every run of a stability
+/// experiment *enforces* the bound it claims rather than only
+/// measuring it afterwards.
+///
+/// Returns the enforced per-buffer wait bound, or `None` — leaving the
+/// engine untouched — when no theorem applies at this `(r, d, S)`
+/// (e.g. `r > 1/(d+1)` for a greedy protocol). If a sentinel is
+/// already attached its configuration (cadence, severities, seed) is
+/// preserved; only the certificate is installed.
+pub fn attach_certificate_sentinel<P: Protocol>(
+    engine: &mut Engine<P>,
+    cert: &StabilityCertificate,
+) -> Option<u64> {
+    let spec = certificate_spec(cert, engine.protocol().is_time_priority());
+    let bound = spec.bound()?;
+    let cfg = engine
+        .sentinel()
+        .map_or_else(SentinelConfig::default, |s| s.config().clone())
+        .with_certificate(spec);
+    engine.attach_sentinel(cfg);
+    Some(bound)
+}
+
+/// [`check_c_invariant`], promoted to a sentinel-grade error: when
+/// `C(S, F_n)` fails the result is a [`SimError::InvariantViolated`]
+/// carrying the full measured report and a reproduction bundle
+/// (snapshot + fault plan at the failing step), exactly like an
+/// engine-internal invariant breach. On success returns the measured
+/// `S`.
+pub fn enforce_c_invariant<P: Protocol>(
+    engine: &Engine<P>,
+    g: &GadgetHandles,
+) -> Result<u64, SimError> {
+    let rep = check_c_invariant(engine, g);
+    if let Some(s) = rep.holds() {
+        return Ok(s);
+    }
+    let violation = Violation {
+        kind: InvariantKind::GadgetInvariant,
+        time: engine.time(),
+        detail: format!(
+            "C(S, F_n) failed: e_total={} a_count={} e_all_nonempty={} \
+             e_misrouted={} a_foreign={} stragglers={}",
+            rep.e_total,
+            rep.a_count,
+            rep.e_all_nonempty,
+            rep.e_misrouted,
+            rep.a_foreign,
+            rep.stragglers
+        ),
+    };
+    let bundle = ReproBundle {
+        seed: engine.sentinel().and_then(|s| s.config().seed),
+        step: engine.time(),
+        snapshot: aqt_sim::snapshot::capture(engine),
+        fault_plan: engine.faults().cloned(),
+    };
+    Err(SimError::InvariantViolated(Box::new(ViolationReport {
+        violation,
+        bundle,
+    })))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -194,6 +279,81 @@ mod tests {
         eng.seed(bad, 0).unwrap();
         let rep = check_c_invariant(&eng, &g.handles);
         assert_eq!(rep.e_misrouted, 1);
+    }
+
+    #[test]
+    fn certificate_spec_bound_pins_theory_bounds() {
+        // The sentinel's CertificateSpec::bound() must agree with
+        // StabilityCertificate across protocol classes and S-values —
+        // otherwise the runtime invariant enforces a different theorem
+        // than the one this crate certifies.
+        let cases = [
+            StabilityCertificate::new(10, aqt_sim::Ratio::new(1, 4), 3),
+            StabilityCertificate::new(10, aqt_sim::Ratio::new(26, 100), 3),
+            StabilityCertificate::new(9, aqt_sim::Ratio::new(1, 3), 3),
+            StabilityCertificate::with_initial(5, aqt_sim::Ratio::new(1, 4), 2, 20),
+            StabilityCertificate::with_initial(5, aqt_sim::Ratio::new(1, 3), 2, 20),
+            StabilityCertificate::new(5, aqt_sim::Ratio::new(1, 2), 0),
+        ];
+        for cert in cases {
+            assert_eq!(
+                certificate_spec(&cert, true).bound(),
+                cert.bound_for(&Fifo),
+                "time-priority bound diverged for {cert:?}"
+            );
+            assert_eq!(
+                certificate_spec(&cert, false).bound(),
+                cert.bound_for(&aqt_protocols::Ntg),
+                "greedy bound diverged for {cert:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn attach_certificate_sentinel_installs_the_bound() {
+        let (mut eng, _g) = seeded_gadget(3, 6);
+        // FIFO is time-priority; d = 3, r = 1/3, w = 9 -> bound 3.
+        let cert = StabilityCertificate::new(9, aqt_sim::Ratio::new(1, 3), 3);
+        assert_eq!(attach_certificate_sentinel(&mut eng, &cert), Some(3));
+        let spec = eng
+            .sentinel()
+            .expect("sentinel attached")
+            .config()
+            .certificate_spec
+            .expect("certificate installed");
+        assert_eq!(spec.bound(), Some(3));
+        assert!(spec.time_priority);
+        // A rate where no theorem applies: engine left untouched.
+        let mut plain = seeded_gadget(3, 6).0;
+        let hot = StabilityCertificate::new(9, aqt_sim::Ratio::new(1, 2), 3);
+        assert_eq!(attach_certificate_sentinel(&mut plain, &hot), None);
+        assert!(plain.sentinel().is_none());
+    }
+
+    #[test]
+    fn enforce_c_invariant_returns_s_or_typed_error() {
+        let (eng, g) = seeded_gadget(4, 12);
+        assert_eq!(enforce_c_invariant(&eng, &g.handles).unwrap(), 12);
+
+        // A straggler on the f-path breaks clause 4.
+        let g = FnGadget::new(3);
+        let graph = Arc::new(g.graph.clone());
+        let mut eng = Engine::new(Arc::clone(&graph), Fifo, EngineConfig::default());
+        let f_route = Route::single(&graph, g.handles.f_path[1]).unwrap();
+        eng.seed(f_route, 0).unwrap();
+        let err = enforce_c_invariant(&eng, &g.handles).unwrap_err();
+        match err {
+            aqt_sim::SimError::InvariantViolated(report) => {
+                assert_eq!(report.violation.kind, InvariantKind::GadgetInvariant);
+                assert!(report.violation.detail.contains("stragglers=1"));
+                // The bundle is replayable: restoring its snapshot
+                // reproduces the failing state exactly.
+                let mut fresh = Engine::new(Arc::clone(&graph), Fifo, EngineConfig::default());
+                aqt_sim::snapshot::restore(&mut fresh, &report.bundle.snapshot).unwrap();
+                assert!(enforce_c_invariant(&fresh, &g.handles).is_err());
+            }
+            other => panic!("expected InvariantViolated, got {other:?}"),
+        }
     }
 
     #[test]

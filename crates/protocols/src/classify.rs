@@ -1,6 +1,6 @@
 //! Protocol classification report — the paper's taxonomy as data.
 
-use aqt_sim::Protocol;
+use aqt_sim::{CertificateSpec, Protocol, Ratio};
 
 /// Static facts about a protocol, as used by the paper's theorems.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -15,6 +15,43 @@ pub struct Classification {
     /// Time-priority per Definition 4.2 (stability threshold improves
     /// from `1/(d+1)` to `1/d`, Theorem 4.3).
     pub time_priority: bool,
+}
+
+impl Classification {
+    /// The stability threshold `r*` of this protocol class against
+    /// routes of length at most `d`: `1/d` for time-priority protocols
+    /// (Theorem 4.3), `1/(d+1)` for every other greedy protocol
+    /// (Theorem 4.1). `None` only in the degenerate time-priority
+    /// `d = 0` case, where Theorem 4.3 has nothing to say.
+    pub fn stability_threshold(&self, d: usize) -> Option<Ratio> {
+        if self.time_priority {
+            (d > 0).then(|| Ratio::new(1, d as u64))
+        } else {
+            Some(Ratio::new(1, d as u64 + 1))
+        }
+    }
+
+    /// The sentinel certificate this classification licenses for a
+    /// `(window, rate)` adversary, routes of length at most `d`, and an
+    /// `S = initial` starting configuration. Feed the result to
+    /// `SentinelConfig::with_certificate` to have the engine enforce
+    /// the matching theorem bound at runtime ([`CertificateSpec::bound`]
+    /// is `None` when the rate is above the class threshold).
+    pub fn certificate_spec(
+        &self,
+        window: u64,
+        rate: Ratio,
+        d: usize,
+        initial: u64,
+    ) -> CertificateSpec {
+        CertificateSpec {
+            window,
+            rate,
+            d: d as u64,
+            initial,
+            time_priority: self.time_priority,
+        }
+    }
 }
 
 /// Classify a protocol instance.
@@ -60,5 +97,31 @@ mod tests {
         ] {
             assert!(!c.time_priority, "{} should not be time-priority", c.name);
         }
+    }
+
+    #[test]
+    fn stability_thresholds_follow_the_theorems() {
+        // FIFO (time-priority): r* = 1/d; NTG (merely greedy): 1/(d+1).
+        assert_eq!(
+            classify(&Fifo).stability_threshold(3),
+            Some(Ratio::new(1, 3))
+        );
+        assert_eq!(
+            classify(&Ntg).stability_threshold(3),
+            Some(Ratio::new(1, 4))
+        );
+        // Degenerate d = 0: Theorem 4.3 is silent, Theorem 4.1 is not.
+        assert_eq!(classify(&Fifo).stability_threshold(0), None);
+        assert_eq!(classify(&Ntg).stability_threshold(0), Some(Ratio::ONE));
+    }
+
+    #[test]
+    fn certificate_spec_carries_the_class() {
+        let spec = classify(&Fifo).certificate_spec(9, Ratio::new(1, 3), 3, 0);
+        assert!(spec.time_priority);
+        assert_eq!(spec.bound(), Some(3)); // Theorem 4.3: ⌈9/3⌉
+        let spec = classify(&Ntg).certificate_spec(9, Ratio::new(1, 3), 3, 0);
+        assert!(!spec.time_priority);
+        assert_eq!(spec.bound(), None); // 1/3 > 1/(d+1) = 1/4
     }
 }

@@ -28,6 +28,7 @@ pub mod registry;
 pub mod route_position;
 pub mod system_age;
 
+pub use classify::{classify, Classification};
 pub use fifo::Fifo;
 pub use lifo::Lifo;
 pub use random::Random;

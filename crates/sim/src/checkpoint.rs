@@ -31,6 +31,7 @@ use crate::metrics::Metrics;
 use crate::packet::Time;
 use crate::protocol::Protocol;
 use crate::rate::{RateValidator, WindowValidator};
+use crate::sentinel::SentinelState;
 use crate::snapshot::{self, Snapshot};
 
 /// A complete engine state capture. See the module docs for what it
@@ -44,6 +45,11 @@ pub struct Checkpoint {
     window_validator: Option<WindowValidator>,
     last_route_use: Vec<Option<Time>>,
     fault_log: Vec<FaultEvent>,
+    /// Dynamic state of the attached sentinel (check phase, crossing
+    /// baseline, accumulated violations) — present iff the captured
+    /// engine had one. The sentinel *configuration*, like the fault
+    /// plan, is configuration and travels outside the checkpoint.
+    sentinel: Option<SentinelState>,
 }
 
 impl Checkpoint {
@@ -79,6 +85,7 @@ pub fn checkpoint<P: Protocol>(engine: &Engine<P>) -> Checkpoint {
         window_validator: window_validator.cloned(),
         last_route_use: last_route_use.to_vec(),
         fault_log: fault_log.to_vec(),
+        sentinel: engine.sentinel_state().cloned(),
     }
 }
 
@@ -118,6 +125,12 @@ pub fn restore<P: Protocol>(engine: &mut Engine<P>, ck: &Checkpoint) -> Result<(
             "window-validator configuration differs between checkpoint and engine".into(),
         ));
     }
+    if engine.sentinel().is_some() != ck.sentinel.is_some() {
+        return Err(SimError::Checkpoint(
+            "sentinel configuration differs between checkpoint and engine".into(),
+        ));
+    }
+    snapshot::validate_payload(&ck.snapshot, edges).map_err(SimError::Checkpoint)?;
 
     // Restore metrics first (restore_state then overwrites the packet
     // counters consistently with the snapshot).
@@ -148,6 +161,11 @@ pub fn restore<P: Protocol>(engine: &mut Engine<P>, ck: &Checkpoint) -> Result<(
                 .collect()
         }),
     );
+    // Last: the checkpointed sentinel state overrides the fresh
+    // baseline restore_state just installed.
+    if let Some(st) = ck.sentinel.clone() {
+        engine.restore_sentinel_state(st);
+    }
     Ok(())
 }
 

@@ -45,10 +45,15 @@ use aqt_graph::{EdgeId, Graph, Route, RouteError};
 use crate::buffer::BufferStore;
 use crate::fault::{FaultEvent, FaultPlan};
 use crate::metrics::{BacklogSample, Metrics};
+use crate::oracle::{Oracle, ReferenceModel};
 use crate::packet::{Packet, PacketId, Time};
 use crate::protocol::{Discipline, Protocol};
 use crate::rate::{RateValidator, RateViolation, WindowValidator};
 use crate::ratio::Ratio;
+use crate::sentinel::{
+    self, InvariantKind, ReproBundle, Sentinel, SentinelConfig, SentinelState, Severity, Violation,
+    ViolationReport,
+};
 
 /// Engine configuration.
 #[derive(Debug, Clone, Default)]
@@ -95,6 +100,12 @@ pub enum EngineError {
     /// itself, reported instead of panicking so a sweep harness can
     /// quarantine the run.
     Internal(String),
+    /// A sentinel invariant at [`Severity::Halt`] was violated.
+    /// Carries the full report: what failed, when, and the minimal
+    /// reproduction bundle (seed, step, snapshot, fault plan). Mapped
+    /// to [`crate::SimError::InvariantViolated`] at the `SimError`
+    /// boundary.
+    Invariant(Box<ViolationReport>),
 }
 
 impl std::fmt::Display for EngineError {
@@ -106,6 +117,7 @@ impl std::fmt::Display for EngineError {
             EngineError::Usage(s) => write!(f, "engine misuse: {s}"),
             EngineError::Protocol(s) => write!(f, "protocol contract violation: {s}"),
             EngineError::Internal(s) => write!(f, "engine invariant violation: {s}"),
+            EngineError::Invariant(r) => write!(f, "{r}"),
         }
     }
 }
@@ -125,7 +137,7 @@ impl From<RouteError> for EngineError {
 }
 
 /// An injection request: route plus cohort tag.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Injection {
     /// The packet's route.
     pub route: Route,
@@ -167,6 +179,16 @@ pub struct Engine<P: Protocol> {
     faults: Option<FaultPlan>,
     /// Every fault that took effect, in time order.
     fault_log: Vec<FaultEvent>,
+    /// Attached runtime invariant sentinel, if any.
+    sentinel: Option<Sentinel>,
+    /// Cached step of the next sentinel round (`Time::MAX` when no
+    /// sentinel is attached or its cadence is 0): the per-step gate is
+    /// one compare on a hot field instead of a probe through the
+    /// `Option<Sentinel>`. Kept in sync by `attach_sentinel`,
+    /// `restore_sentinel_state`, and `run_sentinel_checks`.
+    sentinel_next: Time,
+    /// Attached lockstep differential oracle, if any.
+    oracle: Option<Oracle>,
 }
 
 impl<P: Protocol> Engine<P> {
@@ -195,6 +217,78 @@ impl<P: Protocol> Engine<P> {
             delivered: Vec::new(),
             faults: None,
             fault_log: Vec::new(),
+            sentinel: None,
+            sentinel_next: Time::MAX,
+            oracle: None,
+        }
+    }
+
+    /// The step of the next sentinel round implied by the attached
+    /// sentinel's state, or `Time::MAX` when checks are off.
+    fn sentinel_next_due(&self) -> Time {
+        match &self.sentinel {
+            Some(s) if s.config().cadence > 0 => {
+                s.state().last_check.saturating_add(s.config().cadence)
+            }
+            _ => Time::MAX,
+        }
+    }
+
+    /// Attach a runtime invariant sentinel. The check baseline (the
+    /// unit-speed crossing counters) is taken from the engine's current
+    /// state, so attaching mid-run is legal.
+    pub fn attach_sentinel(&mut self, cfg: SentinelConfig) {
+        self.sentinel = Some(Sentinel::new(
+            cfg,
+            self.time,
+            &self.metrics.crossings_per_edge,
+        ));
+        self.sentinel_next = self.sentinel_next_due();
+    }
+
+    /// Attach a lockstep differential oracle diffing the naive
+    /// reference model against this engine every `every` steps
+    /// (clamped to ≥ 1; `every == 1` is full lockstep). `protocol`
+    /// must be a separate instance configured identically to the
+    /// engine's — for stateful protocols, identically seeded. The
+    /// model is synchronized to the engine's current state, so
+    /// attaching mid-run is legal.
+    ///
+    /// Divergences are raised as [`InvariantKind::OracleDivergence`]
+    /// under the attached sentinel's severity policy ([`Severity::Halt`]
+    /// when no sentinel is attached).
+    pub fn attach_oracle(&mut self, protocol: Box<dyn Protocol>, every: u64) {
+        let mut oracle = Oracle::new(protocol, every, self.graph.edge_count());
+        oracle.model.resync(self);
+        self.oracle = Some(oracle);
+    }
+
+    /// The attached sentinel, if any.
+    pub fn sentinel(&self) -> Option<&Sentinel> {
+        self.sentinel.as_ref()
+    }
+
+    /// The attached differential oracle, if any.
+    pub fn oracle(&self) -> Option<&Oracle> {
+        self.oracle.as_ref()
+    }
+
+    /// Checkpoint support (crate-only): the sentinel's dynamic state.
+    pub(crate) fn sentinel_state(&self) -> Option<&SentinelState> {
+        self.sentinel.as_ref().map(|s| s.state())
+    }
+
+    /// Checkpoint support (crate-only): restore a checkpointed sentinel
+    /// state. Returns `false` when no sentinel is attached (the caller
+    /// has already verified presence matches).
+    pub(crate) fn restore_sentinel_state(&mut self, state: SentinelState) -> bool {
+        match self.sentinel.as_mut() {
+            Some(s) => {
+                s.set_state(state);
+                self.sentinel_next = self.sentinel_next_due();
+                true
+            }
+            None => false,
         }
     }
 
@@ -206,7 +300,8 @@ impl<P: Protocol> Engine<P> {
                 "install_faults() is only allowed before the first step".into(),
             ));
         }
-        plan.validate().map_err(EngineError::Usage)?;
+        plan.validate()
+            .map_err(|e| EngineError::Usage(e.to_string()))?;
         for o in plan.outages() {
             if o.edge.index() >= self.graph.edge_count() {
                 return Err(EngineError::Usage(format!(
@@ -319,6 +414,22 @@ impl<P: Protocol> Engine<P> {
         self.metrics.dropped = dropped;
         self.metrics.duplicated = duplicated;
         self.buffers.replace_all(buffers);
+        // An attached oracle cannot replay across a restore; put the
+        // model exactly where the engine now is.
+        if let Some(mut oracle) = self.oracle.take() {
+            oracle.model.resync(self);
+            self.oracle = Some(oracle);
+        }
+        // Re-baseline the sentinel's interval checks at the restored
+        // clock (a checkpointed sentinel state, if any, is reinstated
+        // by the caller afterwards and overrides this).
+        let crossings = &self.metrics.crossings_per_edge;
+        if let Some(s) = self.sentinel.as_mut() {
+            s.state.last_check = time;
+            s.state.crossings_at_last_check.clear();
+            s.state.crossings_at_last_check.extend_from_slice(crossings);
+        }
+        self.sentinel_next = self.sentinel_next_due();
     }
 
     /// Checkpoint support (crate-only): the full internal state beyond
@@ -389,7 +500,11 @@ impl<P: Protocol> Engine<P> {
         for &e in route.edges() {
             self.touch_edge_use(e, 0);
         }
-        Ok(self.admit(route.shared(), 0, tag))
+        let shared = route.shared();
+        if let Some(oracle) = self.oracle.as_mut() {
+            oracle.model.mirror_seed(Arc::clone(&shared), tag);
+        }
+        Ok(self.admit(shared, 0, tag))
     }
 
     fn touch_edge_use(&mut self, e: EdgeId, t: Time) {
@@ -424,9 +539,11 @@ impl<P: Protocol> Engine<P> {
     ///
     /// The step is a pipeline of substages, in model order: send
     /// (substep 1), wire faults, receive (substep 2a), inject
-    /// (substep 2b), burst faults, sample. Each substage is a method
-    /// so the equivalence proptests and the reference loop
-    /// ([`EngineConfig::reference_pipeline`]) can pin the composition.
+    /// (substep 2b), burst faults, oracle, sample, sentinel. Each
+    /// substage is a method so the equivalence proptests and the
+    /// reference loop ([`EngineConfig::reference_pipeline`]) can pin
+    /// the composition. The oracle and sentinel stages are no-ops
+    /// unless attached.
     pub fn step<I>(&mut self, injections: I) -> Result<(), EngineError>
     where
         I: IntoIterator<Item = Injection>,
@@ -443,9 +560,18 @@ impl<P: Protocol> Engine<P> {
         }
         self.substep_wire_faults(t, faults_active);
         self.substep_receive(t);
-        self.substep_inject(t, injections)?;
-        self.substep_burst(t, faults_active);
+        if self.oracle.is_some() {
+            // The oracle replays this step's injections; buffer them.
+            let buffered: Vec<Injection> = injections.into_iter().collect();
+            self.substep_inject(t, buffered.iter().cloned())?;
+            self.substep_burst(t, faults_active);
+            self.substep_oracle(t, &buffered)?;
+        } else {
+            self.substep_inject(t, injections)?;
+            self.substep_burst(t, faults_active);
+        }
         self.substep_sample(t);
+        self.substep_sentinel(t)?;
         Ok(())
     }
 
@@ -575,6 +701,14 @@ impl<P: Protocol> Engine<P> {
         let mut delivered = std::mem::take(&mut self.delivered);
         for mut p in delivered.drain(..) {
             if p.on_last_edge() {
+                // Injected bug for `examples/sentinel_demo`: roughly
+                // one absorption in a thousand silently vanishes,
+                // uncounted — exactly the class of accounting rot the
+                // conservation invariant exists to catch.
+                #[cfg(feature = "demo-corruption")]
+                if p.id.0 % 977 == 5 {
+                    continue;
+                }
                 self.metrics.on_absorb(t - p.injected_at);
             } else {
                 p.hop += 1;
@@ -635,6 +769,215 @@ impl<P: Protocol> Engine<P> {
                 }
                 self.admit(inj.route.shared(), t, inj.tag);
             }
+        }
+    }
+
+    /// Oracle stage: advance the reference model through the same
+    /// step, then (at the diff cadence) compare complete states.
+    fn substep_oracle(&mut self, t: Time, injections: &[Injection]) -> Result<(), EngineError> {
+        let mut oracle = match self.oracle.take() {
+            Some(o) => o,
+            None => return Ok(()),
+        };
+        oracle.step(&self.graph, self.faults.as_ref(), injections);
+        let diverged = if oracle.due(t) {
+            oracle.model().diff(self)
+        } else {
+            None
+        };
+        self.oracle = Some(oracle);
+        if let Some(detail) = diverged {
+            self.raise(InvariantKind::OracleDivergence, t, detail)?;
+        }
+        Ok(())
+    }
+
+    /// Sentinel stage: at the configured cadence, run the invariant
+    /// checks. The hot path pays one branch.
+    #[inline]
+    fn substep_sentinel(&mut self, t: Time) -> Result<(), EngineError> {
+        if t >= self.sentinel_next {
+            self.run_sentinel_checks(t)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// One sentinel check round. Cheap O(E) checks run every round;
+    /// the O(backlog) per-packet checks and the snapshot round trip
+    /// run at their configured strides.
+    #[cold]
+    fn run_sentinel_checks(&mut self, t: Time) -> Result<(), EngineError> {
+        let (deep, roundtrip, unit_detail, cert) = {
+            let s = self.sentinel.as_ref().expect("gated by substep_sentinel");
+            let elapsed = t.saturating_sub(s.state().last_check);
+            (
+                s.deep_due(t),
+                s.roundtrip_due(t),
+                sentinel::unit_speed_violation(
+                    &s.state().crossings_at_last_check,
+                    &self.metrics.crossings_per_edge,
+                    elapsed,
+                ),
+                s.config().certificate_spec,
+            )
+        };
+
+        // Conservation: recount the live packets from the buffers —
+        // never trust the cached backlog to audit itself.
+        let live: u64 = (0..self.buffers.edge_count())
+            .map(|ei| self.buffers.len(ei) as u64)
+            .sum();
+        if let Some(detail) = sentinel::conservation_violation(&self.metrics, live) {
+            self.raise(InvariantKind::Conservation, t, detail)?;
+        }
+        if let Some(detail) = unit_detail {
+            self.raise(InvariantKind::UnitSpeed, t, detail)?;
+        }
+
+        if let Some(bound) = cert.and_then(|spec| spec.bound()) {
+            if self.metrics.max_buffer_wait > bound {
+                let detail = format!(
+                    "observed buffer wait {} exceeds the theorem bound {}",
+                    self.metrics.max_buffer_wait, bound
+                );
+                self.raise(InvariantKind::Certificate, t, detail)?;
+            }
+            if deep {
+                // In-buffer waits: a packet already queued longer than
+                // the bound can only exceed it further when sent.
+                let overdue = self.buffers.packets().find_map(|p| {
+                    let waited = t.saturating_sub(p.arrived_at);
+                    (waited > bound).then(|| {
+                        format!(
+                            "packet {:?} has waited {waited} steps at edge {:?} \
+                             (theorem bound {bound})",
+                            p.id,
+                            p.current_edge()
+                        )
+                    })
+                });
+                if let Some(detail) = overdue {
+                    self.raise(InvariantKind::Certificate, t, detail)?;
+                }
+            }
+        }
+
+        if deep {
+            if let Some(detail) = self.route_progress_violation(t) {
+                self.raise(InvariantKind::RouteProgress, t, detail)?;
+            }
+        }
+
+        if roundtrip {
+            let snap = crate::snapshot::capture(self);
+            if let Err(detail) = crate::snapshot::validate_payload(&snap, self.graph.edge_count()) {
+                self.raise(InvariantKind::SnapshotRoundTrip, t, detail)?;
+            } else if ReferenceModel::from_snapshot(&snap).to_snapshot() != snap {
+                self.raise(
+                    InvariantKind::SnapshotRoundTrip,
+                    t,
+                    "snapshot does not survive a reference-model round trip".into(),
+                )?;
+            }
+        }
+
+        let crossings = &self.metrics.crossings_per_edge;
+        let s = self.sentinel.as_mut().expect("gated by substep_sentinel");
+        s.state.last_check = t;
+        // Copy in place: reallocating O(E) every round is measurable
+        // on nanosecond-scale steps.
+        s.state.crossings_at_last_check.clear();
+        s.state.crossings_at_last_check.extend_from_slice(crossings);
+        s.state.checks_run += 1;
+        self.sentinel_next = self.sentinel_next_due();
+        Ok(())
+    }
+
+    /// First route-progress violation among the queued packets:
+    /// in-range hop, packet stored at its current route edge, coherent
+    /// timestamps, id below the allocation watermark.
+    fn route_progress_violation(&self, t: Time) -> Option<String> {
+        for ei in 0..self.buffers.edge_count() {
+            for p in self.buffers.iter(ei) {
+                if p.hop as usize >= p.route.len() {
+                    return Some(format!(
+                        "packet {:?} has hop {} on a route of length {}",
+                        p.id,
+                        p.hop,
+                        p.route.len()
+                    ));
+                }
+                if p.current_edge().index() != ei {
+                    return Some(format!(
+                        "packet {:?} is queued at edge {ei} but its route edge is {:?}",
+                        p.id,
+                        p.current_edge()
+                    ));
+                }
+                if p.arrived_at > t || p.injected_at > p.arrived_at {
+                    return Some(format!(
+                        "packet {:?} has incoherent timestamps (injected {}, arrived {}, now {t})",
+                        p.id, p.injected_at, p.arrived_at
+                    ));
+                }
+                if p.id.0 >= self.next_id {
+                    return Some(format!(
+                        "packet {:?} is at or above the id watermark {}",
+                        p.id, self.next_id
+                    ));
+                }
+            }
+        }
+        None
+    }
+
+    /// Dispatch a violation according to the sentinel's severity
+    /// policy. With no sentinel attached (an oracle can be attached
+    /// alone), violations halt.
+    fn raise(&mut self, kind: InvariantKind, t: Time, detail: String) -> Result<(), EngineError> {
+        let severity = self
+            .sentinel
+            .as_ref()
+            .map_or(Severity::Halt, |s| s.config().severity_of(kind));
+        let violation = Violation {
+            kind,
+            time: t,
+            detail,
+        };
+        match severity {
+            Severity::Log => {
+                if let Some(s) = self.sentinel.as_mut() {
+                    s.state.log.push(violation);
+                }
+                Ok(())
+            }
+            Severity::Quarantine => {
+                let bundle = self.repro_bundle(t);
+                if let Some(s) = self.sentinel.as_mut() {
+                    s.state
+                        .quarantine
+                        .push(ViolationReport { violation, bundle });
+                }
+                Ok(())
+            }
+            Severity::Halt => {
+                let bundle = self.repro_bundle(t);
+                Err(EngineError::Invariant(Box::new(ViolationReport {
+                    violation,
+                    bundle,
+                })))
+            }
+        }
+    }
+
+    /// The minimal reproduction bundle for a violation observed at `t`.
+    fn repro_bundle(&self, t: Time) -> ReproBundle {
+        ReproBundle {
+            seed: self.sentinel.as_ref().and_then(|s| s.config().seed),
+            step: t,
+            snapshot: crate::snapshot::capture(self),
+            fault_plan: self.faults.clone(),
         }
     }
 
@@ -775,6 +1118,11 @@ impl<P: Protocol> Engine<P> {
         }
         for &e in suffix {
             self.touch_edge_use(e, max_t);
+        }
+        if count > 0 {
+            if let Some(oracle) = self.oracle.as_mut() {
+                oracle.model.mirror_extend(buffers, suffix, last_edge);
+            }
         }
         Ok(count)
     }

@@ -15,6 +15,7 @@
 
 use crate::engine::EngineError;
 use crate::parallel::HarnessError;
+use crate::sentinel::ViolationReport;
 
 /// Top-level simulation error.
 #[derive(Debug)]
@@ -31,6 +32,15 @@ pub enum SimError {
         /// The version this build reads and writes.
         expected: u32,
     },
+    /// A sentinel invariant at `Severity::Halt` was violated. Carries
+    /// the full report: what failed, when, and a minimal reproduction
+    /// bundle (seed, step, snapshot, fault plan).
+    InvariantViolated(Box<ViolationReport>),
+    /// Checked arithmetic overflowed in rate/ratio hot-path math.
+    Overflow {
+        /// The operation that overflowed (static label).
+        op: &'static str,
+    },
     /// The surrounding harness failed (sweep-job panic, lost result).
     Harness(HarnessError),
 }
@@ -44,6 +54,8 @@ impl std::fmt::Display for SimError {
                 f,
                 "snapshot schema version {found} is not supported (this build reads version {expected})"
             ),
+            SimError::InvariantViolated(r) => write!(f, "{r}"),
+            SimError::Overflow { op } => write!(f, "arithmetic overflow in {op}"),
             SimError::Harness(e) => write!(f, "{e}"),
         }
     }
@@ -56,13 +68,21 @@ impl std::error::Error for SimError {
             SimError::Harness(e) => Some(e),
             SimError::Checkpoint(_) => None,
             SimError::SchemaMismatch { .. } => None,
+            SimError::InvariantViolated(_) => None,
+            SimError::Overflow { .. } => None,
         }
     }
 }
 
 impl From<EngineError> for SimError {
     fn from(e: EngineError) -> Self {
-        SimError::Engine(e)
+        match e {
+            // Surface a halting sentinel violation under its own typed
+            // variant so callers can extract the repro bundle without
+            // digging through the engine error.
+            EngineError::Invariant(r) => SimError::InvariantViolated(r),
+            other => SimError::Engine(other),
+        }
     }
 }
 

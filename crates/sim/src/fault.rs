@@ -49,7 +49,7 @@ pub struct Outage {
 /// A scheduled burst: `injections` are admitted in substep 2 of step
 /// `time`, bypassing the adversary validators (the Observation 4.4
 /// allowance, applied mid-run).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Burst {
     /// Step of the burst.
     pub time: Time,
@@ -59,7 +59,7 @@ pub struct Burst {
 
 /// A deterministic schedule of faults, installed into an engine before
 /// the run starts ([`crate::engine::Engine::install_faults`]).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct FaultPlan {
     outages: Vec<Outage>,
     drops: Vec<(EdgeId, Time)>,
@@ -128,27 +128,31 @@ impl FaultPlan {
 
     /// Well-formedness: nonempty intervals, fault times ≥ 1 (step 0
     /// does not exist; use [`crate::engine::Engine::seed`] for initial
-    /// configurations).
-    pub fn validate(&self) -> Result<(), String> {
+    /// configurations). Overlapping outages and a duplicate scheduled
+    /// together with a drop on the same `(edge, step)` are deliberately
+    /// legal — outage windows compose by union, and a dropped packet is
+    /// simply never duplicated (the drop wins on the wire).
+    pub fn validate(&self) -> Result<(), FaultPlanError> {
         for o in &self.outages {
             if o.from == 0 || o.from > o.until {
-                return Err(format!(
-                    "outage on edge {:?} has empty or zero-start interval [{}, {}]",
-                    o.edge, o.from, o.until
-                ));
+                return Err(FaultPlanError::OutageWindow {
+                    edge: o.edge,
+                    from: o.from,
+                    until: o.until,
+                });
             }
         }
-        for &(e, t) in self.drops.iter().chain(&self.duplicates) {
+        for &(edge, t) in self.drops.iter().chain(&self.duplicates) {
             if t == 0 {
-                return Err(format!("drop/duplicate on edge {e:?} scheduled at step 0"));
+                return Err(FaultPlanError::FaultAtStepZero { edge });
             }
         }
         for b in &self.bursts {
             if b.time == 0 {
-                return Err("burst scheduled at step 0 (seed the engine instead)".into());
+                return Err(FaultPlanError::BurstAtStepZero);
             }
             if b.injections.is_empty() {
-                return Err(format!("burst at step {} is empty", b.time));
+                return Err(FaultPlanError::EmptyBurst { time: b.time });
             }
         }
         Ok(())
@@ -190,6 +194,54 @@ impl FaultPlan {
             || self.bursts.iter().any(|b| b.time == t)
     }
 }
+
+/// A malformed [`FaultPlan`], rejected by [`FaultPlan::validate`].
+/// `Display` output is kept identical to the pre-typed `String` form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultPlanError {
+    /// An outage interval is empty (`from > until`) or starts at the
+    /// nonexistent step 0.
+    OutageWindow {
+        /// The silenced edge.
+        edge: EdgeId,
+        /// First affected step.
+        from: Time,
+        /// Last affected step (inclusive).
+        until: Time,
+    },
+    /// A drop or duplicate fault is scheduled at step 0.
+    FaultAtStepZero {
+        /// The targeted edge.
+        edge: EdgeId,
+    },
+    /// A burst is scheduled at step 0 (use `Engine::seed` instead).
+    BurstAtStepZero,
+    /// A scheduled burst carries no injections.
+    EmptyBurst {
+        /// Step of the empty burst.
+        time: Time,
+    },
+}
+
+impl std::fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultPlanError::OutageWindow { edge, from, until } => write!(
+                f,
+                "outage on edge {edge:?} has empty or zero-start interval [{from}, {until}]"
+            ),
+            FaultPlanError::FaultAtStepZero { edge } => {
+                write!(f, "drop/duplicate on edge {edge:?} scheduled at step 0")
+            }
+            FaultPlanError::BurstAtStepZero => {
+                write!(f, "burst scheduled at step 0 (seed the engine instead)")
+            }
+            FaultPlanError::EmptyBurst { time } => write!(f, "burst at step {time} is empty"),
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
 
 /// One fault that took effect, as recorded in the engine's fault log.
 #[derive(Debug, Clone, PartialEq, Eq)]

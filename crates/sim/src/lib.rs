@@ -37,6 +37,12 @@
 //! * [`parallel`] — a crash-safe scoped thread-pool for embarrassingly
 //!   parallel parameter sweeps (per-job panic isolation, bounded
 //!   retry, quarantine).
+//! * [`sentinel`] / [`oracle`] — runtime self-verification: pluggable
+//!   invariants (packet conservation, unit-speed capacity, route
+//!   progress, snapshot integrity, theorem-derived wait bounds)
+//!   checked at a configurable cadence with per-invariant severities,
+//!   plus a lockstep differential oracle diffing the optimized
+//!   pipeline against a naive reference engine.
 
 pub mod buffer;
 pub mod checkpoint;
@@ -44,12 +50,14 @@ pub mod engine;
 pub mod error;
 pub mod fault;
 pub mod metrics;
+pub mod oracle;
 pub mod packet;
 pub mod parallel;
 pub mod protocol;
 pub mod rate;
 pub mod ratio;
 pub mod schedule;
+pub mod sentinel;
 pub mod snapshot;
 pub mod source;
 pub mod trace;
@@ -58,13 +66,20 @@ pub use buffer::BufferStore;
 pub use checkpoint::Checkpoint;
 pub use engine::{Engine, EngineConfig, EngineError, Injection};
 pub use error::SimError;
-pub use fault::{FaultEvent, FaultPlan};
+pub use fault::{FaultEvent, FaultPlan, FaultPlanError};
 pub use metrics::Metrics;
+pub use oracle::{Oracle, ReferenceModel};
 pub use packet::{Packet, PacketId, Time};
-pub use parallel::{HarnessError, JobOutcome, SweepConfig, SweepReport};
+pub use parallel::{
+    run_sim_sweep, run_sweep, HarnessError, JobFailure, JobOutcome, SweepConfig, SweepReport,
+};
 pub use protocol::{Discipline, Protocol, SelectKey};
 pub use rate::{RateValidator, RateViolation, WindowValidator};
 pub use ratio::Ratio;
 pub use schedule::{Schedule, ScheduleOp};
+pub use sentinel::{
+    CertificateSpec, InvariantKind, ReproBundle, Sentinel, SentinelConfig, SentinelState, Severity,
+    Violation, ViolationReport,
+};
 pub use snapshot::{Snapshot, SNAPSHOT_SCHEMA_VERSION};
 pub use source::{run_with_source, TrafficSource};

@@ -1,0 +1,474 @@
+//! Lockstep differential oracle: a deliberately naive reference engine
+//! stepped alongside the optimized pipeline and diffed against it.
+//!
+//! The engine's staged pipeline earns its speed from an active-edge set
+//! and per-[`Discipline`](crate::protocol::Discipline) fast paths. The
+//! equivalence proptests pin those optimizations at test time; the
+//! oracle cross-checks them *continuously*, on whatever run the user
+//! actually cares about. [`ReferenceModel`] is the textbook O(V·E)
+//! simulator: scan **every** edge buffer each step, always dispatch
+//! through the virtual [`Protocol::select`], no caching of any kind —
+//! slow on purpose, so its correctness is easy to audit. An [`Oracle`]
+//! owns one, mirrors every engine step (including faults, bursts, and
+//! Lemma 3.3 route extensions), and at a configurable cadence `k`
+//! compares complete states: clock, id counter, conservation counters,
+//! and every queued packet bit for bit. A mismatch is raised through
+//! the sentinel as [`InvariantKind::OracleDivergence`](
+//! crate::sentinel::InvariantKind::OracleDivergence).
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use aqt_graph::{EdgeId, Graph};
+
+use crate::engine::{Engine, Injection};
+use crate::fault::FaultPlan;
+use crate::packet::{Packet, PacketId, Time};
+use crate::protocol::Protocol;
+use crate::snapshot::{PacketState, Snapshot, SNAPSHOT_SCHEMA_VERSION};
+
+/// The naive reference simulator: the model semantics with none of the
+/// engine's optimizations. State is exactly what a [`Snapshot`]
+/// captures, so the two convert losslessly in both directions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReferenceModel {
+    time: Time,
+    next_id: u64,
+    injected: u64,
+    absorbed: u64,
+    dropped: u64,
+    duplicated: u64,
+    buffers: Vec<VecDeque<Packet>>,
+}
+
+impl ReferenceModel {
+    /// An empty model over `edge_count` buffers at time 0.
+    pub fn new(edge_count: usize) -> Self {
+        ReferenceModel {
+            time: 0,
+            next_id: 0,
+            injected: 0,
+            absorbed: 0,
+            dropped: 0,
+            duplicated: 0,
+            buffers: vec![VecDeque::new(); edge_count],
+        }
+    }
+
+    /// Build a model holding exactly the state of `snap`.
+    pub fn from_snapshot(snap: &Snapshot) -> Self {
+        ReferenceModel {
+            time: snap.time,
+            next_id: snap.next_id,
+            injected: snap.injected,
+            absorbed: snap.absorbed,
+            dropped: snap.dropped,
+            duplicated: snap.duplicated,
+            buffers: snap
+                .buffers
+                .iter()
+                .map(|buf| {
+                    buf.iter()
+                        .map(|p| Packet {
+                            id: PacketId(p.id),
+                            injected_at: p.injected_at,
+                            arrived_at: p.arrived_at,
+                            tag: p.tag,
+                            route: Arc::clone(&p.route),
+                            hop: p.hop,
+                        })
+                        .collect()
+                })
+                .collect(),
+        }
+    }
+
+    /// Capture the model's state in snapshot form.
+    pub fn to_snapshot(&self) -> Snapshot {
+        Snapshot {
+            schema: SNAPSHOT_SCHEMA_VERSION,
+            time: self.time,
+            buffers: self
+                .buffers
+                .iter()
+                .map(|buf| {
+                    buf.iter()
+                        .map(|p| PacketState {
+                            id: p.id.0,
+                            injected_at: p.injected_at,
+                            arrived_at: p.arrived_at,
+                            tag: p.tag,
+                            route: p.route_shared(),
+                            hop: p.hop,
+                        })
+                        .collect()
+                })
+                .collect(),
+            next_id: self.next_id,
+            injected: self.injected,
+            absorbed: self.absorbed,
+            dropped: self.dropped,
+            duplicated: self.duplicated,
+        }
+    }
+
+    /// Current model time.
+    pub fn time(&self) -> Time {
+        self.time
+    }
+
+    /// Total packets currently queued.
+    pub fn backlog(&self) -> u64 {
+        self.buffers.iter().map(|b| b.len() as u64).sum()
+    }
+
+    fn admit(&mut self, route: Arc<[EdgeId]>, t: Time, tag: u32) {
+        let id = PacketId(self.next_id);
+        self.next_id += 1;
+        let first = route[0];
+        self.buffers[first.index()].push_back(Packet {
+            id,
+            injected_at: t,
+            arrived_at: t,
+            tag,
+            route,
+            hop: 0,
+        });
+        self.injected += 1;
+    }
+
+    /// Mirror of [`Engine::seed`]: place an initial-configuration
+    /// packet at time 0.
+    pub(crate) fn mirror_seed(&mut self, route: Arc<[EdgeId]>, tag: u32) {
+        self.admit(route, 0, tag);
+    }
+
+    /// Mirror of [`Engine::extend_routes_in`]'s route swap: extend the
+    /// remaining routes of the matching packets in the listed buffers,
+    /// one shared `Arc` per distinct original route.
+    pub(crate) fn mirror_extend(
+        &mut self,
+        buffers: &[EdgeId],
+        suffix: &[EdgeId],
+        last_edge: Option<EdgeId>,
+    ) {
+        let mut cache: std::collections::HashMap<*const EdgeId, Arc<[EdgeId]>> =
+            std::collections::HashMap::new();
+        for &be in buffers {
+            for p in self.buffers[be.index()].iter_mut() {
+                if last_edge.is_some_and(|e| p.route.last() != Some(&e)) {
+                    continue;
+                }
+                let key = p.route.as_ptr();
+                let new_route = cache.entry(key).or_insert_with(|| {
+                    let mut edges = Vec::with_capacity(p.route.len() + suffix.len());
+                    edges.extend_from_slice(&p.route);
+                    edges.extend_from_slice(suffix);
+                    edges.into()
+                });
+                p.route = Arc::clone(new_route);
+            }
+        }
+    }
+
+    /// One full model step, in exactly the engine's substage order:
+    /// send, wire faults, receive, inject, burst. `protocol` must be a
+    /// separate instance configured identically to the engine's (for
+    /// stateful protocols, identically seeded).
+    pub fn step(
+        &mut self,
+        protocol: &mut dyn Protocol,
+        graph: &Graph,
+        faults: Option<&FaultPlan>,
+        injections: &[Injection],
+    ) {
+        let t = self.time + 1;
+        self.time = t;
+        let faults_active = faults.is_some_and(|f| f.active_at(t));
+
+        // Substep 1: full scan, virtual dispatch, no fast paths.
+        let mut in_transit: Vec<Packet> = Vec::new();
+        for ei in 0..self.buffers.len() {
+            if self.buffers[ei].is_empty() {
+                continue;
+            }
+            let edge = EdgeId(ei as u32);
+            if faults_active && faults.is_some_and(|f| f.edge_down(edge, t)) {
+                continue;
+            }
+            let idx = protocol.select(t, edge, &self.buffers[ei], graph);
+            let p = self.buffers[ei]
+                .remove(idx)
+                .expect("protocol selected an in-range index");
+            in_transit.push(p);
+        }
+
+        // Wire-fault stage: drops and duplications, in transit order.
+        let mut delivered: Vec<Packet> = Vec::with_capacity(in_transit.len());
+        for p in in_transit {
+            let crossed = p.current_edge();
+            let (lost, copied) = match faults {
+                Some(f) if faults_active => (f.drops_at(crossed, t), f.duplicates_at(crossed, t)),
+                _ => (false, false),
+            };
+            if lost {
+                self.dropped += 1;
+                continue;
+            }
+            let copy = copied.then(|| {
+                let id = PacketId(self.next_id);
+                self.next_id += 1;
+                self.duplicated += 1;
+                Packet { id, ..p.clone() }
+            });
+            delivered.push(p);
+            delivered.extend(copy);
+        }
+
+        // Substep 2a: receive.
+        for mut p in delivered {
+            if p.on_last_edge() {
+                self.absorbed += 1;
+            } else {
+                p.hop += 1;
+                p.arrived_at = t;
+                let next = p.current_edge();
+                self.buffers[next.index()].push_back(p);
+            }
+        }
+
+        // Substep 2b: inject, then burst faults.
+        for inj in injections {
+            self.admit(inj.route.shared(), t, inj.tag);
+        }
+        if faults_active {
+            if let Some(f) = faults {
+                let burst: Vec<Injection> = f
+                    .bursts_at(t)
+                    .flat_map(|b| b.injections.iter().cloned())
+                    .collect();
+                for inj in burst {
+                    self.admit(inj.route.shared(), t, inj.tag);
+                }
+            }
+        }
+    }
+
+    /// Replace the model's state with the engine's (used after a
+    /// snapshot/checkpoint restore, where replaying is impossible).
+    pub(crate) fn resync<P: Protocol>(&mut self, engine: &Engine<P>) {
+        self.time = engine.time();
+        self.next_id = engine.next_packet_id();
+        self.injected = engine.metrics().injected;
+        self.absorbed = engine.metrics().absorbed;
+        self.dropped = engine.metrics().dropped;
+        self.duplicated = engine.metrics().duplicated;
+        self.buffers = engine
+            .graph()
+            .edge_ids()
+            .map(|e| engine.queue_iter(e).cloned().collect())
+            .collect();
+    }
+
+    /// First difference against the engine's state, as a description;
+    /// `None` when the states match bit for bit.
+    pub fn diff<P: Protocol>(&self, engine: &Engine<P>) -> Option<String> {
+        if self.time != engine.time() {
+            return Some(format!(
+                "clock diverged: oracle at {}, engine at {}",
+                self.time,
+                engine.time()
+            ));
+        }
+        if self.next_id != engine.next_packet_id() {
+            return Some(format!(
+                "id counter diverged: oracle at {}, engine at {}",
+                self.next_id,
+                engine.next_packet_id()
+            ));
+        }
+        let m = engine.metrics();
+        for (name, ours, theirs) in [
+            ("injected", self.injected, m.injected),
+            ("absorbed", self.absorbed, m.absorbed),
+            ("dropped", self.dropped, m.dropped),
+            ("duplicated", self.duplicated, m.duplicated),
+        ] {
+            if ours != theirs {
+                return Some(format!(
+                    "{name} counter diverged: oracle {ours}, engine {theirs}"
+                ));
+            }
+        }
+        if self.buffers.len() != engine.graph().edge_count() {
+            return Some(format!(
+                "oracle has {} buffers but the graph has {} edges",
+                self.buffers.len(),
+                engine.graph().edge_count()
+            ));
+        }
+        for (ei, ours) in self.buffers.iter().enumerate() {
+            let edge = EdgeId(ei as u32);
+            if ours.len() != engine.queue_len(edge) {
+                return Some(format!(
+                    "edge {ei}: oracle holds {} packets, engine {}",
+                    ours.len(),
+                    engine.queue_len(edge)
+                ));
+            }
+            for (pos, (a, b)) in ours.iter().zip(engine.queue_iter(edge)).enumerate() {
+                if a != b {
+                    return Some(format!(
+                        "edge {ei} position {pos}: oracle has packet {:?} (tag {}, hop {}), \
+                         engine has {:?} (tag {}, hop {})",
+                        a.id, a.tag, a.hop, b.id, b.tag, b.hop
+                    ));
+                }
+            }
+        }
+        None
+    }
+}
+
+/// The attached lockstep oracle: a reference model plus its own
+/// protocol instance and the diff cadence `k`. Created by
+/// [`Engine::attach_oracle`].
+pub struct Oracle {
+    pub(crate) protocol: Box<dyn Protocol>,
+    pub(crate) every: u64,
+    pub(crate) model: ReferenceModel,
+}
+
+impl Oracle {
+    pub(crate) fn new(protocol: Box<dyn Protocol>, every: u64, edge_count: usize) -> Self {
+        Oracle {
+            protocol,
+            every: every.max(1),
+            model: ReferenceModel::new(edge_count),
+        }
+    }
+
+    /// The diff cadence (every `k` steps; `k ≥ 1`).
+    pub fn cadence(&self) -> u64 {
+        self.every
+    }
+
+    /// Read-only view of the reference model.
+    pub fn model(&self) -> &ReferenceModel {
+        &self.model
+    }
+
+    /// Is a diff due at step `t`?
+    #[inline]
+    pub(crate) fn due(&self, t: Time) -> bool {
+        t.is_multiple_of(self.every)
+    }
+
+    /// Advance the reference model by one step.
+    pub(crate) fn step(&mut self, graph: &Graph, faults: Option<&FaultPlan>, inj: &[Injection]) {
+        self.model.step(self.protocol.as_mut(), graph, faults, inj);
+    }
+}
+
+impl std::fmt::Debug for Oracle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Oracle")
+            .field("protocol", &self.protocol.name())
+            .field("every", &self.every)
+            .field("model_time", &self.model.time)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqt_graph::{topologies, Route};
+
+    struct Fifo;
+    impl Protocol for Fifo {
+        fn name(&self) -> &str {
+            "FIFO"
+        }
+        fn select(&mut self, _: Time, _: EdgeId, _: &VecDeque<Packet>, _: &Graph) -> usize {
+            0
+        }
+    }
+
+    #[test]
+    fn model_matches_a_plain_run() {
+        let g = Arc::new(topologies::line(3));
+        let edges: Vec<EdgeId> = g.edge_ids().collect();
+        let route = Route::new(&g, edges.clone()).unwrap();
+        let mut model = ReferenceModel::new(g.edge_count());
+        let mut proto = Fifo;
+        for _ in 0..4 {
+            let inj = [Injection::new(route.clone(), 0)];
+            model.step(&mut proto, &g, None, &inj);
+        }
+        model.step(&mut proto, &g, None, &[]);
+        assert_eq!(model.injected, 4);
+        // packet 0: injected t=1, crosses e0@2, e1@3, e2@4 -> absorbed;
+        // packet 1 follows one step behind.
+        assert_eq!(model.absorbed, 2);
+        assert_eq!(model.backlog(), 2);
+    }
+
+    #[test]
+    fn model_applies_wire_faults_in_engine_order() {
+        let g = Arc::new(topologies::line(2));
+        let edges: Vec<EdgeId> = g.edge_ids().collect();
+        let route = Route::new(&g, edges.clone()).unwrap();
+        let plan = FaultPlan::new()
+            .with_drop(edges[0], 2)
+            .with_duplicate(edges[1], 4);
+        let mut model = ReferenceModel::new(g.edge_count());
+        let mut proto = Fifo;
+        let inj = [Injection::new(route.clone(), 0)];
+        model.step(&mut proto, &g, Some(&plan), &inj); // t=1: inject p0
+        model.step(&mut proto, &g, Some(&plan), &inj); // t=2: p0 dropped on e0, p1 injected
+        assert_eq!(model.dropped, 1);
+        model.step(&mut proto, &g, Some(&plan), &[]); // t=3: p1 crosses e0
+        model.step(&mut proto, &g, Some(&plan), &[]); // t=4: p1 duplicated on e1
+        assert_eq!(model.duplicated, 1);
+        assert_eq!(model.absorbed, 2);
+        assert_eq!(model.backlog(), 0);
+        // the duplicate consumed an id
+        assert_eq!(model.next_id, 3);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_is_lossless() {
+        let g = Arc::new(topologies::ring(4));
+        let edges: Vec<EdgeId> = g.edge_ids().collect();
+        let route = Route::new(&g, vec![edges[0], edges[1]]).unwrap();
+        let mut model = ReferenceModel::new(g.edge_count());
+        let mut proto = Fifo;
+        for _ in 0..3 {
+            let inj = [Injection::new(route.clone(), 9)];
+            model.step(&mut proto, &g, None, &inj);
+        }
+        let snap = model.to_snapshot();
+        let rebuilt = ReferenceModel::from_snapshot(&snap);
+        assert_eq!(rebuilt, model);
+        assert_eq!(rebuilt.to_snapshot(), snap);
+    }
+
+    #[test]
+    fn mirror_extend_matches_engine_extension_shape() {
+        let g = Arc::new(topologies::line(3));
+        let edges: Vec<EdgeId> = g.edge_ids().collect();
+        let short: Arc<[EdgeId]> = vec![edges[0]].into();
+        let mut model = ReferenceModel::new(g.edge_count());
+        model.mirror_seed(Arc::clone(&short), 0);
+        model.mirror_seed(short, 0);
+        model.mirror_extend(&[edges[0]], &[edges[1], edges[2]], None);
+        let routes: Vec<_> = model.buffers[0].iter().map(|p| p.route()).collect();
+        assert_eq!(routes[0], &[edges[0], edges[1], edges[2]]);
+        // one shared Arc for the shared original route
+        assert!(Arc::ptr_eq(
+            &model.buffers[0][0].route,
+            &model.buffers[0][1].route
+        ));
+    }
+}

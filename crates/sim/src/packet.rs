@@ -22,7 +22,7 @@ pub struct PacketId(pub u64);
 /// adversaries inject thousands of packets with identical routes, and
 /// the rerouting of Lemma 3.3 extends whole cohorts at once, so cloning
 /// a route never allocates.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Packet {
     /// Unique id (injection order).
     pub id: PacketId,

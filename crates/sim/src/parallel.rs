@@ -25,6 +25,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
 
+use crate::error::SimError;
+use crate::sentinel::ReproBundle;
+
 /// Errors surfaced by the sweep harness.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum HarnessError {
@@ -98,15 +101,19 @@ impl SweepConfig {
     }
 }
 
-/// A quarantined job: every attempt panicked.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// A quarantined job: every attempt panicked, or (under
+/// [`run_sim_sweep`]) the job surfaced a `SimError`.
+#[derive(Debug, Clone, PartialEq)]
 pub struct JobFailure {
     /// Input index of the job.
     pub index: usize,
     /// Attempts made (1 + retries).
     pub attempts: u32,
-    /// Panic payload of the last attempt.
+    /// Panic payload of the last attempt, or the `SimError` display.
     pub message: String,
+    /// The sentinel's reproduction bundle, when the job failed with
+    /// [`SimError::InvariantViolated`] under [`run_sim_sweep`].
+    pub bundle: Option<Box<ReproBundle>>,
 }
 
 /// Outcome of one sweep job.
@@ -228,6 +235,7 @@ where
             index: i,
             attempts: max_attempts,
             message: last_message,
+            bundle: None,
         })
     };
 
@@ -260,12 +268,57 @@ where
                     index: i,
                     attempts: 0,
                     message: HarnessError::MissingResult { index: i }.to_string(),
+                    bundle: None,
                 }))
         })
         .collect();
     SweepReport {
         outcomes,
         attempts: attempts_total.load(Ordering::Relaxed) as u64,
+    }
+}
+
+/// [`run_sweep`] for fallible simulation jobs: `f` returns
+/// `Result<R, SimError>`, and an `Err` quarantines the job instead of
+/// poisoning the sweep — an invariant breach in one parameter cell is
+/// a *result* (that cell's engine state is corrupt), not a crash.
+/// When the error is [`SimError::InvariantViolated`], the sentinel's
+/// reproduction bundle is preserved on the [`JobFailure`], so the one
+/// bad cell can be replayed in isolation after a 200-point sweep.
+///
+/// Panics are still isolated and retried per [`SweepConfig`]; a
+/// `SimError` is deterministic and is not retried.
+pub fn run_sim_sweep<T, R, F>(inputs: Vec<T>, cfg: &SweepConfig, f: F) -> SweepReport<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> Result<R, SimError> + Sync,
+{
+    let report = run_sweep(inputs, cfg, f);
+    let outcomes = report
+        .outcomes
+        .into_iter()
+        .enumerate()
+        .map(|(i, o)| match o {
+            JobOutcome::Done(Ok(r)) => JobOutcome::Done(r),
+            JobOutcome::Done(Err(e)) => {
+                let bundle = match &e {
+                    SimError::InvariantViolated(report) => Some(Box::new(report.bundle.clone())),
+                    _ => None,
+                };
+                JobOutcome::Quarantined(JobFailure {
+                    index: i,
+                    attempts: 1,
+                    message: e.to_string(),
+                    bundle,
+                })
+            }
+            JobOutcome::Quarantined(q) => JobOutcome::Quarantined(q),
+        })
+        .collect();
+    SweepReport {
+        outcomes,
+        attempts: report.attempts,
     }
 }
 

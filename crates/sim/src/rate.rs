@@ -108,9 +108,25 @@ impl RateValidator {
         let num = self.rate.num() as i128;
         let den = self.rate.den() as i128;
         let slot = &mut self.states[edge.index()];
+        // The potential H_k = den·k − num·t_k is computed in checked
+        // i128: with num, den, k, t all up to 2^64 the products reach
+        // 2^128, which i128 cannot hold. Overflow is reported as a
+        // violation (exact validation is impossible) rather than
+        // wrapping into a bogus accept/reject.
+        let overflow = |time| RateViolation {
+            edge,
+            time,
+            detail: "arithmetic overflow computing the rate potential \
+                     (injection times or counts too large for exact validation)"
+                .to_string(),
+        };
         match slot {
             None => {
-                let h = -num * time as i128; // k = 0
+                // k = 0, so H_0 = −num·t
+                let h = num
+                    .checked_mul(time as i128)
+                    .map(|v| -v)
+                    .ok_or_else(|| overflow(time))?;
                 *slot = Some(EdgeState {
                     count: 1,
                     min_h: h,
@@ -130,8 +146,14 @@ impl RateValidator {
                     });
                 }
                 let k = st.count as i128;
-                let h = den * k - num * time as i128;
-                if h - st.min_h >= num {
+                let h = den
+                    .checked_mul(k)
+                    .and_then(|dk| {
+                        num.checked_mul(time as i128)
+                            .and_then(|nt| dk.checked_sub(nt))
+                    })
+                    .ok_or_else(|| overflow(time))?;
+                if h.checked_sub(st.min_h).ok_or_else(|| overflow(time))? >= num {
                     // Reconstruct a human-readable bound for the report.
                     return Err(RateViolation {
                         edge,
@@ -143,7 +165,7 @@ impl RateValidator {
                         ),
                     });
                 }
-                st.count += 1;
+                st.count = st.count.saturating_add(1);
                 st.min_h = st.min_h.min(h);
                 st.last_time = time;
                 Ok(())
@@ -176,7 +198,7 @@ pub fn brute_force_rate_check(rate: Ratio, times_per_edge: &[(EdgeId, Vec<Time>)
         for i in 0..sorted.len() {
             for j in i..sorted.len() {
                 let count = (j - i + 1) as u128;
-                let len = (sorted[j] - sorted[i] + 1) as u128;
+                let len = (sorted[j] - sorted[i]) as u128 + 1;
                 // need: count <= ceil(r*len) <=> num*len > den*(count-1)
                 if num * len <= den * (count - 1) {
                     return false;
@@ -297,7 +319,7 @@ pub fn brute_force_window_check(
         sorted.sort_unstable();
         for (i, &t) in sorted.iter().enumerate() {
             // window [t, t+w-1]
-            let end = t + window - 1;
+            let end = t.saturating_add(window - 1);
             let count = sorted[i..].iter().take_while(|&&u| u <= end).count() as u64;
             if count > budget {
                 return false;
@@ -439,6 +461,75 @@ mod tests {
         v.record(E, 1).unwrap();
         assert_eq!(v.headroom(E, 1), 2);
         assert_eq!(v.headroom(E, 11), 3); // window slid past time 1
+    }
+
+    #[test]
+    fn rate_validator_handles_times_near_u64_max() {
+        // Small numerator: the potential stays well inside i128 even
+        // at the largest representable times.
+        let mut v = RateValidator::new(Ratio::new(1, 2), 1);
+        v.record(E, u64::MAX - 4).unwrap();
+        v.record(E, u64::MAX - 2).unwrap();
+        v.record(E, u64::MAX).unwrap();
+        // A genuine breach at the very end of time is still detected.
+        assert!(v.record(E, u64::MAX).is_err());
+    }
+
+    #[test]
+    fn rate_validator_reports_overflow_instead_of_wrapping() {
+        // num ≈ 2^64 and time ≈ 2^64 push num·t past i128::MAX. The
+        // old unchecked math wrapped silently; now it reports.
+        let r = Ratio::new(u64::MAX - 2, u64::MAX); // coprime, stays huge
+        let mut v = RateValidator::new(r, 1);
+        let err = v.record(E, u64::MAX).unwrap_err();
+        assert!(err.detail.contains("overflow"), "got: {}", err.detail);
+    }
+
+    #[test]
+    fn window_validator_handles_times_near_u64_max() {
+        let mut v = WindowValidator::new(10, Ratio::new(1, 2), 1); // budget 5
+        for _ in 0..5 {
+            v.record(E, u64::MAX).unwrap();
+        }
+        assert!(v.record(E, u64::MAX).is_err());
+        // The brute-force reference saturates instead of overflowing
+        // on the window end `t + w - 1`.
+        assert!(brute_force_window_check(
+            10,
+            Ratio::new(1, 2),
+            &[(E, vec![u64::MAX - 1; 5])]
+        ));
+    }
+
+    mod overflow_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(256))]
+
+            /// Near-u64::MAX rates and times: record() always returns
+            /// a Result (accept, breach, or overflow report) — it
+            /// never panics or wraps into a bogus potential.
+            #[test]
+            fn record_is_total_near_u64_max(
+                den in (1u64 << 62)..=u64::MAX,
+                num_off in 0u64..(1 << 16),
+                t0 in (u64::MAX - (1 << 20))..=u64::MAX,
+                gaps in prop::collection::vec(0u64..3, 1..20),
+            ) {
+                let num = den.saturating_sub(num_off).max(1);
+                let r = Ratio::new(num, den);
+                let mut v = RateValidator::new(r, 1);
+                let mut w = WindowValidator::new(8, r, 1);
+                let mut t = t0;
+                for g in gaps {
+                    t = t.saturating_add(g);
+                    let _ = v.record(E, t);
+                    let _ = w.record(E, t);
+                }
+            }
+        }
     }
 
     #[test]

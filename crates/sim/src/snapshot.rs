@@ -104,9 +104,75 @@ pub fn capture<P: Protocol>(engine: &Engine<P>) -> Snapshot {
     }
 }
 
+/// Structural validation of a snapshot payload against a graph with
+/// `edge_count` edges. Run *before* any engine mutation, so a
+/// corrupted capture fails closed instead of partially restoring.
+///
+/// Counters are deliberately not cross-checked against the buffers:
+/// `absorbed` is not derivable from a point-in-time capture. The
+/// runtime conservation invariant ([`crate::sentinel`]) audits the
+/// counters once the restored engine steps.
+pub(crate) fn validate_payload(snap: &Snapshot, edge_count: usize) -> Result<(), String> {
+    if snap.buffers.len() != edge_count {
+        return Err(format!(
+            "snapshot has {} buffers but the graph has {} edges",
+            snap.buffers.len(),
+            edge_count
+        ));
+    }
+    for (ei, buf) in snap.buffers.iter().enumerate() {
+        for p in buf {
+            if p.route.is_empty() {
+                return Err(format!("packet {} has an empty route", p.id));
+            }
+            if p.hop as usize >= p.route.len() {
+                return Err(format!(
+                    "packet {} has hop {} on a route of length {}",
+                    p.id,
+                    p.hop,
+                    p.route.len()
+                ));
+            }
+            if p.route[p.hop as usize].index() != ei {
+                return Err(format!(
+                    "packet {} is stored at edge {ei} but its current route edge is {:?}",
+                    p.id, p.route[p.hop as usize]
+                ));
+            }
+            if let Some(e) = p.route.iter().find(|e| e.index() >= edge_count) {
+                return Err(format!(
+                    "packet {} routes through edge {e:?} but the graph has {edge_count} edges",
+                    p.id
+                ));
+            }
+            if p.arrived_at > snap.time {
+                return Err(format!(
+                    "packet {} arrived at {} but the snapshot clock is {}",
+                    p.id, p.arrived_at, snap.time
+                ));
+            }
+            if p.injected_at > p.arrived_at {
+                return Err(format!(
+                    "packet {} was injected at {} after its arrival at {}",
+                    p.id, p.injected_at, p.arrived_at
+                ));
+            }
+            if p.id >= snap.next_id {
+                return Err(format!(
+                    "packet {} is at or above the id watermark {}",
+                    p.id, snap.next_id
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Restore a snapshot into `engine`, replacing its network state and
 /// clock. The engine must have been created without validators (their
-/// histories cannot be rewound).
+/// histories cannot be rewound). The payload is validated in full
+/// before the engine is touched: a corrupted snapshot leaves the
+/// engine unchanged.
 pub fn restore<P: Protocol>(engine: &mut Engine<P>, snap: &Snapshot) -> Result<(), EngineError> {
     if snap.schema != SNAPSHOT_SCHEMA_VERSION {
         return Err(EngineError::Usage(format!(
@@ -119,13 +185,8 @@ pub fn restore<P: Protocol>(engine: &mut Engine<P>, snap: &Snapshot) -> Result<(
             "cannot restore a snapshot into a validating engine".into(),
         ));
     }
-    if snap.buffers.len() != engine.graph().edge_count() {
-        return Err(EngineError::Usage(format!(
-            "snapshot has {} buffers but the graph has {} edges",
-            snap.buffers.len(),
-            engine.graph().edge_count()
-        )));
-    }
+    validate_payload(snap, engine.graph().edge_count())
+        .map_err(|e| EngineError::Usage(format!("corrupt snapshot: {e}")))?;
     engine.restore_state(
         snap.time,
         snap.next_id,

@@ -1,0 +1,174 @@
+//! Checkpoint/snapshot schema-versioning and corruption tests: a
+//! capture from a different format version must be refused with a
+//! typed [`SimError::SchemaMismatch`], and a structurally corrupted
+//! payload must fail *closed* — the target engine keeps its exact
+//! pre-restore state instead of being partially overwritten.
+
+use std::sync::Arc;
+
+use aqt_graph::{topologies, EdgeId, Graph, Route};
+use aqt_protocols::Fifo;
+use aqt_sim::{
+    checkpoint, snapshot, Engine, EngineConfig, Injection, SimError, SNAPSHOT_SCHEMA_VERSION,
+};
+
+/// A length-3 route around `ring(6)` starting at edge `start`.
+fn ring_route(g: &Arc<Graph>, start: u64) -> Route {
+    let ids = vec![
+        EdgeId((start % 6) as u32),
+        EdgeId(((start + 1) % 6) as u32),
+        EdgeId(((start + 2) % 6) as u32),
+    ];
+    Route::new(g, ids).expect("contiguous ring edges")
+}
+
+/// An engine with a little traffic in flight, so captures are
+/// non-trivial.
+fn busy_engine(g: &Arc<Graph>) -> Engine<Fifo> {
+    let mut eng = Engine::new(Arc::clone(g), Fifo, EngineConfig::default());
+    for t in 1..=10u64 {
+        eng.step([Injection::new(ring_route(g, t), 0)]).unwrap();
+    }
+    eng
+}
+
+/// A checkpoint stamped with a bumped schema version restores as
+/// `SimError::SchemaMismatch` carrying both versions — the fixture for
+/// any future `SNAPSHOT_SCHEMA_VERSION` bump.
+#[test]
+fn bumped_schema_version_fails_restore_with_typed_error() {
+    let g = Arc::new(topologies::ring(6));
+    let eng = busy_engine(&g);
+
+    let mut ck = checkpoint::checkpoint(&eng);
+    ck.snapshot.schema = SNAPSHOT_SCHEMA_VERSION + 1;
+
+    let mut target = Engine::new(Arc::clone(&g), Fifo, EngineConfig::default());
+    let before = snapshot::capture(&target);
+    match checkpoint::restore(&mut target, &ck) {
+        Err(SimError::SchemaMismatch { found, expected }) => {
+            assert_eq!(found, SNAPSHOT_SCHEMA_VERSION + 1);
+            assert_eq!(expected, SNAPSHOT_SCHEMA_VERSION);
+        }
+        other => panic!("expected SchemaMismatch, got {other:?}"),
+    }
+    assert_eq!(
+        snapshot::capture(&target),
+        before,
+        "a refused restore must not touch the engine"
+    );
+
+    // The raw snapshot path refuses the same stamp.
+    let mut snap = snapshot::capture(&eng);
+    snap.schema = SNAPSHOT_SCHEMA_VERSION + 1;
+    let mut target = Engine::new(Arc::clone(&g), Fifo, EngineConfig::default());
+    assert!(snapshot::restore(&mut target, &snap).is_err());
+}
+
+/// Every class of payload corruption is rejected before any engine
+/// mutation: after the failed restore the target's state is
+/// bit-identical to what it was before.
+#[test]
+fn corrupted_payloads_fail_closed() {
+    let g = Arc::new(topologies::ring(6));
+    let eng = busy_engine(&g);
+    let good = snapshot::capture(&eng);
+    assert!(
+        good.buffers.iter().any(|b| !b.is_empty()),
+        "fixture needs in-flight packets"
+    );
+    let busy_edge = good.buffers.iter().position(|b| !b.is_empty()).unwrap();
+
+    // Each corruption is a closure over a fresh copy of the capture.
+    type Corruption = Box<dyn Fn(&mut snapshot::Snapshot)>;
+    let corruptions: Vec<(&str, Corruption)> = vec![
+        (
+            "hop out of route range",
+            Box::new(move |s| s.buffers[busy_edge][0].hop = 99),
+        ),
+        (
+            "packet stored at the wrong buffer",
+            Box::new(move |s| {
+                let p = s.buffers[busy_edge][0].clone();
+                s.buffers[(busy_edge + 1) % 6].push(p);
+            }),
+        ),
+        (
+            "route through a nonexistent edge",
+            Box::new(move |s| {
+                let p = &mut s.buffers[busy_edge][0];
+                let mut route: Vec<EdgeId> = p.route.to_vec();
+                route.push(EdgeId(99));
+                // keep hop pointing at the stored edge
+                p.route = route.into();
+            }),
+        ),
+        (
+            "arrival after the snapshot clock",
+            Box::new(move |s| s.buffers[busy_edge][0].arrived_at = s.time + 1),
+        ),
+        (
+            "injection after arrival",
+            Box::new(move |s| {
+                let p = &mut s.buffers[busy_edge][0];
+                p.injected_at = p.arrived_at + 1;
+            }),
+        ),
+        (
+            "packet id above the watermark",
+            Box::new(move |s| s.buffers[busy_edge][0].id = s.next_id + 5),
+        ),
+        (
+            "buffer count does not match the graph",
+            Box::new(move |s| {
+                s.buffers.push(Vec::new());
+            }),
+        ),
+    ];
+
+    for (what, corrupt) in corruptions {
+        let mut snap = good.clone();
+        corrupt(&mut snap);
+        assert_ne!(snap, good, "{what}: the corruption must change the capture");
+
+        let mut target = busy_engine(&g);
+        // Advance the target so a partial restore would be visible.
+        target.run_quiet(3).unwrap();
+        let before = snapshot::capture(&target);
+
+        let err = snapshot::restore(&mut target, &snap)
+            .expect_err(&format!("{what}: corrupt payload must be rejected"));
+        assert!(
+            err.to_string().contains("corrupt snapshot") || err.to_string().contains("buffers"),
+            "{what}: unexpected error text: {err}"
+        );
+        assert_eq!(
+            snapshot::capture(&target),
+            before,
+            "{what}: failed restore must leave the engine untouched"
+        );
+    }
+}
+
+/// The checkpoint path routes the same payload validation: a corrupted
+/// checkpoint is refused with `SimError::Checkpoint` and no partial
+/// state lands in the engine.
+#[test]
+fn corrupted_checkpoint_payload_fails_closed() {
+    let g = Arc::new(topologies::ring(6));
+    let eng = busy_engine(&g);
+    let mut ck = checkpoint::checkpoint(&eng);
+    let busy_edge = ck
+        .snapshot
+        .buffers
+        .iter()
+        .position(|b| !b.is_empty())
+        .expect("traffic in flight");
+    ck.snapshot.buffers[busy_edge][0].hop = 99;
+
+    let mut target = Engine::new(Arc::clone(&g), Fifo, EngineConfig::default());
+    let before = snapshot::capture(&target);
+    let err = checkpoint::restore(&mut target, &ck).unwrap_err();
+    assert!(matches!(err, SimError::Checkpoint(_)), "got {err:?}");
+    assert_eq!(snapshot::capture(&target), before);
+}

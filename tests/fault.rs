@@ -8,7 +8,8 @@ use aqt_core::instability::{InstabilityConfig, InstabilityConstruction, Watchdog
 use aqt_graph::{topologies, EdgeId, Graph, Route};
 use aqt_protocols::Fifo;
 use aqt_sim::{
-    checkpoint, snapshot, Engine, EngineConfig, FaultEvent, FaultPlan, Injection, SweepConfig,
+    checkpoint, snapshot, Engine, EngineConfig, FaultEvent, FaultPlan, FaultPlanError, Injection,
+    SweepConfig,
 };
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -264,6 +265,113 @@ fn instability_resume_is_identical_to_uninterrupted() {
         assert_eq!((a.s_start, a.s_end), (b.s_start, b.s_end));
     }
     assert_eq!(resumed.series, full.series);
+}
+
+/// `FaultPlan::validate` returns typed errors whose Display strings
+/// match the messages the engine has always surfaced.
+#[test]
+fn fault_plan_validation_errors_are_typed() {
+    let e = EdgeId(0);
+
+    // Closed interval [from, until]: from > until is empty.
+    let err = FaultPlan::new()
+        .with_outage(e, 5, 4)
+        .validate()
+        .unwrap_err();
+    assert_eq!(
+        err,
+        FaultPlanError::OutageWindow {
+            edge: e,
+            from: 5,
+            until: 4
+        }
+    );
+    assert_eq!(
+        err.to_string(),
+        "outage on edge EdgeId(0) has empty or zero-start interval [5, 4]"
+    );
+    // A single-step outage [5, 5] is legal.
+    assert!(FaultPlan::new().with_outage(e, 5, 5).validate().is_ok());
+    // Zero-start outages are the other arm of the same variant.
+    assert!(matches!(
+        FaultPlan::new().with_outage(e, 0, 3).validate(),
+        Err(FaultPlanError::OutageWindow { from: 0, .. })
+    ));
+
+    let err = FaultPlan::new().with_drop(e, 0).validate().unwrap_err();
+    assert_eq!(err, FaultPlanError::FaultAtStepZero { edge: e });
+    assert_eq!(
+        err.to_string(),
+        "drop/duplicate on edge EdgeId(0) scheduled at step 0"
+    );
+    assert!(matches!(
+        FaultPlan::new().with_duplicate(e, 0).validate(),
+        Err(FaultPlanError::FaultAtStepZero { .. })
+    ));
+
+    let g = Arc::new(topologies::ring(6));
+    let err = FaultPlan::new()
+        .with_burst(0, vec![Injection::new(ring_route(&g, 0), 0)])
+        .validate()
+        .unwrap_err();
+    assert_eq!(err, FaultPlanError::BurstAtStepZero);
+    assert_eq!(
+        err.to_string(),
+        "burst scheduled at step 0 (seed the engine instead)"
+    );
+
+    let err = FaultPlan::new()
+        .with_burst(5, vec![])
+        .validate()
+        .unwrap_err();
+    assert_eq!(err, FaultPlanError::EmptyBurst { time: 5 });
+    assert_eq!(err.to_string(), "burst at step 5 is empty");
+
+    // The enum is a real std error (boxable, source-chainable).
+    let _: &dyn std::error::Error = &err;
+}
+
+/// Overlapping outage windows on the same edge are deliberately legal:
+/// the union of windows applies.
+#[test]
+fn overlapping_outages_are_legal_and_union() {
+    let e = EdgeId(2);
+    let plan = FaultPlan::new().with_outage(e, 1, 8).with_outage(e, 5, 12);
+    plan.validate().expect("overlap is legal");
+    for t in 1..=12 {
+        assert!(plan.edge_down(e, t), "step {t} inside the union");
+    }
+    assert!(!plan.edge_down(e, 13));
+    assert!(!plan.edge_down(e, 0));
+}
+
+/// A drop and a duplicate scheduled for the same (edge, step) are
+/// legal; the drop wins (the engine tests the drop first, so the
+/// packet is gone before duplication is considered).
+#[test]
+fn duplicate_plus_drop_same_edge_and_step_is_legal_drop_wins() {
+    let g = Arc::new(topologies::ring(6));
+    let plan = FaultPlan::new()
+        .with_drop(EdgeId(0), 2)
+        .with_duplicate(EdgeId(0), 2);
+    plan.validate().expect("dup+drop collision is legal");
+
+    let mut eng = Engine::new(Arc::clone(&g), Fifo, EngineConfig::default());
+    eng.install_faults(plan).unwrap();
+    // t=1: inject a packet whose route starts at edge 0; it crosses
+    // edge 0 during step 2, where both faults are scheduled.
+    eng.step([Injection::new(ring_route(&g, 0), 0)]).unwrap();
+    eng.step(std::iter::empty()).unwrap();
+    eng.step(std::iter::empty()).unwrap();
+
+    let m = eng.metrics();
+    assert_eq!(m.dropped, 1, "the drop fires");
+    assert_eq!(m.duplicated, 0, "the duplicate never sees the packet");
+    assert!(eng
+        .fault_log()
+        .iter()
+        .any(|f| matches!(f, FaultEvent::PacketDropped { .. })));
+    assert_eq!(eng.backlog(), 0);
 }
 
 /// The divergence watchdogs end a run early with a structured report
