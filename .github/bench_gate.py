@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Bench regression gate for the CI smoke job.
+
+Compares a freshly generated ``BENCH_engine_smoke.json`` against the
+committed copy (the baseline) and fails when the hot path regresses:
+
+* ``instability`` pipeline steps/sec must not drop more than 10% below
+  the committed baseline (throughput is timing-noise-prone on shared
+  runners, hence the generous margin);
+* ``bytes_per_packet`` must not grow more than 2% on any workload that
+  records it, and ``packet_struct_bytes`` must not grow at all (both
+  are deterministic — any growth is a real representation regression).
+
+Usage: bench_gate.py <fresh.json> <baseline.json>
+
+The baseline argument should come from ``git show`` (or a pre-bench
+copy), because the bench overwrites the file in the working tree.
+"""
+
+import json
+import sys
+
+MAX_THROUGHPUT_DROP = 0.10
+MAX_BYTES_GROWTH = 0.02
+
+
+def workload(doc, name):
+    for w in doc["workloads"]:
+        if w["name"] == name:
+            return w
+    sys.exit(f"bench gate: workload {name!r} missing from report")
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__)
+    with open(sys.argv[1]) as f:
+        fresh = json.load(f)
+    with open(sys.argv[2]) as f:
+        base = json.load(f)
+    if not (fresh.get("smoke") and base.get("smoke")):
+        sys.exit(
+            "bench gate: expected smoke-mode reports on both sides "
+            f"(fresh smoke={fresh.get('smoke')}, baseline smoke={base.get('smoke')})"
+        )
+
+    failures = []
+
+    fresh_rate = workload(fresh, "instability")["pipeline"]["steps_per_sec"]
+    base_rate = workload(base, "instability")["pipeline"]["steps_per_sec"]
+    floor = base_rate * (1 - MAX_THROUGHPUT_DROP)
+    print(f"instability pipeline: {fresh_rate:.0f} steps/s (baseline {base_rate:.0f}, floor {floor:.0f})")
+    if fresh_rate < floor:
+        failures.append(
+            f"instability pipeline steps/sec dropped >{MAX_THROUGHPUT_DROP:.0%}: "
+            f"{fresh_rate:.0f} < {floor:.0f}"
+        )
+
+    if fresh["packet_struct_bytes"] > base["packet_struct_bytes"]:
+        failures.append(
+            f"packet_struct_bytes grew: {fresh['packet_struct_bytes']} > "
+            f"{base['packet_struct_bytes']}"
+        )
+
+    for w in base["workloads"]:
+        if "bytes_per_packet" not in w:
+            continue
+        fresh_bpp = workload(fresh, w["name"]).get("bytes_per_packet")
+        ceiling = w["bytes_per_packet"] * (1 + MAX_BYTES_GROWTH)
+        print(f"{w['name']} bytes/packet: {fresh_bpp} (baseline {w['bytes_per_packet']}, ceiling {ceiling:.1f})")
+        if fresh_bpp is None or fresh_bpp > ceiling:
+            failures.append(
+                f"{w['name']} bytes_per_packet regressed: {fresh_bpp} > {ceiling:.1f} "
+                f"(baseline {w['bytes_per_packet']})"
+            )
+
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        sys.exit(1)
+    print("bench gate: ok")
+
+
+if __name__ == "__main__":
+    main()

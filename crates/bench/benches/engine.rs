@@ -15,8 +15,10 @@
 //! repository root with steps/sec for all three modes (the
 //! `sentinel_vs_pipeline` ratio is the sentinel's measured overhead),
 //! so the repo's perf trajectory has a recorded baseline.
-//! `BENCH_SMOKE=1` shrinks every workload to a single cheap sample
-//! (the CI smoke job).
+//! `BENCH_SMOKE=1` shrinks every workload to a single cheap sample and
+//! writes `BENCH_engine_smoke.json` instead — the committed copy of
+//! that file is the baseline the CI regression gate
+//! (`.github/bench_gate.py`) diffs fresh smoke runs against.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -37,6 +39,15 @@ const SEED_BASELINE: &[(&str, f64)] = &[
     ("sweep", 171_209.0),
     ("drain", 2_427_423.0),
 ];
+
+/// PR 3 pipeline measurements (commit a4c45e3, `Arc<[EdgeId]>` routes,
+/// 48-byte packets, release profile, this container class) — the
+/// "before route interning" reference the CI regression gate and the
+/// DESIGN.md memory-layout section compare against. Bytes-per-packet
+/// measured with examples/mem_profile.rs at the backlog peak of each
+/// workload before the representation change.
+const PR3_BASELINE_INSTABILITY_STEPS_PER_SEC: f64 = 767_423.0;
+const PR3_BASELINE_BYTES_PER_PACKET: &[(&str, f64)] = &[("instability", 68.1), ("drain", 78.6)];
 
 fn smoke() -> bool {
     std::env::var_os("BENCH_SMOKE").is_some()
@@ -79,12 +90,15 @@ impl Mode {
 
 const MODES: [Mode; 3] = [Mode::Reference, Mode::Pipeline, Mode::Sentinel];
 
-/// One timed measurement: steps simulated and the wall time of the
-/// stepping alone (setup excluded).
+/// One timed measurement: steps simulated, the wall time of the
+/// stepping alone (setup excluded), and the packet-storage footprint at
+/// the workload's backlog peak (`(backlog, heap_bytes)`; `(0, 0)` when
+/// the workload has no meaningful peak to account).
 #[derive(Clone, Copy)]
 struct Sample {
     steps: u64,
     secs: f64,
+    mem: (u64, u64),
 }
 
 /// Best (min-time) sample of a batch.
@@ -104,15 +118,17 @@ fn replay_instability(
     let ingress = construction.geps.ingress();
     let unit = Route::single(&graph, ingress).expect("unit route");
     let mut eng = mode.engine(&graph);
-    for _ in 0..run.s_star {
-        eng.seed(unit.clone(), 0).expect("seeding");
-    }
+    eng.seed_cohort(unit, 0, run.s_star).expect("seeding");
     let sched = run.recorded.clone();
     let t0 = Instant::now();
     sched.run(&mut eng, run.total_steps).expect("replay");
+    let secs = t0.elapsed().as_secs_f64();
+    // The instability construction's backlog peaks at the end of the
+    // run, so the post-replay state is the peak footprint.
     Sample {
         steps: run.total_steps,
-        secs: t0.elapsed().as_secs_f64(),
+        secs,
+        mem: (eng.backlog(), eng.packet_heap_bytes()),
     }
 }
 
@@ -136,6 +152,7 @@ fn run_sweep(mode: Mode) -> Sample {
     Sample {
         steps,
         secs: t0.elapsed().as_secs_f64(),
+        mem: (0, 0),
     }
 }
 
@@ -145,9 +162,10 @@ fn run_drain(mode: Mode) -> Sample {
     let e0 = graph.edge_ids().next().expect("line has edges");
     let unit = Route::single(&graph, e0).expect("unit route");
     let mut eng = mode.engine(&graph);
-    for _ in 0..k {
-        eng.seed(unit.clone(), 0).expect("seeding");
-    }
+    eng.seed_cohort(unit, 0, k).expect("seeding");
+    // Peak occupancy is the fully seeded state; account it before the
+    // drain empties the buffers.
+    let mem = (eng.backlog(), eng.packet_heap_bytes());
     let steps = k + 16;
     let t0 = Instant::now();
     eng.run_quiet(steps).expect("quiet drain");
@@ -155,6 +173,7 @@ fn run_drain(mode: Mode) -> Sample {
     Sample {
         steps,
         secs: t0.elapsed().as_secs_f64(),
+        mem,
     }
 }
 
@@ -163,16 +182,30 @@ fn write_json(results: &[(&str, [Sample; 3])]) {
     out.push_str("  \"generated_by\": \"cargo bench -p aqt-bench --bench engine\",\n");
     out.push_str(&format!("  \"smoke\": {},\n", smoke()));
     out.push_str("  \"pre_refactor_seed_baseline\": {\n");
-    out.push_str("    \"commit\": \"8270fdf\",\n");
     out.push_str(
         "    \"note\": \"monolithic Engine::step measured before the layered refactor; \
          steps/sec, release profile, full-size workloads\",\n",
     );
-    for (i, (name, rate)) in SEED_BASELINE.iter().enumerate() {
-        let comma = if i + 1 < SEED_BASELINE.len() { "," } else { "" };
-        out.push_str(&format!("    \"{name}_steps_per_sec\": {rate:.0}{comma}\n"));
+    for (name, rate) in SEED_BASELINE.iter() {
+        out.push_str(&format!("    \"{name}_steps_per_sec\": {rate:.0},\n"));
     }
-    out.push_str("  },\n");
+    out.push_str("    \"commit\": \"8270fdf\"\n  },\n");
+    out.push_str("  \"pr3_pipeline_baseline\": {\n");
+    out.push_str("    \"commit\": \"a4c45e3\",\n");
+    out.push_str(
+        "    \"note\": \"staged pipeline before route interning (Arc routes, 48 B packets); \
+         full-size runs are compared against these in DESIGN.md\",\n",
+    );
+    out.push_str(&format!(
+        "    \"instability_steps_per_sec\": {PR3_BASELINE_INSTABILITY_STEPS_PER_SEC:.0},\n"
+    ));
+    for (name, bpp) in PR3_BASELINE_BYTES_PER_PACKET.iter() {
+        out.push_str(&format!("    \"{name}_bytes_per_packet\": {bpp:.1},\n"));
+    }
+    out.push_str(&format!(
+        "    \"packet_struct_bytes\": 48\n  }},\n  \"packet_struct_bytes\": {},\n",
+        std::mem::size_of::<aqt_sim::Packet>()
+    ));
     out.push_str("  \"workloads\": [\n");
     for (i, (name, samples)) in results.iter().enumerate() {
         let [reference, pipeline, sentinel] = samples;
@@ -189,6 +222,16 @@ fn write_json(results: &[(&str, [Sample; 3])]) {
                 s.secs
             ));
         }
+        // Peak packet-storage accounting (deterministic, pipeline run):
+        // VecDeque capacity x packet size + route-table storage.
+        let (backlog, heap) = pipeline.mem;
+        if backlog > 0 {
+            out.push_str(&format!(
+                "     \"backlog_peak\": {backlog}, \"packet_heap_bytes\": {heap}, \
+                 \"bytes_per_packet\": {:.1},\n",
+                heap as f64 / backlog as f64
+            ));
+        }
         let rr = reference.steps as f64 / reference.secs;
         let rp = pipeline.steps as f64 / pipeline.secs;
         let rs = sentinel.steps as f64 / sentinel.secs;
@@ -199,8 +242,15 @@ fn write_json(results: &[(&str, [Sample; 3])]) {
         ));
     }
     out.push_str("  ]\n}\n");
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
-    std::fs::write(path, out).expect("write BENCH_engine.json");
+    // Smoke runs use shrunken workloads, so their numbers are not
+    // comparable to the full-size file; they get their own baseline,
+    // which is what the CI regression gate diffs against.
+    let path = if smoke() {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine_smoke.json")
+    } else {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json")
+    };
+    std::fs::write(path, out).expect("write bench json");
     println!("wrote {path}");
 }
 

@@ -323,10 +323,8 @@ impl InstabilityConstruction {
             }
             None => {
                 // Initial configuration: S* unit-route packets at
-                // ingress(F(1)).
-                for _ in 0..s_star {
-                    eng.seed(unit.clone(), 0)?;
-                }
+                // ingress(F(1)), admitted as one cohort.
+                eng.seed_cohort(unit.clone(), 0, s_star)?;
                 recorded = Schedule::new();
                 tag_next = 16;
                 iterations = Vec::with_capacity(self.cfg.iterations);
@@ -653,17 +651,22 @@ fn settle_boundary(
     let mut proper_prefix: Vec<aqt_graph::EdgeId> = vec![g.ingress];
     proper_prefix.extend_from_slice(&g.f_path);
     proper_prefix.push(g.egress);
-    let is_foreign = |p: &aqt_sim::Packet| {
-        let rem = &p.route()[p.traversed()..];
-        rem.len() < proper_prefix.len() || rem[..proper_prefix.len()] != proper_prefix[..]
-    };
     // Each quiet step crosses at most one packet out of the boundary
     // buffer, so after counting F foreigners we can run F steps before
     // rescanning — O(queue) scans happen only once per block instead of
     // once per step.
     let mut steps = 0u64;
     while steps < cap {
-        let foreign = eng.queue_iter(g.ingress).filter(|p| is_foreign(p)).count() as u64;
+        let foreign = {
+            let routes = eng.routes();
+            eng.queue_iter(g.ingress)
+                .filter(|p| {
+                    let rem = &routes.get(p.route_id())[p.traversed()..];
+                    rem.len() < proper_prefix.len()
+                        || rem[..proper_prefix.len()] != proper_prefix[..]
+                })
+                .count() as u64
+        };
         if foreign == 0 {
             break;
         }

@@ -69,9 +69,14 @@ impl CInvariantReport {
     }
 }
 
-/// Does `p`'s remaining route begin with `prefix`?
-fn remaining_starts_with(p: &Packet, prefix: &[aqt_graph::EdgeId]) -> bool {
-    let rem = &p.route()[p.traversed()..];
+/// Does `p`'s remaining route (resolved through `routes`) begin with
+/// `prefix`?
+fn remaining_starts_with(
+    routes: &aqt_sim::RouteTable,
+    p: &Packet,
+    prefix: &[aqt_graph::EdgeId],
+) -> bool {
+    let rem = &routes.get(p.route_id())[p.traversed()..];
     rem.len() >= prefix.len() && rem[..prefix.len()] == *prefix
 }
 
@@ -91,7 +96,7 @@ pub fn check_c_invariant<P: Protocol>(engine: &Engine<P>, g: &GadgetHandles) -> 
         let mut prefix: Vec<aqt_graph::EdgeId> = g.e_path[i..].to_vec();
         prefix.push(g.egress);
         for p in engine.queue_iter(g.e_path[i]) {
-            if !remaining_starts_with(p, &prefix) {
+            if !remaining_starts_with(engine.routes(), p, &prefix) {
                 e_misrouted += 1;
             }
         }
@@ -104,7 +109,7 @@ pub fn check_c_invariant<P: Protocol>(engine: &Engine<P>, g: &GadgetHandles) -> 
         prefix.extend_from_slice(&g.f_path);
         prefix.push(g.egress);
         for p in engine.queue_iter(g.ingress) {
-            if remaining_starts_with(p, &prefix) {
+            if remaining_starts_with(engine.routes(), p, &prefix) {
                 a_count += 1;
             } else {
                 a_foreign += 1;

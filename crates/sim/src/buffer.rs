@@ -48,6 +48,12 @@ pub struct BufferStore {
     in_active: Vec<bool>,
     /// Set when an activation appended out of order.
     needs_sort: bool,
+    /// Set when a removal may have emptied a buffer, i.e. the active
+    /// list may hold stale entries. While clear, [`BufferStore::begin_step`]
+    /// is a no-op: in steady backlog regimes (every active buffer stays
+    /// nonempty, no new activations) the per-step bookkeeping collapses
+    /// to two branch tests instead of a sort + retain over the list.
+    maybe_emptied: bool,
 }
 
 impl BufferStore {
@@ -58,6 +64,7 @@ impl BufferStore {
             active: Vec::new(),
             in_active: vec![false; edge_count],
             needs_sort: false,
+            maybe_emptied: false,
         }
     }
 
@@ -115,6 +122,26 @@ impl BufferStore {
         q.len()
     }
 
+    /// Append a whole cohort to the buffer at edge index `edge` in one
+    /// range-extend: capacity is reserved exactly once up front (exact,
+    /// so cohort-seeded buffers carry no doubling slack), then the
+    /// packets are written back-to-back. Returns the new queue length.
+    pub fn extend_back(
+        &mut self,
+        edge: usize,
+        packets: impl ExactSizeIterator<Item = Packet>,
+    ) -> usize {
+        if packets.len() > 0 && !self.in_active[edge] {
+            self.in_active[edge] = true;
+            self.active.push(edge as u32);
+            self.needs_sort = true;
+        }
+        let q = &mut self.queues[edge];
+        q.reserve_exact(packets.len());
+        q.extend(packets);
+        q.len()
+    }
+
     /// Remove and return the packet at `pos` in the buffer at edge
     /// index `edge` (`None` if out of range). Positions 0 and
     /// `len - 1` are O(1); interior positions cost one memmove of the
@@ -122,7 +149,12 @@ impl BufferStore {
     /// [`BufferStore::begin_step`].
     #[inline]
     pub fn remove(&mut self, edge: usize, pos: usize) -> Option<Packet> {
-        self.queues[edge].remove(pos)
+        let q = &mut self.queues[edge];
+        let p = q.remove(pos);
+        if q.is_empty() {
+            self.maybe_emptied = true;
+        }
+        p
     }
 
     /// Prepare the active list for one step's send substep: restore
@@ -131,10 +163,14 @@ impl BufferStore {
     /// call, `active_edge(0..active_count())` is exactly the ascending
     /// list of nonempty edges.
     pub fn begin_step(&mut self) {
+        if !self.needs_sort && !self.maybe_emptied {
+            return; // nothing activated or emptied since the last step
+        }
         if self.needs_sort {
             self.active.sort_unstable();
             self.needs_sort = false;
         }
+        self.maybe_emptied = false;
         let queues = &mut self.queues;
         let in_active = &mut self.in_active;
         self.active.retain(|&e| {
@@ -187,6 +223,19 @@ impl BufferStore {
             }
         }
         self.needs_sort = false; // rebuilt in ascending order
+        self.maybe_emptied = false;
+    }
+
+    /// Heap bytes committed to packet storage: the *capacity* (not
+    /// length) of every buffer times the packet size. This is the
+    /// buffer side of the peak bytes-per-queued-packet metric in
+    /// `BENCH_engine.json`; the interned route storage is accounted by
+    /// [`crate::RouteTable::heap_bytes`].
+    pub fn heap_bytes(&self) -> u64 {
+        self.queues
+            .iter()
+            .map(|q| (q.capacity() * std::mem::size_of::<Packet>()) as u64)
+            .sum()
     }
 
     /// Release excess capacity on every oversized, mostly-empty buffer
@@ -206,17 +255,9 @@ mod tests {
     use super::*;
     use crate::packet::{Packet, PacketId};
     use aqt_graph::EdgeId;
-    use std::sync::Arc;
 
     fn pkt(id: u64) -> Packet {
-        Packet {
-            id: PacketId(id),
-            injected_at: 0,
-            arrived_at: 0,
-            tag: 0,
-            route: Arc::from(vec![EdgeId(0)].as_slice()),
-            hop: 0,
-        }
+        Packet::synthetic(id, 0, 0, 0, vec![EdgeId(0)], 0)
     }
 
     #[test]
@@ -269,6 +310,47 @@ mod tests {
         assert_eq!(s.active_edge(1), 2);
         assert_eq!(s.len(0), 0);
         assert_eq!(s.packets().count(), 3);
+    }
+
+    #[test]
+    fn extend_back_reserves_exactly_once_and_activates() {
+        let mut s = BufferStore::new(2);
+        assert_eq!(
+            s.extend_back(1, (0..1000u64).map(pkt).collect::<Vec<_>>().into_iter()),
+            1000
+        );
+        // Exact reserve: a cohort-seeded buffer carries no doubling slack.
+        assert_eq!(s.queue(1).capacity(), 1000);
+        s.begin_step();
+        assert_eq!(s.active_count(), 1);
+        assert_eq!(s.active_edge(0), 1);
+        assert!(s.iter(1).zip(0..).all(|(p, i)| p.id == PacketId(i)));
+
+        // An empty cohort must not activate the edge.
+        let mut s = BufferStore::new(2);
+        s.extend_back(0, std::iter::empty());
+        s.begin_step();
+        assert_eq!(s.active_count(), 0);
+    }
+
+    #[test]
+    fn begin_step_skips_when_nothing_changed() {
+        let mut s = BufferStore::new(2);
+        s.push_back(0, pkt(0));
+        s.push_back(0, pkt(1));
+        s.begin_step();
+        // Steady state: a remove that leaves the buffer nonempty plus a
+        // push to an already-active edge must keep the fast path valid.
+        s.remove(0, 0);
+        s.push_back(0, pkt(2));
+        s.begin_step();
+        assert_eq!(s.active_count(), 1);
+        assert_eq!(s.len(0), 2);
+        // Draining to empty reactivates the slow path and deactivates.
+        s.remove(0, 0);
+        s.remove(0, 0);
+        s.begin_step();
+        assert_eq!(s.active_count(), 0);
     }
 
     #[test]

@@ -141,6 +141,14 @@ pub fn restore<P: Protocol>(engine: &mut Engine<P>, ck: &Checkpoint) -> Result<(
         ck.metrics.clone(),
         ck.fault_log.clone(),
     );
+    // Map checkpoint route indices to engine route ids (append-only;
+    // validation has already passed, so partial mutation is impossible).
+    let ids: Vec<(crate::routes::RouteId, u32)> = ck
+        .snapshot
+        .routes
+        .iter()
+        .map(|r| (engine.intern_route(r), r.len() as u32))
+        .collect();
     engine.restore_state(
         ck.snapshot.time,
         ck.snapshot.next_id,
@@ -150,13 +158,17 @@ pub fn restore<P: Protocol>(engine: &mut Engine<P>, ck: &Checkpoint) -> Result<(
         ck.snapshot.duplicated,
         ck.snapshot.buffers.iter().map(|buf| {
             buf.iter()
-                .map(|p| crate::packet::Packet {
-                    id: crate::packet::PacketId(p.id),
-                    injected_at: p.injected_at,
-                    arrived_at: p.arrived_at,
-                    tag: p.tag,
-                    route: std::sync::Arc::clone(&p.route),
-                    hop: p.hop,
+                .map(|p| {
+                    let (route, route_len) = ids[p.route as usize];
+                    crate::packet::Packet {
+                        id: crate::packet::PacketId(p.id),
+                        injected_at: p.injected_at,
+                        arrived_at: p.arrived_at,
+                        tag: p.tag,
+                        route,
+                        hop: p.hop,
+                        route_len,
+                    }
                 })
                 .collect()
         }),
@@ -211,7 +223,7 @@ mod tests {
             if (offset + k).is_multiple_of(2) {
                 eng.step([Injection::new(route.clone(), 0)]).unwrap();
             } else {
-                eng.step(std::iter::empty()).unwrap();
+                eng.step(std::iter::empty::<Injection>()).unwrap();
             }
         }
     }

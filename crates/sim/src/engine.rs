@@ -50,6 +50,7 @@ use crate::packet::{Packet, PacketId, Time};
 use crate::protocol::{Discipline, Protocol};
 use crate::rate::{RateValidator, RateViolation, WindowValidator};
 use crate::ratio::Ratio;
+use crate::routes::{RouteId, RouteTable};
 use crate::sentinel::{
     self, InvariantKind, ReproBundle, Sentinel, SentinelConfig, SentinelState, Severity, Violation,
     ViolationReport,
@@ -136,20 +137,64 @@ impl From<RouteError> for EngineError {
     }
 }
 
-/// An injection request: route plus cohort tag.
+/// An injection request: route plus cohort tag, for `count` identical
+/// packets.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Injection {
-    /// The packet's route.
+    /// The packets' (shared) route.
     pub route: Route,
     /// Cohort tag (free-form, for experiment bookkeeping).
     pub tag: u32,
+    /// How many identical packets to inject. The route is interned and
+    /// validated per packet, but the buffer insertion is one
+    /// range-extend for the whole cohort.
+    pub count: u32,
 }
 
 impl Injection {
-    /// Convenience constructor.
+    /// A single packet.
     pub fn new(route: Route, tag: u32) -> Self {
-        Injection { route, tag }
+        Injection {
+            route,
+            tag,
+            count: 1,
+        }
     }
+
+    /// A cohort of `count` identical packets (the burst shape of the
+    /// Lemma 3.6/3.15/3.16 sub-adversaries). Equivalent to `count`
+    /// consecutive [`Injection::new`] requests — packet ids are
+    /// assigned consecutively and the trajectory is identical — but the
+    /// enqueue is a single reserve + range-extend.
+    pub fn cohort(route: Route, tag: u32, count: u32) -> Self {
+        Injection { route, tag, count }
+    }
+}
+
+/// Slots in the injection-path intern memo — sized above the ~dozen
+/// concurrent rate-`r` streams the instability construction's busiest
+/// phase rotates through per step. Round-robin replacement degenerates
+/// to all-miss when the working set exceeds the slot count (cyclic
+/// access), so the size errs generous; a scan of 16 compact entries is
+/// still far cheaper than one hash-and-probe of the route table.
+const INJECT_MEMO_SLOTS: usize = 16;
+
+/// One entry of the injection-path intern memo: a resolved route keyed
+/// by the address and length of its shared slice. The pinned `Route`
+/// clone keeps that allocation alive, so an equal (address, length)
+/// key can only mean the same immutable contents — address reuse after
+/// a free is impossible while the pin exists. The address is stored as
+/// `usize` (never dereferenced), so the memo does not affect `Send`.
+#[derive(Clone)]
+struct InjectMemoEntry {
+    /// `route.edges().as_ptr()` at memoization time.
+    addr: usize,
+    /// `route.edges().len()` at memoization time.
+    len: usize,
+    /// What [`Engine::intern_for_admit`] returned for this route.
+    resolved: (RouteId, u32, EdgeId),
+    /// Keeps the keyed allocation alive (see above).
+    _pin: Route,
 }
 
 /// The simulator.
@@ -163,6 +208,18 @@ pub struct Engine<P: Protocol> {
     time: Time,
     next_id: u64,
     buffers: BufferStore,
+    /// Interned routes: every route a live or past packet has carried.
+    /// Append-only — packets reference entries by [`RouteId`].
+    routes: RouteTable,
+    /// Small intern memo for the injection path: adversaries replay the
+    /// same few routes millions of times (the instability construction
+    /// rotates a handful of concurrent streams per step), so the common
+    /// case is two register compares against a recently interned
+    /// entry's pinned-slice key instead of a hash and a table probe
+    /// (see [`InjectMemoEntry`] for why the key is sound).
+    inject_memo: [Option<InjectMemoEntry>; INJECT_MEMO_SLOTS],
+    /// Round-robin replacement cursor for `inject_memo`.
+    inject_memo_cursor: usize,
     metrics: Metrics,
     rate_validator: Option<RateValidator>,
     window_validator: Option<WindowValidator>,
@@ -209,6 +266,9 @@ impl<P: Protocol> Engine<P> {
             time: 0,
             next_id: 0,
             buffers: BufferStore::new(m),
+            routes: RouteTable::new(),
+            inject_memo: Default::default(),
+            inject_memo_cursor: 0,
             metrics,
             rate_validator,
             window_validator,
@@ -378,6 +438,30 @@ impl<P: Protocol> Engine<P> {
         self.buffers.queue(edge.index())
     }
 
+    /// The engine's route interner. Resolve a packet's route with
+    /// `engine.routes().get(p.route_id())`.
+    #[inline]
+    pub fn routes(&self) -> &RouteTable {
+        &self.routes
+    }
+
+    /// The full route of a packet owned by this engine.
+    ///
+    /// # Panics
+    /// If `p` was not admitted by this engine (e.g. a
+    /// [`Packet::synthetic`]).
+    #[inline]
+    pub fn route_of(&self, p: &Packet) -> &[EdgeId] {
+        self.routes.get(p.route)
+    }
+
+    /// Heap bytes currently committed to packet storage: buffer
+    /// capacity plus the interned route storage. The numerator of the
+    /// peak bytes-per-queued-packet metric in `BENCH_engine.json`.
+    pub fn packet_heap_bytes(&self) -> u64 {
+        self.buffers.heap_bytes() + self.routes.heap_bytes()
+    }
+
     /// Total packets currently in the network.
     pub fn backlog(&self) -> u64 {
         self.metrics.backlog()
@@ -500,11 +584,38 @@ impl<P: Protocol> Engine<P> {
         for &e in route.edges() {
             self.touch_edge_use(e, 0);
         }
-        let shared = route.shared();
-        if let Some(oracle) = self.oracle.as_mut() {
-            oracle.model.mirror_seed(Arc::clone(&shared), tag);
+        let edges = route.edges();
+        if let Some(mut oracle) = self.oracle.take() {
+            oracle.model.mirror_seed(edges, tag);
+            self.oracle = Some(oracle);
         }
-        Ok(self.admit(shared, 0, tag))
+        let (rid, len, first) = self.intern_for_admit(edges);
+        Ok(self.admit(rid, len, first, 0, tag))
+    }
+
+    /// Place `n` identical packets in the initial configuration — the
+    /// `s`-packet seed sets of Lemma 3.6 and Theorem 3.17 — with one
+    /// route intern and one buffer range-extend. Ids are assigned
+    /// consecutively, so the trajectory is identical to `n` calls of
+    /// [`Engine::seed`]. Returns the id of the first packet.
+    pub fn seed_cohort(&mut self, route: Route, tag: u32, n: u64) -> Result<PacketId, EngineError> {
+        if self.time != 0 {
+            return Err(EngineError::Usage(
+                "seed_cohort() is only allowed before the first step".into(),
+            ));
+        }
+        for &e in route.edges() {
+            self.touch_edge_use(e, 0);
+        }
+        let edges = route.edges();
+        if let Some(mut oracle) = self.oracle.take() {
+            for _ in 0..n {
+                oracle.model.mirror_seed(edges, tag);
+            }
+            self.oracle = Some(oracle);
+        }
+        let (rid, len, first) = self.intern_for_admit(edges);
+        Ok(self.admit_cohort(rid, len, first, 0, tag, n))
     }
 
     fn touch_edge_use(&mut self, e: EdgeId, t: Time) {
@@ -515,11 +626,55 @@ impl<P: Protocol> Engine<P> {
         }
     }
 
+    /// Internal: intern a route and return what [`Engine::admit`]
+    /// needs (id, length, first edge).
+    fn intern_for_admit(&mut self, edges: &[EdgeId]) -> (RouteId, u32, EdgeId) {
+        let rid = self.routes.intern(edges);
+        (rid, edges.len() as u32, edges[0])
+    }
+
+    /// Internal: [`Engine::intern_for_admit`] behind the small memo.
+    /// Sound because memoized keys pin their allocation (equal key ⇒
+    /// same immutable contents) and the table is append-only, so a
+    /// memoized id stays valid forever. A miss — including a `Route`
+    /// rebuilt from the same edges in a fresh allocation — falls
+    /// through to a real intern, which dedups by content.
+    fn intern_memoized(&mut self, route: &Route) -> (RouteId, u32, EdgeId) {
+        let edges = route.edges();
+        let (addr, len) = (edges.as_ptr() as usize, edges.len());
+        for hit in self.inject_memo.iter().flatten() {
+            if hit.addr == addr && hit.len == len {
+                return hit.resolved;
+            }
+        }
+        let resolved = self.intern_for_admit(edges);
+        self.inject_memo[self.inject_memo_cursor] = Some(InjectMemoEntry {
+            addr,
+            len,
+            resolved,
+            _pin: route.clone(),
+        });
+        self.inject_memo_cursor = (self.inject_memo_cursor + 1) % INJECT_MEMO_SLOTS;
+        resolved
+    }
+
+    /// Checkpoint/snapshot support (crate-only): intern a restored
+    /// route. Append-only, so ids already handed out stay valid.
+    pub(crate) fn intern_route(&mut self, edges: &[EdgeId]) -> RouteId {
+        self.routes.intern(edges)
+    }
+
     /// Internal: create the packet and enqueue it at its first edge.
-    fn admit(&mut self, route: Arc<[EdgeId]>, t: Time, tag: u32) -> PacketId {
+    fn admit(
+        &mut self,
+        route: RouteId,
+        route_len: u32,
+        first: EdgeId,
+        t: Time,
+        tag: u32,
+    ) -> PacketId {
         let id = PacketId(self.next_id);
         self.next_id += 1;
-        let first = route[0];
         let p = Packet {
             id,
             injected_at: t,
@@ -527,11 +682,47 @@ impl<P: Protocol> Engine<P> {
             tag,
             route,
             hop: 0,
+            route_len,
         };
         let len = self.buffers.push_back(first.index(), p) as u64;
         self.metrics.injected += 1;
         self.metrics.on_queue_len(first, len);
         id
+    }
+
+    /// Internal: create `n` identical packets (consecutive ids) and
+    /// enqueue them at their first edge in one range-extend.
+    fn admit_cohort(
+        &mut self,
+        route: RouteId,
+        route_len: u32,
+        first: EdgeId,
+        t: Time,
+        tag: u32,
+        n: u64,
+    ) -> PacketId {
+        let first_id = PacketId(self.next_id);
+        let base = self.next_id;
+        self.next_id += n;
+        let template = Packet {
+            id: first_id,
+            injected_at: t,
+            arrived_at: t,
+            tag,
+            route,
+            hop: 0,
+            route_len,
+        };
+        let len = self.buffers.extend_back(
+            first.index(),
+            (0..n as usize).map(|k| Packet {
+                id: PacketId(base + k as u64),
+                ..template
+            }),
+        ) as u64;
+        self.metrics.injected += n;
+        self.metrics.on_queue_len(first, len);
+        first_id
     }
 
     /// Execute one step with the given injections (occurring in
@@ -546,7 +737,8 @@ impl<P: Protocol> Engine<P> {
     /// unless attached.
     pub fn step<I>(&mut self, injections: I) -> Result<(), EngineError>
     where
-        I: IntoIterator<Item = Injection>,
+        I: IntoIterator,
+        I::Item: std::borrow::Borrow<Injection>,
     {
         let t = self.time + 1;
         self.time = t;
@@ -562,8 +754,11 @@ impl<P: Protocol> Engine<P> {
         self.substep_receive(t);
         if self.oracle.is_some() {
             // The oracle replays this step's injections; buffer them.
-            let buffered: Vec<Injection> = injections.into_iter().collect();
-            self.substep_inject(t, buffered.iter().cloned())?;
+            let buffered: Vec<Injection> = injections
+                .into_iter()
+                .map(|i| std::borrow::Borrow::borrow(&i).clone())
+                .collect();
+            self.substep_inject(t, buffered.iter())?;
             self.substep_burst(t, faults_active);
             self.substep_oracle(t, &buffered)?;
         } else {
@@ -661,7 +856,7 @@ impl<P: Protocol> Engine<P> {
         }
         let mut in_transit = std::mem::take(&mut self.in_transit);
         for p in in_transit.drain(..) {
-            let crossed = p.current_edge();
+            let crossed = self.routes.get(p.route)[p.hop as usize];
             let (lost, copied) = match &self.faults {
                 Some(f) => (f.drops_at(crossed, t), f.duplicates_at(crossed, t)),
                 None => (false, false),
@@ -685,7 +880,7 @@ impl<P: Protocol> Engine<P> {
                     original: p.id,
                     clone: id,
                 });
-                Some(Packet { id, ..p.clone() })
+                Some(Packet { id, ..p })
             } else {
                 None
             };
@@ -699,6 +894,12 @@ impl<P: Protocol> Engine<P> {
     /// append the rest to the next buffer on their route.
     fn substep_receive(&mut self, t: Time) {
         let mut delivered = std::mem::take(&mut self.delivered);
+        // One-entry route memo: transit arrivals are dominated by
+        // cohorts sharing a route, so the common case resolves the
+        // route id against a cached slice borrow instead of re-indexing
+        // the table per packet.
+        let mut memo_id = RouteId::INVALID;
+        let mut memo: &[EdgeId] = &[];
         for mut p in delivered.drain(..) {
             if p.on_last_edge() {
                 // Injected bug for `examples/sentinel_demo`: roughly
@@ -713,7 +914,11 @@ impl<P: Protocol> Engine<P> {
             } else {
                 p.hop += 1;
                 p.arrived_at = t;
-                let next = p.current_edge();
+                if p.route != memo_id {
+                    memo_id = p.route;
+                    memo = self.routes.get(p.route);
+                }
+                let next = memo[p.hop as usize];
                 let len = self.buffers.push_back(next.index(), p) as u64;
                 self.metrics.on_queue_len(next, len);
             }
@@ -724,20 +929,31 @@ impl<P: Protocol> Engine<P> {
     /// Substep 2b: the adversary's injections, through the validators.
     fn substep_inject<I>(&mut self, t: Time, injections: I) -> Result<(), EngineError>
     where
-        I: IntoIterator<Item = Injection>,
+        I: IntoIterator,
+        I::Item: std::borrow::Borrow<Injection>,
     {
         for inj in injections {
+            let inj: &Injection = std::borrow::Borrow::borrow(&inj);
             let edges = inj.route.edges();
-            if let Some(v) = self.rate_validator.as_mut() {
-                v.record_route(edges, t)?;
-            }
-            if let Some(v) = self.window_validator.as_mut() {
-                v.record_route(edges, t)?;
+            // The adversary constraints are per packet: a cohort of n
+            // is n injections as far as the validators are concerned.
+            for _ in 0..inj.count {
+                if let Some(v) = self.rate_validator.as_mut() {
+                    v.record_route(edges, t)?;
+                }
+                if let Some(v) = self.window_validator.as_mut() {
+                    v.record_route(edges, t)?;
+                }
             }
             for &e in edges {
                 self.touch_edge_use(e, t);
             }
-            self.admit(inj.route.shared(), t, inj.tag);
+            let (rid, len, first) = self.intern_memoized(&inj.route);
+            if inj.count == 1 {
+                self.admit(rid, len, first, t, inj.tag);
+            } else {
+                self.admit_cohort(rid, len, first, t, inj.tag, u64::from(inj.count));
+            }
         }
         Ok(())
     }
@@ -761,13 +977,18 @@ impl<P: Protocol> Engine<P> {
         if !burst.is_empty() {
             self.fault_log.push(FaultEvent::BurstInjected {
                 time: t,
-                count: burst.len() as u64,
+                count: burst.iter().map(|i| u64::from(i.count)).sum(),
             });
             for inj in burst {
                 for &e in inj.route.edges() {
                     self.touch_edge_use(e, t);
                 }
-                self.admit(inj.route.shared(), t, inj.tag);
+                let (rid, len, first) = self.intern_for_admit(inj.route.edges());
+                if inj.count == 1 {
+                    self.admit(rid, len, first, t, inj.tag);
+                } else {
+                    self.admit_cohort(rid, len, first, t, inj.tag, u64::from(inj.count));
+                }
             }
         }
     }
@@ -846,6 +1067,7 @@ impl<P: Protocol> Engine<P> {
             if deep {
                 // In-buffer waits: a packet already queued longer than
                 // the bound can only exceed it further when sent.
+                let routes = &self.routes;
                 let overdue = self.buffers.packets().find_map(|p| {
                     let waited = t.saturating_sub(p.arrived_at);
                     (waited > bound).then(|| {
@@ -853,7 +1075,7 @@ impl<P: Protocol> Engine<P> {
                             "packet {:?} has waited {waited} steps at edge {:?} \
                              (theorem bound {bound})",
                             p.id,
-                            p.current_edge()
+                            routes.get(p.route)[p.hop as usize]
                         )
                     })
                 });
@@ -895,24 +1117,44 @@ impl<P: Protocol> Engine<P> {
     }
 
     /// First route-progress violation among the queued packets:
-    /// in-range hop, packet stored at its current route edge, coherent
-    /// timestamps, id below the allocation watermark.
+    /// resolvable route id with consistent interned contents, in-range
+    /// hop, packet stored at its current route edge, coherent
+    /// timestamps, id below the allocation watermark. Also re-verifies
+    /// the route table itself: interning is trusted on the hot path, so
+    /// the deep cadence is where a corrupted intern (duplicate entries,
+    /// a mis-filed hash chain) would surface.
     fn route_progress_violation(&self, t: Time) -> Option<String> {
+        if let Err(detail) = self.routes.verify_integrity() {
+            return Some(format!("route table corrupt: {detail}"));
+        }
         for ei in 0..self.buffers.edge_count() {
             for p in self.buffers.iter(ei) {
-                if p.hop as usize >= p.route.len() {
+                let Some(route) = self.routes.try_get(p.route) else {
+                    return Some(format!(
+                        "packet {:?} references unknown route id {:?}",
+                        p.id, p.route
+                    ));
+                };
+                if p.route_len as usize != route.len() {
+                    return Some(format!(
+                        "packet {:?} claims route length {} but its interned route has {} edges",
+                        p.id,
+                        p.route_len,
+                        route.len()
+                    ));
+                }
+                if p.hop as usize >= route.len() {
                     return Some(format!(
                         "packet {:?} has hop {} on a route of length {}",
                         p.id,
                         p.hop,
-                        p.route.len()
+                        route.len()
                     ));
                 }
-                if p.current_edge().index() != ei {
+                if route[p.hop as usize].index() != ei {
                     return Some(format!(
                         "packet {:?} is queued at edge {ei} but its route edge is {:?}",
-                        p.id,
-                        p.current_edge()
+                        p.id, route[p.hop as usize]
                     ));
                 }
                 if p.arrived_at > t || p.injected_at > p.arrived_at {
@@ -998,7 +1240,7 @@ impl<P: Protocol> Engine<P> {
     /// Run `steps` steps with no injections.
     pub fn run_quiet(&mut self, steps: u64) -> Result<(), EngineError> {
         for _ in 0..steps {
-            self.step(std::iter::empty())?;
+            self.step(std::iter::empty::<Injection>())?;
         }
         Ok(())
     }
@@ -1033,36 +1275,37 @@ impl<P: Protocol> Engine<P> {
         if suffix.is_empty() {
             return Ok(0);
         }
-        let selected = |p: &Packet| last_edge.is_none_or(|e| p.route.last() == Some(&e));
-        // Collect cohort references.
-        let cohort_count: usize = buffers
-            .iter()
-            .map(|e| self.buffers.iter(e.index()).filter(|p| selected(p)).count())
-            .sum();
+        // Whether a packet is in the cohort is a function of its route
+        // alone (its route ends at `last_edge`), so the whole extension
+        // is computed per *distinct route id*, not per packet. First
+        // pass (immutable): find the distinct cohort routes in first-
+        // appearance order, build and validate their extensions.
+        let mut cohort_count = 0usize;
+        let mut distinct: Vec<(RouteId, Vec<EdgeId>)> = Vec::new();
+        {
+            let routes = &self.routes;
+            let selected =
+                |p: &Packet| last_edge.is_none_or(|e| routes.get(p.route).last() == Some(&e));
+            for &be in buffers {
+                for p in self.buffers.iter(be.index()).filter(|p| selected(p)) {
+                    cohort_count += 1;
+                    if !distinct.iter().any(|(id, _)| *id == p.route) {
+                        let old = routes.get(p.route);
+                        let mut edges = Vec::with_capacity(old.len() + suffix.len());
+                        edges.extend_from_slice(old);
+                        edges.extend_from_slice(suffix);
+                        Route::validate(&self.graph, &edges)?;
+                        distinct.push((p.route, edges));
+                    }
+                }
+            }
+        }
         if cohort_count == 0 {
             return Ok(0);
         }
 
         if self.cfg.validate_reroutes {
-            self.check_lemma33_preconditions(buffers, suffix, &selected, last_edge)?;
-        }
-
-        // Validate connectivity/simplicity and build extended routes,
-        // sharing one Arc per distinct original route.
-        let mut cache: std::collections::HashMap<*const EdgeId, Arc<[EdgeId]>> =
-            std::collections::HashMap::new();
-        // First pass: validate + populate cache (immutable borrow).
-        for &be in buffers {
-            for p in self.buffers.iter(be.index()).filter(|p| selected(p)) {
-                let key = p.route.as_ptr();
-                if let std::collections::hash_map::Entry::Vacant(slot) = cache.entry(key) {
-                    let mut edges = Vec::with_capacity(p.route.len() + suffix.len());
-                    edges.extend_from_slice(&p.route);
-                    edges.extend_from_slice(suffix);
-                    Route::validate(&self.graph, &edges)?;
-                    slot.insert(edges.into());
-                }
-            }
+            self.check_lemma33_preconditions(buffers, suffix, last_edge)?;
         }
 
         // Feed the validators at the original injection times, in
@@ -1072,12 +1315,15 @@ impl<P: Protocol> Engine<P> {
         // adversary an arbitrary initial configuration, routes
         // included.
         if self.rate_validator.is_some() || self.window_validator.is_some() {
+            let routes = &self.routes;
+            let selected =
+                |p: &&Packet| last_edge.is_none_or(|e| routes.get(p.route).last() == Some(&e));
             let mut inject_times: Vec<Time> = buffers
                 .iter()
                 .flat_map(|e| {
                     self.buffers
                         .iter(e.index())
-                        .filter(|p| selected(p))
+                        .filter(selected)
                         .map(|p| p.injected_at)
                 })
                 .filter(|&t| t > 0)
@@ -1097,21 +1343,28 @@ impl<P: Protocol> Engine<P> {
             }
         }
 
-        // Second pass: swap in the extended routes.
+        // Intern each extended route once per distinct original route
+        // (first-appearance order, which the oracle's mirror repeats),
+        // then swap ids in place — the per-packet work is two u32
+        // stores.
+        let swaps: Vec<(RouteId, RouteId, u32)> = distinct
+            .into_iter()
+            .map(|(old_id, edges)| {
+                let new_id = self.routes.intern(&edges);
+                (old_id, new_id, edges.len() as u32)
+            })
+            .collect();
         let mut max_t = 0;
         let mut count = 0;
         for &be in buffers {
             for p in self.buffers.iter_mut(be.index()) {
-                if last_edge.is_some_and(|e| p.route.last() != Some(&e)) {
-                    continue;
-                }
-                let key = p.route.as_ptr();
-                let new_route = cache.get(&key).ok_or_else(|| {
-                    EngineError::Internal(
-                        "route cache missed a cohort route populated in the first pass".into(),
-                    )
-                })?;
-                p.route = Arc::clone(new_route);
+                let Some(&(_, new_id, new_len)) =
+                    swaps.iter().find(|(old_id, _, _)| *old_id == p.route)
+                else {
+                    continue; // not selected: its route was not in the cohort
+                };
+                p.route = new_id;
+                p.route_len = new_len;
                 max_t = max_t.max(p.injected_at);
                 count += 1;
             }
@@ -1134,7 +1387,6 @@ impl<P: Protocol> Engine<P> {
         &self,
         buffers: &[EdgeId],
         suffix: &[EdgeId],
-        selected: &dyn Fn(&Packet) -> bool,
         last_edge: Option<EdgeId>,
     ) -> Result<(), EngineError> {
         if !self.protocol.is_historic() {
@@ -1156,17 +1408,22 @@ impl<P: Protocol> Engine<P> {
         // is O(cohort × |route|²) and cohort routes in a long chain
         // accumulate hundreds of edges.
         if last_edge.is_none() {
-            let mut iter = buffers
-                .iter()
-                .flat_map(|e| self.buffers.iter(e.index()))
-                .filter(|p| selected(p));
+            // With no `last_edge` filter every packet in the listed
+            // buffers is in the cohort, and the intersection only needs
+            // each *distinct* route once.
+            let mut iter = buffers.iter().flat_map(|e| self.buffers.iter(e.index()));
             let first = match iter.next() {
                 Some(p) => p,
                 None => return Ok(()),
             };
-            let mut common: Vec<EdgeId> = first.route().to_vec();
+            let mut common: Vec<EdgeId> = self.routes.get(first.route).to_vec();
+            let mut seen = vec![first.route];
             for p in iter {
-                common.retain(|e| p.route().contains(e));
+                if seen.contains(&p.route) {
+                    continue;
+                }
+                seen.push(p.route);
+                common.retain(|e| self.routes.get(p.route).contains(e));
                 if common.is_empty() {
                     return Err(EngineError::Reroute(
                         "rerouted packets do not share a common route edge".into(),
@@ -1286,6 +1543,35 @@ mod tests {
         // tag-1 crossed e0 at step 1 and sits ahead of tag-2 at e1
         let tags: Vec<u32> = eng.queue_iter(edges[1]).map(|p| p.tag).collect();
         assert_eq!(tags, vec![1, 2]);
+    }
+
+    #[test]
+    fn seed_cohort_matches_singleton_seeds() {
+        let (mut a, edges) = line_engine(2, EngineConfig::default());
+        let (mut b, _) = line_engine(2, EngineConfig::default());
+        let route = Route::new(a.graph(), edges.clone()).unwrap();
+        for _ in 0..5 {
+            a.seed(route.clone(), 3).unwrap();
+        }
+        let first = b.seed_cohort(route, 3, 5).unwrap();
+        assert_eq!(first, PacketId(0));
+        a.run_quiet(4).unwrap();
+        b.run_quiet(4).unwrap();
+        assert_eq!(crate::snapshot::capture(&a), crate::snapshot::capture(&b));
+    }
+
+    #[test]
+    fn cohort_injection_matches_singletons() {
+        let (mut a, edges) = line_engine(2, EngineConfig::default());
+        let (mut b, _) = line_engine(2, EngineConfig::default());
+        let route = Route::new(a.graph(), edges.clone()).unwrap();
+        a.step(vec![Injection::new(route.clone(), 7); 4]).unwrap();
+        b.step([Injection::cohort(route, 7, 4)]).unwrap();
+        assert_eq!(crate::snapshot::capture(&a), crate::snapshot::capture(&b));
+        a.run_quiet(6).unwrap();
+        b.run_quiet(6).unwrap();
+        assert_eq!(a.metrics().absorbed, 4);
+        assert_eq!(crate::snapshot::capture(&a), crate::snapshot::capture(&b));
     }
 
     #[test]

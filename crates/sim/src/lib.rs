@@ -56,6 +56,7 @@ pub mod parallel;
 pub mod protocol;
 pub mod rate;
 pub mod ratio;
+pub mod routes;
 pub mod schedule;
 pub mod sentinel;
 pub mod snapshot;
@@ -76,6 +77,7 @@ pub use parallel::{
 pub use protocol::{Discipline, Protocol, SelectKey};
 pub use rate::{RateValidator, RateViolation, WindowValidator};
 pub use ratio::Ratio;
+pub use routes::{RouteId, RouteTable};
 pub use schedule::{Schedule, ScheduleOp};
 pub use sentinel::{
     CertificateSpec, InvariantKind, ReproBundle, Sentinel, SentinelConfig, SentinelState, Severity,

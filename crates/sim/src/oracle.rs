@@ -12,12 +12,16 @@
 //! owns one, mirrors every engine step (including faults, bursts, and
 //! Lemma 3.3 route extensions), and at a configurable cadence `k`
 //! compares complete states: clock, id counter, conservation counters,
-//! and every queued packet bit for bit. A mismatch is raised through
-//! the sentinel as [`InvariantKind::OracleDivergence`](
+//! every queued packet bit for bit, and the two route tables entry by
+//! entry. The model keeps its *own* [`RouteTable`] and mirrors the
+//! engine's intern sequence, so packet route ids are comparable
+//! directly — a diff never chases route contents per packet, and a
+//! divergence in the intern order itself is detected rather than
+//! masked. A mismatch is raised through the sentinel as
+//! [`InvariantKind::OracleDivergence`](
 //! crate::sentinel::InvariantKind::OracleDivergence).
 
 use std::collections::VecDeque;
-use std::sync::Arc;
 
 use aqt_graph::{EdgeId, Graph};
 
@@ -25,7 +29,8 @@ use crate::engine::{Engine, Injection};
 use crate::fault::FaultPlan;
 use crate::packet::{Packet, PacketId, Time};
 use crate::protocol::Protocol;
-use crate::snapshot::{PacketState, Snapshot, SNAPSHOT_SCHEMA_VERSION};
+use crate::routes::{RouteId, RouteTable};
+use crate::snapshot::{canonical_buffers, Snapshot, SNAPSHOT_SCHEMA_VERSION};
 
 /// The naive reference simulator: the model semantics with none of the
 /// engine's optimizations. State is exactly what a [`Snapshot`]
@@ -39,6 +44,9 @@ pub struct ReferenceModel {
     dropped: u64,
     duplicated: u64,
     buffers: Vec<VecDeque<Packet>>,
+    /// The model's own route interner, kept id-aligned with the
+    /// engine's by mirroring every intern in the same order.
+    routes: RouteTable,
 }
 
 impl ReferenceModel {
@@ -52,11 +60,19 @@ impl ReferenceModel {
             dropped: 0,
             duplicated: 0,
             buffers: vec![VecDeque::new(); edge_count],
+            routes: RouteTable::new(),
         }
     }
 
-    /// Build a model holding exactly the state of `snap`.
+    /// Build a model holding exactly the state of `snap`. The model's
+    /// route ids are the snapshot's route indices.
     pub fn from_snapshot(snap: &Snapshot) -> Self {
+        let mut routes = RouteTable::new();
+        let ids: Vec<(RouteId, u32)> = snap
+            .routes
+            .iter()
+            .map(|r| (routes.intern(r), r.len() as u32))
+            .collect();
         ReferenceModel {
             time: snap.time,
             next_id: snap.next_id,
@@ -69,41 +85,35 @@ impl ReferenceModel {
                 .iter()
                 .map(|buf| {
                     buf.iter()
-                        .map(|p| Packet {
-                            id: PacketId(p.id),
-                            injected_at: p.injected_at,
-                            arrived_at: p.arrived_at,
-                            tag: p.tag,
-                            route: Arc::clone(&p.route),
-                            hop: p.hop,
+                        .map(|p| {
+                            let (route, route_len) = ids[p.route as usize];
+                            Packet {
+                                id: PacketId(p.id),
+                                injected_at: p.injected_at,
+                                arrived_at: p.arrived_at,
+                                tag: p.tag,
+                                route,
+                                hop: p.hop,
+                                route_len,
+                            }
                         })
                         .collect()
                 })
                 .collect(),
+            routes,
         }
     }
 
-    /// Capture the model's state in snapshot form.
+    /// Capture the model's state in snapshot form (canonical route
+    /// numbering, independent of the model's private intern order).
     pub fn to_snapshot(&self) -> Snapshot {
+        let (routes, buffers) =
+            canonical_buffers(self.buffers.iter().map(|b| b.iter()), &self.routes);
         Snapshot {
             schema: SNAPSHOT_SCHEMA_VERSION,
             time: self.time,
-            buffers: self
-                .buffers
-                .iter()
-                .map(|buf| {
-                    buf.iter()
-                        .map(|p| PacketState {
-                            id: p.id.0,
-                            injected_at: p.injected_at,
-                            arrived_at: p.arrived_at,
-                            tag: p.tag,
-                            route: p.route_shared(),
-                            hop: p.hop,
-                        })
-                        .collect()
-                })
-                .collect(),
+            routes,
+            buffers,
             next_id: self.next_id,
             injected: self.injected,
             absorbed: self.absorbed,
@@ -122,10 +132,11 @@ impl ReferenceModel {
         self.buffers.iter().map(|b| b.len() as u64).sum()
     }
 
-    fn admit(&mut self, route: Arc<[EdgeId]>, t: Time, tag: u32) {
+    fn admit(&mut self, edges: &[EdgeId], t: Time, tag: u32) {
         let id = PacketId(self.next_id);
         self.next_id += 1;
-        let first = route[0];
+        let route = self.routes.intern(edges);
+        let first = edges[0];
         self.buffers[first.index()].push_back(Packet {
             id,
             injected_at: t,
@@ -133,40 +144,58 @@ impl ReferenceModel {
             tag,
             route,
             hop: 0,
+            route_len: edges.len() as u32,
         });
         self.injected += 1;
     }
 
     /// Mirror of [`Engine::seed`]: place an initial-configuration
     /// packet at time 0.
-    pub(crate) fn mirror_seed(&mut self, route: Arc<[EdgeId]>, tag: u32) {
-        self.admit(route, 0, tag);
+    pub(crate) fn mirror_seed(&mut self, edges: &[EdgeId], tag: u32) {
+        self.admit(edges, 0, tag);
     }
 
     /// Mirror of [`Engine::extend_routes_in`]'s route swap: extend the
-    /// remaining routes of the matching packets in the listed buffers,
-    /// one shared `Arc` per distinct original route.
+    /// remaining routes of the matching packets in the listed buffers.
+    /// The distinct cohort routes are interned in first-appearance
+    /// order — the same order the engine used — so the two tables stay
+    /// id-aligned.
     pub(crate) fn mirror_extend(
         &mut self,
         buffers: &[EdgeId],
         suffix: &[EdgeId],
         last_edge: Option<EdgeId>,
     ) {
-        let mut cache: std::collections::HashMap<*const EdgeId, Arc<[EdgeId]>> =
-            std::collections::HashMap::new();
+        let mut distinct: Vec<(RouteId, Vec<EdgeId>)> = Vec::new();
         for &be in buffers {
-            for p in self.buffers[be.index()].iter_mut() {
-                if last_edge.is_some_and(|e| p.route.last() != Some(&e)) {
+            for p in self.buffers[be.index()].iter() {
+                let route = self.routes.get(p.route);
+                if last_edge.is_some_and(|e| route.last() != Some(&e)) {
                     continue;
                 }
-                let key = p.route.as_ptr();
-                let new_route = cache.entry(key).or_insert_with(|| {
-                    let mut edges = Vec::with_capacity(p.route.len() + suffix.len());
-                    edges.extend_from_slice(&p.route);
+                if !distinct.iter().any(|(id, _)| *id == p.route) {
+                    let mut edges = Vec::with_capacity(route.len() + suffix.len());
+                    edges.extend_from_slice(route);
                     edges.extend_from_slice(suffix);
-                    edges.into()
-                });
-                p.route = Arc::clone(new_route);
+                    distinct.push((p.route, edges));
+                }
+            }
+        }
+        let swaps: Vec<(RouteId, RouteId, u32)> = distinct
+            .into_iter()
+            .map(|(old_id, edges)| {
+                let new_id = self.routes.intern(&edges);
+                (old_id, new_id, edges.len() as u32)
+            })
+            .collect();
+        for &be in buffers {
+            for p in self.buffers[be.index()].iter_mut() {
+                if let Some(&(_, new_id, new_len)) =
+                    swaps.iter().find(|(old_id, _, _)| *old_id == p.route)
+                {
+                    p.route = new_id;
+                    p.route_len = new_len;
+                }
             }
         }
     }
@@ -206,7 +235,7 @@ impl ReferenceModel {
         // Wire-fault stage: drops and duplications, in transit order.
         let mut delivered: Vec<Packet> = Vec::with_capacity(in_transit.len());
         for p in in_transit {
-            let crossed = p.current_edge();
+            let crossed = self.routes.get(p.route)[p.hop as usize];
             let (lost, copied) = match faults {
                 Some(f) if faults_active => (f.drops_at(crossed, t), f.duplicates_at(crossed, t)),
                 _ => (false, false),
@@ -219,7 +248,7 @@ impl ReferenceModel {
                 let id = PacketId(self.next_id);
                 self.next_id += 1;
                 self.duplicated += 1;
-                Packet { id, ..p.clone() }
+                Packet { id, ..p }
             });
             delivered.push(p);
             delivered.extend(copy);
@@ -232,14 +261,18 @@ impl ReferenceModel {
             } else {
                 p.hop += 1;
                 p.arrived_at = t;
-                let next = p.current_edge();
+                let next = self.routes.get(p.route)[p.hop as usize];
                 self.buffers[next.index()].push_back(p);
             }
         }
 
-        // Substep 2b: inject, then burst faults.
+        // Substep 2b: inject, then burst faults. A cohort is `count`
+        // identical admissions — one intern (dedup makes the repeats
+        // free), `count` packets, exactly the engine's id assignment.
         for inj in injections {
-            self.admit(inj.route.shared(), t, inj.tag);
+            for _ in 0..inj.count {
+                self.admit(inj.route.edges(), t, inj.tag);
+            }
         }
         if faults_active {
             if let Some(f) = faults {
@@ -248,7 +281,9 @@ impl ReferenceModel {
                     .flat_map(|b| b.injections.iter().cloned())
                     .collect();
                 for inj in burst {
-                    self.admit(inj.route.shared(), t, inj.tag);
+                    for _ in 0..inj.count {
+                        self.admit(inj.route.edges(), t, inj.tag);
+                    }
                 }
             }
         }
@@ -256,6 +291,8 @@ impl ReferenceModel {
 
     /// Replace the model's state with the engine's (used after a
     /// snapshot/checkpoint restore, where replaying is impossible).
+    /// Clones the engine's route table, so ids stay directly
+    /// comparable from here on.
     pub(crate) fn resync<P: Protocol>(&mut self, engine: &Engine<P>) {
         self.time = engine.time();
         self.next_id = engine.next_packet_id();
@@ -266,8 +303,9 @@ impl ReferenceModel {
         self.buffers = engine
             .graph()
             .edge_ids()
-            .map(|e| engine.queue_iter(e).cloned().collect())
+            .map(|e| engine.queue_iter(e).copied().collect())
             .collect();
+        self.routes = engine.routes().clone();
     }
 
     /// First difference against the engine's state, as a description;
@@ -299,6 +337,17 @@ impl ReferenceModel {
                     "{name} counter diverged: oracle {ours}, engine {theirs}"
                 ));
             }
+        }
+        // Mirrored interning makes the tables equal whenever the runs
+        // agree; comparing them makes the per-packet route-id equality
+        // below meaningful (and catches an intern-order divergence even
+        // before it moves a packet).
+        if &self.routes != engine.routes() {
+            return Some(format!(
+                "route tables diverged: oracle interned {} routes, engine {}",
+                self.routes.len(),
+                engine.routes().len()
+            ));
         }
         if self.buffers.len() != engine.graph().edge_count() {
             return Some(format!(
@@ -384,6 +433,7 @@ impl std::fmt::Debug for Oracle {
 mod tests {
     use super::*;
     use aqt_graph::{topologies, Route};
+    use std::sync::Arc;
 
     struct Fifo;
     impl Protocol for Fifo {
@@ -450,25 +500,29 @@ mod tests {
         }
         let snap = model.to_snapshot();
         let rebuilt = ReferenceModel::from_snapshot(&snap);
-        assert_eq!(rebuilt, model);
+        // The rebuilt table holds only the live routes in canonical
+        // order, so compare states through the canonical form.
         assert_eq!(rebuilt.to_snapshot(), snap);
+        assert_eq!(rebuilt.backlog(), model.backlog());
     }
 
     #[test]
-    fn mirror_extend_matches_engine_extension_shape() {
+    fn mirror_extend_interns_one_extension_per_distinct_route() {
         let g = Arc::new(topologies::line(3));
         let edges: Vec<EdgeId> = g.edge_ids().collect();
-        let short: Arc<[EdgeId]> = vec![edges[0]].into();
+        let short = [edges[0]];
         let mut model = ReferenceModel::new(g.edge_count());
-        model.mirror_seed(Arc::clone(&short), 0);
-        model.mirror_seed(short, 0);
+        model.mirror_seed(&short, 0);
+        model.mirror_seed(&short, 0);
         model.mirror_extend(&[edges[0]], &[edges[1], edges[2]], None);
-        let routes: Vec<_> = model.buffers[0].iter().map(|p| p.route()).collect();
-        assert_eq!(routes[0], &[edges[0], edges[1], edges[2]]);
-        // one shared Arc for the shared original route
-        assert!(Arc::ptr_eq(
-            &model.buffers[0][0].route,
-            &model.buffers[0][1].route
-        ));
+        let ids: Vec<RouteId> = model.buffers[0].iter().map(|p| p.route_id()).collect();
+        // one interned extension shared by the cohort
+        assert_eq!(ids[0], ids[1]);
+        assert_eq!(
+            model.routes.get(ids[0]),
+            &[edges[0], edges[1], edges[2]][..]
+        );
+        // the table holds exactly the original and the extension
+        assert_eq!(model.routes.len(), 2);
     }
 }

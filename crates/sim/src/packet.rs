@@ -1,8 +1,8 @@
 //! Packets: the unit of traffic.
 
-use std::sync::Arc;
-
 use aqt_graph::EdgeId;
+
+use crate::routes::RouteId;
 
 /// Global simulation time, in steps. The system starts at time 0;
 /// step `t` (for `t ≥ 1`) consists of substep 1 (send) and substep 2
@@ -17,12 +17,20 @@ pub struct PacketId(pub u64);
 
 /// A packet in flight (or queued).
 ///
-/// The route is the packet's *full* path; `hop` indexes the edge whose
-/// buffer currently holds the packet. Routes are shared `Arc` slices:
-/// adversaries inject thousands of packets with identical routes, and
-/// the rerouting of Lemma 3.3 extends whole cohorts at once, so cloning
-/// a route never allocates.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// The packet does not own its route: it carries a 4-byte [`RouteId`]
+/// into the engine's [`crate::RouteTable`] plus the route's length.
+/// Adversaries inject thousands of packets with identical routes and
+/// the rerouting of Lemma 3.3 extends whole cohorts at once, so each
+/// distinct route is interned exactly once and packets are plain `Copy`
+/// values — 40 bytes, no refcounts, no `Drop`, memcpy-friendly queue
+/// operations.
+///
+/// Keeping the length in the packet (rather than behind the table
+/// lookup) makes the distance queries used by the paper's protocols —
+/// [`Packet::remaining`], [`Packet::traversed`],
+/// [`Packet::on_last_edge`] — packet-local, so protocol `select`
+/// implementations never need the table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Packet {
     /// Unique id (injection order).
     pub id: PacketId,
@@ -34,14 +42,17 @@ pub struct Packet {
     /// Caller-assigned cohort tag (used by experiments to tell packet
     /// populations apart; the simulator itself ignores it).
     pub tag: u32,
-    pub(crate) route: Arc<[EdgeId]>,
+    pub(crate) route: RouteId,
     pub(crate) hop: u32,
+    pub(crate) route_len: u32,
 }
 
 impl Packet {
     /// Construct a detached packet not managed by any engine. Intended
     /// for protocol unit tests and custom tooling; `hop` must index
-    /// into `route`.
+    /// into `route`. Only the route's *length* is retained — the
+    /// packet's route id is the [`RouteId::INVALID`] sentinel, so a
+    /// synthetic packet must never be fed to an engine.
     pub fn synthetic(
         id: u64,
         injected_at: Time,
@@ -56,35 +67,32 @@ impl Packet {
             injected_at,
             arrived_at,
             tag,
-            route: route.into(),
+            route: RouteId::INVALID,
             hop,
+            route_len: route.len() as u32,
         }
     }
 
-    /// The edge whose buffer currently holds this packet (the "next
-    /// edge to be traversed", `e_p` in Lemma 3.3).
+    /// Id of this packet's interned route in the owning engine's
+    /// [`crate::RouteTable`]. Resolve it with
+    /// [`crate::Engine::routes`]; [`RouteId::INVALID`] for
+    /// [`Packet::synthetic`] packets.
     #[inline]
-    pub fn current_edge(&self) -> EdgeId {
-        self.route[self.hop as usize]
+    pub fn route_id(&self) -> RouteId {
+        self.route
     }
 
-    /// Full route (may have been extended by rerouting).
+    /// Total number of edges on the route.
     #[inline]
-    pub fn route(&self) -> &[EdgeId] {
-        &self.route
-    }
-
-    /// Shared handle to the route.
-    #[inline]
-    pub fn route_shared(&self) -> Arc<[EdgeId]> {
-        Arc::clone(&self.route)
+    pub fn route_len(&self) -> usize {
+        self.route_len as usize
     }
 
     /// Number of edges still to traverse, *including* the current edge.
     /// This is the "distance to go" used by FTG/NTG.
     #[inline]
     pub fn remaining(&self) -> usize {
-        self.route.len() - self.hop as usize
+        (self.route_len - self.hop) as usize
     }
 
     /// Number of edges already traversed — the "distance from source"
@@ -98,7 +106,7 @@ impl Packet {
     /// will be absorbed after crossing it).
     #[inline]
     pub fn on_last_edge(&self) -> bool {
-        self.hop as usize + 1 == self.route.len()
+        self.hop + 1 == self.route_len
     }
 }
 
@@ -107,20 +115,19 @@ mod tests {
     use super::*;
 
     fn mk(route: Vec<u32>, hop: u32) -> Packet {
-        Packet {
-            id: PacketId(1),
-            injected_at: 0,
-            arrived_at: 0,
-            tag: 0,
-            route: route.into_iter().map(EdgeId).collect::<Vec<_>>().into(),
+        Packet::synthetic(
+            1,
+            0,
+            0,
+            0,
+            route.into_iter().map(EdgeId).collect::<Vec<_>>(),
             hop,
-        }
+        )
     }
 
     #[test]
     fn distances() {
         let p = mk(vec![0, 1, 2, 3], 1);
-        assert_eq!(p.current_edge(), EdgeId(1));
         assert_eq!(p.remaining(), 3);
         assert_eq!(p.traversed(), 1);
         assert!(!p.on_last_edge());
@@ -130,10 +137,18 @@ mod tests {
     }
 
     #[test]
-    fn route_sharing() {
+    fn packets_are_small_plain_values() {
+        // The whole point of route interning: a queued packet is a
+        // 40-byte Copy value with no heap ownership.
+        assert_eq!(std::mem::size_of::<Packet>(), 40);
+        fn assert_copy<T: Copy>() {}
+        assert_copy::<Packet>();
+    }
+
+    #[test]
+    fn synthetic_uses_the_invalid_sentinel() {
         let p = mk(vec![0, 1], 0);
-        let r1 = p.route_shared();
-        let r2 = p.route_shared();
-        assert!(Arc::ptr_eq(&r1, &r2));
+        assert_eq!(p.route_id(), RouteId::INVALID);
+        assert_eq!(p.route_len(), 2);
     }
 }

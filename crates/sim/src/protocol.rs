@@ -213,27 +213,13 @@ mod tests {
             gb.build()
         };
         let mut q = VecDeque::new();
-        q.push_back(crate::packet::Packet {
-            id: crate::packet::PacketId(0),
-            injected_at: 0,
-            arrived_at: 0,
-            tag: 0,
-            route: vec![EdgeId(0)].into(),
-            hop: 0,
-        });
+        q.push_back(Packet::synthetic(0, 0, 0, 0, vec![EdgeId(0)], 0));
         assert_eq!(b.select(1, EdgeId(0), &q, &g), 0);
         assert!(matches!(b.discipline(), Discipline::Custom));
     }
 
     fn pkt(id: u64, injected_at: Time) -> Packet {
-        Packet {
-            id: crate::packet::PacketId(id),
-            injected_at,
-            arrived_at: injected_at,
-            tag: 0,
-            route: vec![EdgeId(0)].into(),
-            hop: 0,
-        }
+        Packet::synthetic(id, injected_at, injected_at, 0, vec![EdgeId(0)], 0)
     }
 
     #[test]

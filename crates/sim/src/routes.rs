@@ -1,0 +1,239 @@
+//! Append-only route interner.
+//!
+//! Every packet in the adversarial constructions of the paper travels a
+//! route shared with an entire cohort: Lemma 3.6 injects whole sets
+//! along one path, and Lemma 3.3 reroutes a cohort onto one common
+//! extension. The engine therefore stores each distinct route exactly
+//! once in a [`RouteTable`] and packets carry a 4-byte [`RouteId`]
+//! instead of a fat `Arc<[EdgeId]>` pointer — no refcount traffic when
+//! packets move between buffers, and `Packet` becomes `Copy`.
+//!
+//! The table is append-only: a `RouteId`, once issued, stays valid for
+//! the lifetime of the engine (snapshot restore interns into the
+//! existing table rather than replacing it). Deduplication is by
+//! content hash with full collision checks, so interning the same edge
+//! sequence twice always returns the same id.
+
+use std::collections::HashMap;
+
+use aqt_graph::EdgeId;
+
+/// Index of an interned route in a [`RouteTable`].
+///
+/// Ids are dense and append-only: the n-th distinct route interned gets
+/// id n. [`RouteId::INVALID`] is a reserved sentinel used by synthetic
+/// packets that never enter an engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RouteId(pub u32);
+
+impl RouteId {
+    /// Sentinel for packets constructed outside any engine
+    /// ([`crate::Packet::synthetic`]); never issued by a table.
+    pub const INVALID: RouteId = RouteId(u32::MAX);
+}
+
+/// FNV-1a over the little-endian bytes of the edge indices. The std
+/// `SipHash` would do, but a fixed, dependency-free hash keeps the
+/// table's behaviour identical across platforms and toolchains.
+fn fnv1a(edges: &[EdgeId]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for e in edges {
+        for b in e.0.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Append-only, content-deduplicated store of packet routes.
+///
+/// Equality compares the interned entries in id order, so two tables
+/// that interned the same routes in the same order are equal even if
+/// their hash buckets differ.
+#[derive(Debug, Clone, Default)]
+pub struct RouteTable {
+    /// Interned routes, indexed by `RouteId`.
+    entries: Vec<Box<[EdgeId]>>,
+    /// Content hash → ids with that hash (collision chain).
+    index: HashMap<u64, Vec<u32>>,
+}
+
+impl RouteTable {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct routes interned so far.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Intern `edges`, returning the id of the existing entry with the
+    /// same content or appending a new one.
+    ///
+    /// # Panics
+    /// If the table would exceed `u32::MAX - 1` distinct routes (the
+    /// last id is reserved for [`RouteId::INVALID`]).
+    pub fn intern(&mut self, edges: &[EdgeId]) -> RouteId {
+        let hash = fnv1a(edges);
+        let chain = self.index.entry(hash).or_default();
+        for &id in chain.iter() {
+            if *self.entries[id as usize] == *edges {
+                return RouteId(id);
+            }
+        }
+        let id = u32::try_from(self.entries.len()).expect("route table overflow");
+        assert!(id < u32::MAX, "route table overflow");
+        self.entries.push(edges.into());
+        chain.push(id);
+        RouteId(id)
+    }
+
+    /// The edge sequence behind `id`.
+    ///
+    /// # Panics
+    /// If `id` was not issued by this table (including
+    /// [`RouteId::INVALID`]).
+    #[inline]
+    pub fn get(&self, id: RouteId) -> &[EdgeId] {
+        &self.entries[id.0 as usize]
+    }
+
+    /// Non-panicking lookup, for validation paths.
+    #[inline]
+    pub fn try_get(&self, id: RouteId) -> Option<&[EdgeId]> {
+        self.entries.get(id.0 as usize).map(|e| &**e)
+    }
+
+    /// All interned routes in id order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = &[EdgeId]> {
+        self.entries.iter().map(|e| &**e)
+    }
+
+    /// Heap bytes held by the interned routes themselves (excluding the
+    /// hash index, which is bookkeeping rather than packet payload).
+    pub fn heap_bytes(&self) -> u64 {
+        self.entries
+            .iter()
+            .map(|e| std::mem::size_of_val::<[EdgeId]>(e) as u64)
+            .sum()
+    }
+
+    /// Deep self-check used by the sentinel at deep cadence: every
+    /// entry must hash into a chain that contains it, every chain
+    /// member must exist and hash to its chain's key, and no two
+    /// entries may hold the same content (dedup held). Returns a
+    /// description of the first inconsistency.
+    pub fn verify_integrity(&self) -> Result<(), String> {
+        let mut chained = 0usize;
+        for (&hash, chain) in &self.index {
+            for &id in chain {
+                let Some(entry) = self.entries.get(id as usize) else {
+                    return Err(format!("index references missing route id {id}"));
+                };
+                if fnv1a(entry) != hash {
+                    return Err(format!("route id {id} filed under the wrong hash"));
+                }
+                chained += 1;
+            }
+            for (i, &a) in chain.iter().enumerate() {
+                for &b in &chain[i + 1..] {
+                    if *self.entries[a as usize] == *self.entries[b as usize] {
+                        return Err(format!("routes {a} and {b} are duplicate interns"));
+                    }
+                }
+            }
+        }
+        if chained != self.entries.len() {
+            return Err(format!(
+                "{} routes interned but {chained} indexed",
+                self.entries.len()
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Tables are equal iff they interned the same routes in the same
+/// order; the hash index is derived state and not compared.
+impl PartialEq for RouteTable {
+    fn eq(&self, other: &Self) -> bool {
+        self.entries == other.entries
+    }
+}
+
+impl Eq for RouteTable {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(ids: &[u32]) -> Vec<EdgeId> {
+        ids.iter().map(|&i| EdgeId(i)).collect()
+    }
+
+    #[test]
+    fn interning_dedups_by_content() {
+        let mut t = RouteTable::new();
+        let a = t.intern(&e(&[0, 1, 2]));
+        let b = t.intern(&e(&[3]));
+        let a2 = t.intern(&e(&[0, 1, 2]));
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(a), &e(&[0, 1, 2])[..]);
+        assert_eq!(t.get(b), &e(&[3])[..]);
+    }
+
+    #[test]
+    fn ids_are_dense_in_intern_order() {
+        let mut t = RouteTable::new();
+        for i in 0..100u32 {
+            assert_eq!(t.intern(&e(&[i])), RouteId(i));
+        }
+        assert_eq!(t.len(), 100);
+        t.verify_integrity().unwrap();
+    }
+
+    #[test]
+    fn equality_ignores_the_index_and_tracks_order() {
+        let mut a = RouteTable::new();
+        let mut b = RouteTable::new();
+        a.intern(&e(&[1]));
+        a.intern(&e(&[2]));
+        b.intern(&e(&[1]));
+        assert_ne!(a, b);
+        b.intern(&e(&[2]));
+        assert_eq!(a, b);
+        // Same routes, different order: different ids, unequal tables.
+        let mut c = RouteTable::new();
+        c.intern(&e(&[2]));
+        c.intern(&e(&[1]));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn integrity_check_catches_hand_made_duplicates() {
+        let mut t = RouteTable::new();
+        t.intern(&e(&[7, 8]));
+        t.verify_integrity().unwrap();
+        // Forge a duplicate entry behind the index's back.
+        t.entries.push(e(&[7, 8]).into());
+        let hash = fnv1a(&e(&[7, 8]));
+        t.index.get_mut(&hash).unwrap().push(1);
+        assert!(t.verify_integrity().is_err());
+    }
+
+    #[test]
+    fn heap_bytes_counts_edge_storage() {
+        let mut t = RouteTable::new();
+        assert_eq!(t.heap_bytes(), 0);
+        t.intern(&e(&[0, 1, 2, 3, 4]));
+        assert_eq!(t.heap_bytes(), 20);
+    }
+}

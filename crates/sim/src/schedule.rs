@@ -35,14 +35,19 @@ use crate::ratio::Ratio;
 /// One adversary operation.
 #[derive(Debug, Clone)]
 pub enum ScheduleOp {
-    /// Inject a packet with `route` in substep 2 of step `time`.
+    /// Inject `inj.count` identical packets (shared route, shared tag)
+    /// in substep 2 of step `time`. A cohort (`count > 1`) is the
+    /// paper's "`S` packets are injected into `e₀`" burst as one op:
+    /// the engine admits the whole batch with one route lookup and one
+    /// buffer reservation, and the resulting trajectory is identical to
+    /// `count` consecutive single-packet ops at the same step. Storing
+    /// the [`Injection`] itself lets replay hand the engine a borrow —
+    /// no per-op route clone on the hot path.
     Inject {
         /// Step of injection.
         time: Time,
-        /// The packet's route.
-        route: Route,
-        /// Cohort tag.
-        tag: u32,
+        /// The packets to inject (route, tag, count).
+        inj: Injection,
     },
     /// At the start of step `time`, extend the routes of all packets
     /// queued in `buffers` by `suffix` (Lemma 3.3 rerouting).
@@ -94,12 +99,15 @@ impl Schedule {
         self.ops.is_empty()
     }
 
-    /// Number of `Inject` operations.
+    /// Number of packets the schedule injects (cohorts count in full).
     pub fn injection_count(&self) -> usize {
         self.ops
             .iter()
-            .filter(|op| matches!(op, ScheduleOp::Inject { .. }))
-            .count()
+            .map(|op| match op {
+                ScheduleOp::Inject { inj, .. } => inj.count as usize,
+                ScheduleOp::Extend { .. } => 0,
+            })
+            .sum()
     }
 
     /// The latest operation time (0 if empty).
@@ -119,7 +127,18 @@ impl Schedule {
 
     /// Inject one packet at `time`.
     pub fn inject_at(&mut self, time: Time, route: Route, tag: u32) {
-        self.push(ScheduleOp::Inject { time, route, tag });
+        self.push(ScheduleOp::Inject {
+            time,
+            inj: Injection::new(route, tag),
+        });
+    }
+
+    /// Inject `count` identical packets at `time` as one cohort op.
+    pub fn inject_cohort_at(&mut self, time: Time, route: Route, tag: u32, count: u32) {
+        self.push(ScheduleOp::Inject {
+            time,
+            inj: Injection::cohort(route, tag, count),
+        });
     }
 
     /// Schedule a route extension at the start of step `time`.
@@ -266,7 +285,10 @@ impl Schedule {
             }
         }
         let mut idx = 0usize;
-        let mut injections: Vec<Injection> = Vec::new();
+        // Borrows of the ops' stored `Injection`s — the hot replay loop
+        // hands the engine references, so no route `Arc` is cloned (or
+        // dropped) per operation.
+        let mut injections: Vec<&Injection> = Vec::new();
         for t in (start + 1)..=until {
             // Extensions scheduled at the start of step t.
             while idx < self.ops.len() && self.ops[idx].time() == t {
@@ -280,8 +302,8 @@ impl Schedule {
                         engine.extend_routes_in(buffers, suffix, *last_edge)?;
                         idx += 1;
                     }
-                    ScheduleOp::Inject { route, tag, .. } => {
-                        injections.push(Injection::new(route.clone(), *tag));
+                    ScheduleOp::Inject { inj, .. } => {
+                        injections.push(inj);
                         idx += 1;
                     }
                 }
@@ -401,6 +423,32 @@ mod tests {
         let mut s = Schedule::new();
         s.inject_at(9, route, 0);
         assert!(matches!(s.run(&mut eng, 5), Err(EngineError::Usage(_))));
+    }
+
+    #[test]
+    fn cohort_op_replays_identically_to_singletons() {
+        let g = Arc::new(topologies::line(2));
+        let edges: Vec<EdgeId> = g.edge_ids().collect();
+        let route = Route::new(&g, edges).unwrap();
+
+        let mut singles = Schedule::new();
+        for _ in 0..5 {
+            singles.inject_at(2, route.clone(), 7);
+        }
+        let mut cohort = Schedule::new();
+        cohort.inject_cohort_at(2, route.clone(), 7, 5);
+        assert_eq!(singles.injection_count(), cohort.injection_count());
+
+        let mut a = Engine::new(Arc::clone(&g), Fifo, EngineConfig::default());
+        singles.run(&mut a, 10).unwrap();
+        let mut b = Engine::new(Arc::clone(&g), Fifo, EngineConfig::default());
+        cohort.run(&mut b, 10).unwrap();
+        assert_eq!(
+            crate::snapshot::capture(&a),
+            crate::snapshot::capture(&b),
+            "cohort replay must be state-identical to singleton replay"
+        );
+        assert_eq!(a.metrics().absorbed, b.metrics().absorbed);
     }
 
     #[test]

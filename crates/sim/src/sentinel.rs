@@ -627,6 +627,7 @@ mod tests {
                 snapshot: Snapshot {
                     schema: crate::snapshot::SNAPSHOT_SCHEMA_VERSION,
                     time: 42,
+                    routes: vec![],
                     buffers: vec![vec![], vec![]],
                     next_id: 0,
                     injected: 0,

@@ -63,8 +63,8 @@ impl ScheduleSource {
         let mut items = Vec::with_capacity(schedule.len());
         for op in schedule.ops() {
             match op {
-                crate::schedule::ScheduleOp::Inject { time, route, tag } => {
-                    items.push((*time, Injection::new(route.clone(), *tag)));
+                crate::schedule::ScheduleOp::Inject { time, inj } => {
+                    items.push((*time, inj.clone()));
                 }
                 crate::schedule::ScheduleOp::Extend { .. } => {
                     return Err(EngineError::Usage(

@@ -11,6 +11,7 @@ use aqt_protocols::Fifo;
 use aqt_sim::{
     checkpoint, snapshot, Engine, EngineConfig, Injection, SimError, SNAPSHOT_SCHEMA_VERSION,
 };
+use proptest::prelude::*;
 
 /// A length-3 route around `ring(6)` starting at edge `start`.
 fn ring_route(g: &Arc<Graph>, start: u64) -> Route {
@@ -96,11 +97,17 @@ fn corrupted_payloads_fail_closed() {
         (
             "route through a nonexistent edge",
             Box::new(move |s| {
-                let p = &mut s.buffers[busy_edge][0];
-                let mut route: Vec<EdgeId> = p.route.to_vec();
+                let ri = s.buffers[busy_edge][0].route as usize;
+                let mut route: Vec<EdgeId> = s.routes[ri].to_vec();
                 route.push(EdgeId(99));
-                // keep hop pointing at the stored edge
-                p.route = route.into();
+                // keep hops pointing at the stored edges
+                s.routes[ri] = route.into();
+            }),
+        ),
+        (
+            "packet referencing a missing route-table entry",
+            Box::new(move |s| {
+                s.buffers[busy_edge][0].route = s.routes.len() as u32;
             }),
         ),
         (
@@ -147,6 +154,94 @@ fn corrupted_payloads_fail_closed() {
             before,
             "{what}: failed restore must leave the engine untouched"
         );
+    }
+}
+
+/// A payload from the pre-interning format (schema 2: routes stored
+/// inline per packet, no route table) is refused with
+/// `SimError::SchemaMismatch` before any engine mutation. The wire
+/// format of schema 2 cannot be represented by today's `Snapshot`
+/// struct, so the fixture is a current capture carrying the old stamp —
+/// exactly what a resurrected schema-2 checkpoint would present first,
+/// and the version gate must fire before any payload interpretation.
+#[test]
+fn pre_interning_schema_2_payload_is_rejected_without_mutation() {
+    let g = Arc::new(topologies::ring(6));
+    let eng = busy_engine(&g);
+
+    let mut ck = checkpoint::checkpoint(&eng);
+    assert_eq!(ck.snapshot.schema, SNAPSHOT_SCHEMA_VERSION);
+    assert_eq!(SNAPSHOT_SCHEMA_VERSION, 3, "route interning bumped to 3");
+    ck.snapshot.schema = 2; // the pre-interning format stamp
+
+    let mut target = busy_engine(&g);
+    target.run_quiet(2).unwrap();
+    let before = snapshot::capture(&target);
+    let routes_before = target.routes().len();
+    match checkpoint::restore(&mut target, &ck) {
+        Err(SimError::SchemaMismatch { found, expected }) => {
+            assert_eq!(found, 2);
+            assert_eq!(expected, SNAPSHOT_SCHEMA_VERSION);
+        }
+        other => panic!("expected SchemaMismatch, got {other:?}"),
+    }
+    assert_eq!(
+        snapshot::capture(&target),
+        before,
+        "rejected pre-interning payload must not touch the engine"
+    );
+    assert_eq!(
+        target.routes().len(),
+        routes_before,
+        "no routes may be interned from a rejected payload"
+    );
+
+    let mut snap = snapshot::capture(&eng);
+    snap.schema = 2;
+    let mut target = Engine::new(Arc::clone(&g), Fifo, EngineConfig::default());
+    assert!(snapshot::restore(&mut target, &snap).is_err());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Route-table serialization round-trips: an arbitrary mix of
+    /// (shared and distinct) routes seeded into an engine survives
+    /// capture -> restore with the canonical route table intact — every
+    /// packet resolves to the same edges, and the capture of the
+    /// restored engine is bit-identical. The restored engine then steps
+    /// identically to the original, so the interned table is not just
+    /// stored but *live*.
+    #[test]
+    fn route_table_roundtrips_through_snapshots(
+        seeds in prop::collection::vec(0u64..72, 1..12),
+        steps in 0u64..12,
+    ) {
+        let g = Arc::new(topologies::ring(6));
+        let mut eng = Engine::new(Arc::clone(&g), Fifo, EngineConfig::default());
+        // decode each scalar into (start 0..6, len 1..=3, cohort n 1..=4)
+        for &v in &seeds {
+            let (start, len, n) = (v % 6, 1 + (v / 6) % 3, 1 + v / 18);
+            let ids: Vec<EdgeId> = (0..len).map(|k| EdgeId(((start + k) % 6) as u32)).collect();
+            let route = Route::new(&g, ids).expect("contiguous ring edges");
+            eng.seed_cohort(route, start as u32, n).unwrap();
+        }
+        eng.run_quiet(steps).unwrap();
+        let snap = snapshot::capture(&eng);
+
+        // each live distinct route appears exactly once in the table
+        let live: std::collections::HashSet<u32> =
+            snap.buffers.iter().flatten().map(|p| p.route).collect();
+        proptest::prop_assert_eq!(live.len(), snap.routes.len());
+
+        let mut restored = Engine::new(Arc::clone(&g), Fifo, EngineConfig::default());
+        snapshot::restore(&mut restored, &snap).unwrap();
+        proptest::prop_assert_eq!(&snapshot::capture(&restored), &snap);
+
+        // the restored table is live: both engines advance identically
+        eng.run_quiet(6).unwrap();
+        restored.run_quiet(6).unwrap();
+        proptest::prop_assert_eq!(snapshot::capture(&eng), snapshot::capture(&restored));
     }
 }
 

@@ -31,7 +31,7 @@ fn drive(eng: &mut Engine<Fifo>, g: &Arc<Graph>, from: u64, to: u64) {
         if t % 2 == 0 {
             eng.step([Injection::new(ring_route(g, t % 6), 0)]).unwrap();
         } else {
-            eng.step(std::iter::empty()).unwrap();
+            eng.step(std::iter::empty::<Injection>()).unwrap();
         }
     }
 }
@@ -205,7 +205,7 @@ fn sweep_survives_a_panicking_simulation_job() {
                 eng.step([Injection::new(ring_route(&g, t % 6), 0)])
                     .unwrap();
             } else {
-                eng.step(std::iter::empty()).unwrap();
+                eng.step(std::iter::empty::<Injection>()).unwrap();
             }
         }
         eng.metrics().absorbed
@@ -361,8 +361,8 @@ fn duplicate_plus_drop_same_edge_and_step_is_legal_drop_wins() {
     // t=1: inject a packet whose route starts at edge 0; it crosses
     // edge 0 during step 2, where both faults are scheduled.
     eng.step([Injection::new(ring_route(&g, 0), 0)]).unwrap();
-    eng.step(std::iter::empty()).unwrap();
-    eng.step(std::iter::empty()).unwrap();
+    eng.step(std::iter::empty::<Injection>()).unwrap();
+    eng.step(std::iter::empty::<Injection>()).unwrap();
 
     let m = eng.metrics();
     assert_eq!(m.dropped, 1, "the drop fires");

@@ -121,6 +121,83 @@ proptest! {
         let m = fast.metrics();
         prop_assert_eq!(m.injected + m.duplicated, m.absorbed + m.dropped + live);
     }
+
+    /// Random cohort bursts x all protocols x random fault plans: a
+    /// single `Injection::cohort(route, tag, n)` must be
+    /// trajectory-identical to `n` consecutive singleton injections at
+    /// the same step — through the staged pipeline AND through the
+    /// reference loop. This pins the batched admission path (one route
+    /// intern, one buffer range-extend) to the one-packet-at-a-time
+    /// semantics of the model.
+    #[test]
+    fn cohorts_are_identical_to_singleton_injections(
+        proto in 0usize..9,
+        cohorts_raw in prop::collection::vec(0u64..1440, 0..12),
+        drops in prop::collection::vec(0u64..300, 0..3),
+        seed_n in 0u64..20,
+    ) {
+        let g = Arc::new(topologies::ring(6));
+        let name = protocol_names()[proto];
+        // decode each scalar into (step 1..=40, route start 0..6, n 1..=6)
+        let cohorts: Vec<(u64, u64, u32)> = cohorts_raw
+            .iter()
+            .map(|&v| (1 + (v % 240) / 6, v % 6, 1 + (v / 240) as u32))
+            .collect();
+        let mut plan = FaultPlan::new();
+        for &d in &drops {
+            plan = plan.with_drop(EdgeId((d % 6) as u32), 1 + d / 6);
+        }
+
+        let run = |batched: bool, reference: bool| {
+            let mut eng = Engine::new(
+                Arc::clone(&g),
+                by_name(name, 11).unwrap(),
+                config(reference),
+            );
+            eng.install_faults(plan.clone()).unwrap();
+            let seed_route = ring_route(&g, 0);
+            if batched {
+                if seed_n > 0 {
+                    eng.seed_cohort(seed_route, 7, seed_n).unwrap();
+                }
+            } else {
+                for _ in 0..seed_n {
+                    eng.seed(seed_route.clone(), 7).unwrap();
+                }
+            }
+            for t in 1..=50u64 {
+                let packets: Vec<Injection> = cohorts
+                    .iter()
+                    .filter(|&&(at, _, _)| at == t)
+                    .flat_map(|&(_, start, n)| {
+                        let route = ring_route(&g, start);
+                        if batched {
+                            vec![Injection::cohort(route, start as u32, n)]
+                        } else {
+                            vec![Injection::new(route, start as u32); n as usize]
+                        }
+                    })
+                    .collect();
+                eng.step(packets).unwrap();
+            }
+            eng
+        };
+
+        let batched_fast = run(true, false);
+        let singles_fast = run(false, false);
+        let batched_slow = run(true, true);
+
+        prop_assert_eq!(
+            snapshot::capture(&batched_fast),
+            snapshot::capture(&singles_fast)
+        );
+        prop_assert_eq!(
+            snapshot::capture(&batched_fast),
+            snapshot::capture(&batched_slow)
+        );
+        assert_counters_equal(batched_fast.metrics(), singles_fast.metrics());
+        assert_counters_equal(batched_fast.metrics(), batched_slow.metrics());
+    }
 }
 
 /// Deterministic cross-check on every bundled protocol: a congested
@@ -169,10 +246,18 @@ fn pipelines_agree_on_a_recorded_instability_run() {
     let ingress = construction.geps.ingress();
     let unit = Route::single(&graph, ingress).expect("unit route");
 
+    // The fast replica seeds its initial set as one cohort, the
+    // reference replica packet by packet — pinning batched seeding to
+    // singleton seeding on the heavyweight fixture as well.
     let replay = |reference: bool| {
         let mut eng = Engine::new(Arc::clone(&graph), Fifo, config(reference));
-        for _ in 0..run.s_star {
-            eng.seed(unit.clone(), 0).expect("seeding");
+        if reference {
+            for _ in 0..run.s_star {
+                eng.seed(unit.clone(), 0).expect("seeding");
+            }
+        } else {
+            eng.seed_cohort(unit.clone(), 0, run.s_star)
+                .expect("seeding");
         }
         let sched: Schedule = run.recorded.clone();
         sched.run(&mut eng, run.total_steps).expect("replay");

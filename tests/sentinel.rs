@@ -99,7 +99,7 @@ fn stability_cell_is_clean_under_certificate() {
             eng.step([Injection::new(ring_route(&g, t / 4), 0)])
                 .expect("stable cell must stay clean");
         } else {
-            eng.step(std::iter::empty())
+            eng.step(std::iter::empty::<Injection>())
                 .expect("stable cell must stay clean");
         }
     }
@@ -134,7 +134,7 @@ fn tampered_counter_is_caught_within_one_cadence_window() {
 
     let mut caught = None;
     for _ in 0..=cadence {
-        match eng.step(std::iter::empty()) {
+        match eng.step(std::iter::empty::<Injection>()) {
             Ok(()) => {}
             Err(EngineError::Invariant(report)) => {
                 caught = Some(*report);
@@ -179,7 +179,7 @@ fn quarantine_severity_accumulates_without_halting() {
     snap.injected += 1;
     snapshot::restore(&mut eng, &snap).unwrap();
     for _ in 0..32u64 {
-        eng.step(std::iter::empty())
+        eng.step(std::iter::empty::<Injection>())
             .expect("quarantine never halts");
     }
     let sentinel = eng.sentinel().unwrap();
@@ -258,7 +258,8 @@ fn sim_sweep_quarantines_invariant_breaches_with_bundles() {
             snapshot::restore(&mut eng, &snap).unwrap();
         }
         for _ in 0..16u64 {
-            eng.step(std::iter::empty()).map_err(SimError::from)?;
+            eng.step(std::iter::empty::<Injection>())
+                .map_err(SimError::from)?;
         }
         Ok(eng.metrics().absorbed)
     });
