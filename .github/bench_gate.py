@@ -7,6 +7,10 @@ committed copy (the baseline) and fails when the hot path regresses:
 * ``instability`` pipeline steps/sec must not drop more than 10% below
   the committed baseline (throughput is timing-noise-prone on shared
   runners, hence the generous margin);
+* ``instability`` with full telemetry (counters + stage timing) must
+  stay within 10% of the same run's telemetry-off pipeline throughput —
+  both sides come from the *fresh* report, so the ratio is immune to
+  runner-to-runner speed differences;
 * ``bytes_per_packet`` must not grow more than 2% on any workload that
   records it, and ``packet_struct_bytes`` must not grow at all (both
   are deterministic — any growth is a real representation regression).
@@ -22,6 +26,7 @@ import sys
 
 MAX_THROUGHPUT_DROP = 0.10
 MAX_BYTES_GROWTH = 0.02
+MAX_TELEMETRY_OVERHEAD = 0.10
 
 
 def workload(doc, name):
@@ -55,6 +60,22 @@ def main():
             f"instability pipeline steps/sec dropped >{MAX_THROUGHPUT_DROP:.0%}: "
             f"{fresh_rate:.0f} < {floor:.0f}"
         )
+
+    tele = workload(fresh, "instability").get("telemetry")
+    if tele is None:
+        failures.append("instability telemetry sample missing from fresh report")
+    else:
+        ratio = tele["steps_per_sec"] / fresh_rate
+        floor = 1 - MAX_TELEMETRY_OVERHEAD
+        print(
+            f"instability telemetry: {tele['steps_per_sec']:.0f} steps/s "
+            f"({ratio:.3f} of pipeline, floor {floor:.2f})"
+        )
+        if ratio < floor:
+            failures.append(
+                f"telemetry overhead exceeds {MAX_TELEMETRY_OVERHEAD:.0%}: "
+                f"{ratio:.3f} of telemetry-off pipeline throughput"
+            )
 
     if fresh["packet_struct_bytes"] > base["packet_struct_bytes"]:
         failures.append(

@@ -183,6 +183,6 @@ mod tests {
             },
         );
         run_with_source(&mut eng, &mut adv, 500).expect("periodic adversary stays legal");
-        assert!(eng.metrics().injected > 200);
+        assert!(eng.metrics().injected() > 200);
     }
 }

@@ -12,8 +12,9 @@
 //!   255 buffers stay empty (the pure active-set case).
 //!
 //! Besides the criterion output, writes `BENCH_engine.json` at the
-//! repository root with steps/sec for all three modes (the
-//! `sentinel_vs_pipeline` ratio is the sentinel's measured overhead),
+//! repository root with steps/sec for all four modes (the
+//! `sentinel_vs_pipeline` and `telemetry_vs_pipeline` ratios are the
+//! measured overheads of self-checking and of full instrumentation),
 //! so the repo's perf trajectory has a recorded baseline.
 //! `BENCH_SMOKE=1` shrinks every workload to a single cheap sample and
 //! writes `BENCH_engine_smoke.json` instead — the committed copy of
@@ -24,10 +25,11 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use aqt_adversary::stochastic::{random_routes, InjectionStyle, SaturatingAdversary};
+use aqt_bench::report::Json;
 use aqt_core::instability::{InstabilityConfig, InstabilityConstruction, InstabilityRun};
 use aqt_graph::{topologies, Route};
 use aqt_protocols::Fifo;
-use aqt_sim::{Engine, EngineConfig, Ratio, SentinelConfig};
+use aqt_sim::{Engine, EngineConfig, Ratio, RingSink, SentinelConfig, TelemetryConfig};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 /// Pre-refactor seed measurements (commit 8270fdf, monolithic
@@ -53,7 +55,7 @@ fn smoke() -> bool {
     std::env::var_os("BENCH_SMOKE").is_some()
 }
 
-/// The three engine configurations under comparison.
+/// The four engine configurations under comparison.
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum Mode {
     /// Pre-refactor monolithic loop (`EngineConfig::reference_pipeline`).
@@ -63,6 +65,11 @@ enum Mode {
     /// The staged pipeline with the runtime sentinel at its default
     /// cadence — measures the self-checking overhead.
     Sentinel,
+    /// The staged pipeline with full telemetry (counters + stage
+    /// timing, default 4096-step windows, ring sink) — measures the
+    /// instrumentation overhead the `.github/bench_gate.py` telemetry
+    /// gate bounds.
+    Telemetry,
 }
 
 impl Mode {
@@ -71,6 +78,7 @@ impl Mode {
             Mode::Reference => "reference",
             Mode::Pipeline => "pipeline",
             Mode::Sentinel => "sentinel",
+            Mode::Telemetry => "telemetry",
         }
     }
 
@@ -84,11 +92,20 @@ impl Mode {
         if self == Mode::Sentinel {
             eng.attach_sentinel(SentinelConfig::default());
         }
+        if self == Mode::Telemetry {
+            eng.attach_telemetry(TelemetryConfig::timing());
+            eng.set_telemetry_sink(Box::new(RingSink::with_capacity(1024)));
+        }
         eng
     }
 }
 
-const MODES: [Mode; 3] = [Mode::Reference, Mode::Pipeline, Mode::Sentinel];
+const MODES: [Mode; 4] = [
+    Mode::Reference,
+    Mode::Pipeline,
+    Mode::Sentinel,
+    Mode::Telemetry,
+];
 
 /// One timed measurement: steps simulated, the wall time of the
 /// stepping alone (setup excluded), and the packet-storage footprint at
@@ -177,71 +194,77 @@ fn run_drain(mode: Mode) -> Sample {
     }
 }
 
-fn write_json(results: &[(&str, [Sample; 3])]) {
-    let mut out = String::from("{\n");
-    out.push_str("  \"generated_by\": \"cargo bench -p aqt-bench --bench engine\",\n");
-    out.push_str(&format!("  \"smoke\": {},\n", smoke()));
-    out.push_str("  \"pre_refactor_seed_baseline\": {\n");
-    out.push_str(
-        "    \"note\": \"monolithic Engine::step measured before the layered refactor; \
-         steps/sec, release profile, full-size workloads\",\n",
+fn write_json(results: &[(&str, [Sample; 4])]) {
+    let mut seed = Json::object().field(
+        "note",
+        "monolithic Engine::step measured before the layered refactor; \
+         steps/sec, release profile, full-size workloads",
     );
     for (name, rate) in SEED_BASELINE.iter() {
-        out.push_str(&format!("    \"{name}_steps_per_sec\": {rate:.0},\n"));
+        seed = seed.field(&format!("{name}_steps_per_sec"), Json::f(*rate, 0));
     }
-    out.push_str("    \"commit\": \"8270fdf\"\n  },\n");
-    out.push_str("  \"pr3_pipeline_baseline\": {\n");
-    out.push_str("    \"commit\": \"a4c45e3\",\n");
-    out.push_str(
-        "    \"note\": \"staged pipeline before route interning (Arc routes, 48 B packets); \
-         full-size runs are compared against these in DESIGN.md\",\n",
-    );
-    out.push_str(&format!(
-        "    \"instability_steps_per_sec\": {PR3_BASELINE_INSTABILITY_STEPS_PER_SEC:.0},\n"
-    ));
+    seed = seed.field("commit", "8270fdf");
+
+    let mut pr3 = Json::object()
+        .field("commit", "a4c45e3")
+        .field(
+            "note",
+            "staged pipeline before route interning (Arc routes, 48 B packets); \
+             full-size runs are compared against these in DESIGN.md",
+        )
+        .field(
+            "instability_steps_per_sec",
+            Json::f(PR3_BASELINE_INSTABILITY_STEPS_PER_SEC, 0),
+        );
     for (name, bpp) in PR3_BASELINE_BYTES_PER_PACKET.iter() {
-        out.push_str(&format!("    \"{name}_bytes_per_packet\": {bpp:.1},\n"));
+        pr3 = pr3.field(&format!("{name}_bytes_per_packet"), Json::f(*bpp, 1));
     }
-    out.push_str(&format!(
-        "    \"packet_struct_bytes\": 48\n  }},\n  \"packet_struct_bytes\": {},\n",
-        std::mem::size_of::<aqt_sim::Packet>()
-    ));
-    out.push_str("  \"workloads\": [\n");
-    for (i, (name, samples)) in results.iter().enumerate() {
-        let [reference, pipeline, sentinel] = samples;
-        let comma = if i + 1 < results.len() { "," } else { "" };
-        out.push_str(&format!(
-            "    {{\"name\": \"{name}\", \"steps\": {},\n",
-            reference.steps
-        ));
-        for (mode, s) in MODES.iter().zip(samples.iter()) {
-            let rate = s.steps as f64 / s.secs;
-            out.push_str(&format!(
-                "     \"{}\": {{\"secs\": {:.6}, \"steps_per_sec\": {rate:.0}}},\n",
-                mode.label(),
-                s.secs
-            ));
-        }
-        // Peak packet-storage accounting (deterministic, pipeline run):
-        // VecDeque capacity x packet size + route-table storage.
-        let (backlog, heap) = pipeline.mem;
-        if backlog > 0 {
-            out.push_str(&format!(
-                "     \"backlog_peak\": {backlog}, \"packet_heap_bytes\": {heap}, \
-                 \"bytes_per_packet\": {:.1},\n",
-                heap as f64 / backlog as f64
-            ));
-        }
-        let rr = reference.steps as f64 / reference.secs;
-        let rp = pipeline.steps as f64 / pipeline.secs;
-        let rs = sentinel.steps as f64 / sentinel.secs;
-        out.push_str(&format!(
-            "     \"speedup\": {:.3}, \"sentinel_vs_pipeline\": {:.3}}}{comma}\n",
-            rp / rr,
-            rs / rp
-        ));
-    }
-    out.push_str("  ]\n}\n");
+    pr3 = pr3.field("packet_struct_bytes", 48u64);
+
+    let workloads: Vec<Json> = results
+        .iter()
+        .map(|(name, samples)| {
+            let [reference, pipeline, sentinel, telemetry] = samples;
+            let mut w = Json::object()
+                .field("name", *name)
+                .field("steps", reference.steps);
+            for (mode, s) in MODES.iter().zip(samples.iter()) {
+                w = w.field(
+                    mode.label(),
+                    Json::object()
+                        .field("secs", Json::f(s.secs, 6))
+                        .field("steps_per_sec", Json::f(s.steps as f64 / s.secs, 0)),
+                );
+            }
+            // Peak packet-storage accounting (deterministic, pipeline
+            // run): VecDeque capacity x packet size + route storage.
+            let (backlog, heap) = pipeline.mem;
+            if backlog > 0 {
+                w = w
+                    .field("backlog_peak", backlog)
+                    .field("packet_heap_bytes", heap)
+                    .field("bytes_per_packet", Json::f(heap as f64 / backlog as f64, 1));
+            }
+            let rr = reference.steps as f64 / reference.secs;
+            let rp = pipeline.steps as f64 / pipeline.secs;
+            let rs = sentinel.steps as f64 / sentinel.secs;
+            let rt = telemetry.steps as f64 / telemetry.secs;
+            w.field("speedup", Json::f(rp / rr, 3))
+                .field("sentinel_vs_pipeline", Json::f(rs / rp, 3))
+                .field("telemetry_vs_pipeline", Json::f(rt / rp, 3))
+        })
+        .collect();
+
+    let doc = Json::object()
+        .field("generated_by", "cargo bench -p aqt-bench --bench engine")
+        .field("smoke", smoke())
+        .field("pre_refactor_seed_baseline", seed)
+        .field("pr3_pipeline_baseline", pr3)
+        .field(
+            "packet_struct_bytes",
+            std::mem::size_of::<aqt_sim::Packet>(),
+        )
+        .field("workloads", workloads);
     // Smoke runs use shrunken workloads, so their numbers are not
     // comparable to the full-size file; they get their own baseline,
     // which is what the CI regression gate diffs against.
@@ -250,7 +273,7 @@ fn write_json(results: &[(&str, [Sample; 3])]) {
     } else {
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json")
     };
-    std::fs::write(path, out).expect("write bench json");
+    doc.write(path).expect("write bench json");
     println!("wrote {path}");
 }
 
@@ -274,7 +297,7 @@ fn bench(c: &mut Criterion) {
     let run = construction.run().expect("legal adversary");
 
     type Workload<'a> = (&'a str, Box<dyn Fn(Mode) -> Sample + 'a>, u64);
-    let mut results: Vec<(&str, [Sample; 3])> = Vec::new();
+    let mut results: Vec<(&str, [Sample; 4])> = Vec::new();
     let workloads: Vec<Workload> = vec![
         (
             "instability",
@@ -306,18 +329,21 @@ fn bench(c: &mut Criterion) {
             triple.push(best(&batch));
         }
         g.finish();
-        results.push((name, [triple[0], triple[1], triple[2]]));
+        results.push((name, [triple[0], triple[1], triple[2], triple[3]]));
     }
 
-    for (name, [reference, pipeline, sentinel]) in &results {
+    for (name, [reference, pipeline, sentinel, telemetry]) in &results {
         let rr = reference.steps as f64 / reference.secs;
         let rp = pipeline.steps as f64 / pipeline.secs;
         let rs = sentinel.steps as f64 / sentinel.secs;
+        let rt = telemetry.steps as f64 / telemetry.secs;
         println!(
             "engine/{name}: {rr:.0} -> {rp:.0} steps/s ({:.2}x); \
-             with sentinel {rs:.0} ({:.3} of pipeline)",
+             with sentinel {rs:.0} ({:.3} of pipeline); \
+             with telemetry {rt:.0} ({:.3} of pipeline)",
             rp / rr,
-            rs / rp
+            rs / rp,
+            rt / rp
         );
     }
     write_json(&results);

@@ -31,7 +31,7 @@ fn run_steps(proto: &str, steps: u64) -> u64 {
     for t in 1..=steps {
         eng.step(adv.injections_for(t)).expect("no validators on");
     }
-    eng.metrics().absorbed
+    eng.metrics().absorbed()
 }
 
 fn bench(c: &mut Criterion) {

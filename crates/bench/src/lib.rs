@@ -8,6 +8,8 @@
 
 use aqt_analysis::Table;
 
+pub mod report;
+
 /// Render any experiment table to stdout with a separating banner —
 /// Criterion interleaves its own output, so make ours easy to grep.
 pub fn print_table(table: &Table) {

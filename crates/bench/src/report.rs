@@ -1,0 +1,205 @@
+//! Dependency-free JSON report values for the machine-readable files
+//! the benches leave at the repository root (`BENCH_engine.json`,
+//! `BENCH_engine_smoke.json`).
+//!
+//! The workspace vendors no serialization crate, so benches used to
+//! hand-concatenate JSON strings — easy to unbalance when a report
+//! grows a field. This module is the one shared builder instead: a
+//! [`Json`] value tree with insertion-ordered objects, explicit float
+//! precision (report files are diffed in review, so digits must be
+//! stable), and a pretty renderer whose output `python3 -m json.tool`
+//! and the CI gate (`.github/bench_gate.py`) can parse.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// A JSON value with insertion-ordered object fields.
+#[derive(Debug, Clone)]
+pub enum Json {
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer (counters, byte totals, step counts).
+    U64(u64),
+    /// A float rendered with a fixed number of decimal places.
+    F64 {
+        /// The value.
+        value: f64,
+        /// Decimal places to render (`0` still renders a plain
+        /// integer-looking number, e.g. `"1225252"`).
+        precision: usize,
+    },
+    /// A string (escaped on render).
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object; fields render in insertion order.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An empty object, ready for [`field`](Self::field) chaining.
+    pub fn object() -> Json {
+        Json::Object(Vec::new())
+    }
+
+    /// A float with explicit rendered precision.
+    pub fn f(value: f64, precision: usize) -> Json {
+        Json::F64 { value, precision }
+    }
+
+    /// Append a field (builder style). Panics if `self` is not an
+    /// object — report construction is static, so that is a bench
+    /// authoring bug, not a runtime condition.
+    pub fn field(mut self, key: &str, value: impl Into<Json>) -> Json {
+        match &mut self {
+            Json::Object(fields) => fields.push((key.to_string(), value.into())),
+            _ => panic!("Json::field on a non-object"),
+        }
+        self
+    }
+
+    /// Render with two-space indentation and a trailing newline.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    /// Render to `path`.
+    pub fn write(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        std::fs::write(path, self.render())
+    }
+
+    fn render_into(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(v) => write!(out, "{v}").unwrap(),
+            Json::F64 { value, precision } => write!(out, "{value:.precision$}").unwrap(),
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\t' => out.push_str("\\t"),
+                        '\r' => out.push_str("\\r"),
+                        c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32).unwrap(),
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    pad(out, indent + 1);
+                    item.render_into(out, indent + 1);
+                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                }
+                pad(out, indent);
+                out.push(']');
+            }
+            Json::Object(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    pad(out, indent + 1);
+                    write!(out, "\"{key}\": ").unwrap();
+                    value.render_into(out, indent + 1);
+                    out.push_str(if i + 1 < fields.len() { ",\n" } else { "\n" });
+                }
+                pad(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn pad(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::U64(v)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::U64(v as u64)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(v: String) -> Json {
+        Json::Str(v)
+    }
+}
+
+impl From<Vec<Json>> for Json {
+    fn from(v: Vec<Json>) -> Json {
+        Json::Array(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_report() {
+        let doc = Json::object()
+            .field("smoke", false)
+            .field("rate", Json::f(123456.789, 0))
+            .field("ratio", Json::f(0.98765, 3))
+            .field(
+                "workloads",
+                vec![Json::object()
+                    .field("name", "drain")
+                    .field("steps", 20_016u64)],
+            );
+        let s = doc.render();
+        assert!(s.contains("\"smoke\": false"));
+        assert!(s.contains("\"rate\": 123457"));
+        assert!(s.contains("\"ratio\": 0.988"));
+        assert!(s.contains("\"name\": \"drain\""));
+        assert!(s.ends_with("}\n"));
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let doc = Json::object().field("note", "a \"quoted\"\nline");
+        assert!(doc.render().contains("a \\\"quoted\\\"\\nline"));
+    }
+
+    #[test]
+    fn empty_containers_render_flat() {
+        assert_eq!(Json::object().render(), "{}\n");
+        assert_eq!(Json::from(Vec::<Json>::new()).render(), "[]\n");
+    }
+}

@@ -12,7 +12,10 @@ use aqt_adversary::{lemma315, lemma316, lemma36, GadgetParams};
 use aqt_analysis::stability::{classify_series, Verdict};
 use aqt_graph::{topologies, DaisyChain, EdgeId, FnGadget, Graph, Route};
 use aqt_protocols::{by_name, protocol_names, Fifo};
-use aqt_sim::{Engine, EngineConfig, FaultPlan, Injection, Protocol, Ratio, SimError, Time};
+use aqt_sim::{
+    Engine, EngineConfig, FaultPlan, Injection, Protocol, Ratio, SharedSink, SimError,
+    TelemetryEvent, Time,
+};
 
 use crate::instability::{InstabilityConfig, InstabilityConstruction};
 use crate::theory::StabilityCertificate;
@@ -390,10 +393,10 @@ fn stability_cell(
     } else {
         cert.greedy_bound()
     };
-    let max_wait = eng.metrics().max_buffer_wait;
+    let max_wait = eng.metrics().max_buffer_wait();
     let verdict = classify_series(
         &eng.metrics()
-            .series
+            .series()
             .iter()
             .map(|p| p.backlog)
             .collect::<Vec<_>>(),
@@ -617,7 +620,7 @@ pub fn e13_threshold_sharpness(d: usize, w: u64, steps: u64) -> Result<Vec<E13Ro
             rate_over_threshold: f10 as f64 / 10.0,
             rate: rate.as_f64(),
             bound: cert.time_priority_bound(),
-            max_wait: m.max_buffer_wait,
+            max_wait: m.max_buffer_wait(),
             max_queue: m.max_queue(),
         });
     }
@@ -814,7 +817,7 @@ pub fn e10_landscape_with(mut cfg: InstabilityConfig) -> Result<Vec<E10Row>, Sim
             eng.seed(unit.clone(), 0)?;
         }
         run.recorded.clone().run(&mut eng, horizon)?;
-        let series: Vec<u64> = eng.metrics().series.iter().map(|s| s.backlog).collect();
+        let series: Vec<u64> = eng.metrics().series().iter().map(|s| s.backlog).collect();
         rows.push(E10Row {
             protocol: p.to_string(),
             final_backlog: eng.backlog(),
@@ -932,10 +935,10 @@ fn e14_cell(
     } else {
         cert.greedy_bound()
     };
-    let post_fault_max_wait = eng.metrics().max_buffer_wait;
+    let post_fault_max_wait = eng.metrics().max_buffer_wait();
     let live: u64 = graph.edge_ids().map(|e| eng.queue_len(e) as u64).sum();
     let m = eng.metrics();
-    let conservation_ok = m.injected + m.duplicated == m.absorbed + m.dropped + live;
+    let conservation_ok = m.injected() + m.duplicated() == m.absorbed() + m.dropped() + live;
     let bound_respected = match scenario {
         "burst" => recovery_bound.is_none_or(|b| post_fault_max_wait <= b),
         _ => recovery_horizon.is_none_or(|h| resettle_delay.is_some_and(|delay| delay <= h)),
@@ -1027,89 +1030,137 @@ pub fn e14_fault_recovery(d: usize, w: u64) -> Result<Vec<E14Row>, SimError> {
 /// scale — the one-command tour used by `examples/full_report.rs`.
 /// Returns (section title, lines).
 pub fn quick_report() -> Result<Vec<(String, Vec<String>)>, SimError> {
-    let mut sections = Vec::new();
+    quick_report_with_progress(None)
+}
 
-    let e1 = e1_fifo_instability(&[(1, 4)], 2)?;
-    sections.push((
-        "E1 / Theorem 3.17 — FIFO unstable at r = 3/4".to_string(),
-        e1.iter()
-            .map(|r| {
-                format!(
-                    "queue {:?}, growth {:.2}x/iter, diverged={}",
-                    r.s_series, r.growth, r.diverged
-                )
-            })
-            .collect(),
-    ));
+/// [`quick_report`] with per-section progress streamed to a telemetry
+/// sink: each section is reported as a sweep job
+/// (`job_started`/`job_finished`) followed by a `sweep_progress`
+/// record with an ETA, so a long tour is watchable live.
+pub fn quick_report_with_progress(
+    progress: Option<&SharedSink>,
+) -> Result<Vec<(String, Vec<String>)>, SimError> {
+    type Section = Box<dyn FnOnce() -> Result<(String, Vec<String>), SimError>>;
+    let jobs: Vec<Section> = vec![
+        Box::new(|| {
+            let e1 = e1_fifo_instability(&[(1, 4)], 2)?;
+            Ok((
+                "E1 / Theorem 3.17 — FIFO unstable at r = 3/4".to_string(),
+                e1.iter()
+                    .map(|r| {
+                        format!(
+                            "queue {:?}, growth {:.2}x/iter, diverged={}",
+                            r.s_series, r.growth, r.diverged
+                        )
+                    })
+                    .collect(),
+            ))
+        }),
+        Box::new(|| {
+            let e2 = e2_gadget_amplification(&[(1, 4)], &[1.5])?;
+            Ok((
+                "E2 / Lemma 3.6 — gadget amplification".to_string(),
+                e2.iter()
+                    .map(|r| {
+                        format!(
+                            "S={} → S'={} (theory {}), amp {:.3} ≥ promised {:.3}",
+                            r.s,
+                            r.s_prime_measured,
+                            r.s_prime_theory,
+                            r.amp_measured,
+                            r.amp_promised
+                        )
+                    })
+                    .collect(),
+            ))
+        }),
+        Box::new(|| {
+            let e4 = e4_stitch(&[(3, 4)], 800)?;
+            Ok((
+                "E4 / Lemma 3.16 — stitch retention".to_string(),
+                e4.iter()
+                    .map(|r| format!("retention {:.3} vs r³ = {:.3}", r.retention, r.r_cubed))
+                    .collect(),
+            ))
+        }),
+        Box::new(|| {
+            let e5 = e5_greedy_stability(3, 12, 4000)?;
+            let violations = e5.iter().filter(|r| !r.bound_respected).count();
+            Ok((
+                "E5 / Theorem 4.1 — greedy stability at r = 1/(d+1)".to_string(),
+                vec![format!(
+                    "{} protocol×topology cells, {} bound violations (theorem: 0)",
+                    e5.len(),
+                    violations
+                )],
+            ))
+        }),
+        Box::new(|| {
+            let e8 = e8_asymptotics(&[8, 32, 128]);
+            Ok((
+                "E8 / Appendix — parameter asymptotics".to_string(),
+                e8.iter()
+                    .map(|r| {
+                        format!(
+                            "ε={:.4}: n={} (n/log₂(1/ε) = {:.2}), S₀={}",
+                            r.eps, r.n, r.n_ratio, r.s0
+                        )
+                    })
+                    .collect(),
+            ))
+        }),
+        Box::new(|| {
+            let e14 = e14_fault_recovery(3, 8)?;
+            let e14_viol = e14
+                .iter()
+                .filter(|r| !r.bound_respected || !r.conservation_ok)
+                .count();
+            Ok((
+                "E14 / Observation 4.4 — fault recovery".to_string(),
+                vec![format!(
+                    "{} fault cells (bursts, outages, drops, duplications), \
+                     {} recovery-bound/conservation violations (theory: 0)",
+                    e14.len(),
+                    e14_viol
+                )],
+            ))
+        }),
+        Box::new(|| {
+            let e11 = e11_thinning_rates(1, 4, 1.5)?;
+            Ok((
+                "E11 / Claim 3.9 — thinning ladder".to_string(),
+                e11.iter()
+                    .map(|r| format!("R_{} = {:.4}, measured {:.4}", r.i, r.r_i, r.measured))
+                    .collect(),
+            ))
+        }),
+    ];
 
-    let e2 = e2_gadget_amplification(&[(1, 4)], &[1.5])?;
-    sections.push((
-        "E2 / Lemma 3.6 — gadget amplification".to_string(),
-        e2.iter()
-            .map(|r| {
-                format!(
-                    "S={} → S'={} (theory {}), amp {:.3} ≥ promised {:.3}",
-                    r.s, r.s_prime_measured, r.s_prime_theory, r.amp_measured, r.amp_promised
-                )
-            })
-            .collect(),
-    ));
-
-    let e4 = e4_stitch(&[(3, 4)], 800)?;
-    sections.push((
-        "E4 / Lemma 3.16 — stitch retention".to_string(),
-        e4.iter()
-            .map(|r| format!("retention {:.3} vs r³ = {:.3}", r.retention, r.r_cubed))
-            .collect(),
-    ));
-
-    let e5 = e5_greedy_stability(3, 12, 4000)?;
-    let violations = e5.iter().filter(|r| !r.bound_respected).count();
-    sections.push((
-        "E5 / Theorem 4.1 — greedy stability at r = 1/(d+1)".to_string(),
-        vec![format!(
-            "{} protocol×topology cells, {} bound violations (theorem: 0)",
-            e5.len(),
-            violations
-        )],
-    ));
-
-    let e8 = e8_asymptotics(&[8, 32, 128]);
-    sections.push((
-        "E8 / Appendix — parameter asymptotics".to_string(),
-        e8.iter()
-            .map(|r| {
-                format!(
-                    "ε={:.4}: n={} (n/log₂(1/ε) = {:.2}), S₀={}",
-                    r.eps, r.n, r.n_ratio, r.s0
-                )
-            })
-            .collect(),
-    ));
-
-    let e14 = e14_fault_recovery(3, 8)?;
-    let e14_viol = e14
-        .iter()
-        .filter(|r| !r.bound_respected || !r.conservation_ok)
-        .count();
-    sections.push((
-        "E14 / Observation 4.4 — fault recovery".to_string(),
-        vec![format!(
-            "{} fault cells (bursts, outages, drops, duplications), \
-             {} recovery-bound/conservation violations (theory: 0)",
-            e14.len(),
-            e14_viol
-        )],
-    ));
-
-    let e11 = e11_thinning_rates(1, 4, 1.5)?;
-    sections.push((
-        "E11 / Claim 3.9 — thinning ladder".to_string(),
-        e11.iter()
-            .map(|r| format!("R_{} = {:.4}, measured {:.4}", r.i, r.r_i, r.measured))
-            .collect(),
-    ));
-
+    let total = jobs.len();
+    let tour_t0 = std::time::Instant::now();
+    let mut sections = Vec::with_capacity(total);
+    for (index, job) in jobs.into_iter().enumerate() {
+        if let Some(sink) = progress {
+            sink.record(&TelemetryEvent::JobStarted { index, total });
+        }
+        let job_t0 = std::time::Instant::now();
+        sections.push(job()?);
+        if let Some(sink) = progress {
+            sink.record(&TelemetryEvent::JobFinished {
+                index,
+                attempts: 1,
+                secs: job_t0.elapsed().as_secs_f64(),
+            });
+            let done = index + 1;
+            let elapsed_secs = tour_t0.elapsed().as_secs_f64();
+            sink.record(&TelemetryEvent::SweepProgress {
+                done,
+                total,
+                elapsed_secs,
+                eta_secs: elapsed_secs / done as f64 * (total - done) as f64,
+            });
+        }
+    }
     Ok(sections)
 }
 

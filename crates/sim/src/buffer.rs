@@ -161,10 +161,11 @@ impl BufferStore {
     /// ascending edge order, drop entries whose buffers emptied since
     /// the last step, and compact those buffers' capacity. After this
     /// call, `active_edge(0..active_count())` is exactly the ascending
-    /// list of nonempty edges.
-    pub fn begin_step(&mut self) {
+    /// list of nonempty edges. Returns the number of emptied buffers
+    /// deactivated (the telemetry `buffers_compacted` counter site).
+    pub fn begin_step(&mut self) -> usize {
         if !self.needs_sort && !self.maybe_emptied {
-            return; // nothing activated or emptied since the last step
+            return 0; // nothing activated or emptied since the last step
         }
         if self.needs_sort {
             self.active.sort_unstable();
@@ -173,6 +174,7 @@ impl BufferStore {
         self.maybe_emptied = false;
         let queues = &mut self.queues;
         let in_active = &mut self.in_active;
+        let mut deactivated = 0;
         self.active.retain(|&e| {
             let q = &mut queues[e as usize];
             if q.is_empty() {
@@ -180,11 +182,13 @@ impl BufferStore {
                 if q.capacity() > COMPACT_MIN_CAPACITY {
                     q.shrink_to_fit();
                 }
+                deactivated += 1;
                 false
             } else {
                 true
             }
         });
+        deactivated
     }
 
     /// Entries in the active list (valid between `begin_step` calls).

@@ -55,6 +55,7 @@ use crate::sentinel::{
     self, InvariantKind, ReproBundle, Sentinel, SentinelConfig, SentinelState, Severity, Violation,
     ViolationReport,
 };
+use crate::telemetry::{Telemetry, TelemetryConfig, TelemetrySink};
 
 /// Engine configuration.
 #[derive(Debug, Clone, Default)]
@@ -246,6 +247,10 @@ pub struct Engine<P: Protocol> {
     sentinel_next: Time,
     /// Attached lockstep differential oracle, if any.
     oracle: Option<Oracle>,
+    /// Telemetry state (disabled by default). The per-step cost while
+    /// disabled is two boolean reads and one compare against the
+    /// cached `window_next` gate — the same shape as `sentinel_next`.
+    telemetry: Telemetry,
 }
 
 impl<P: Protocol> Engine<P> {
@@ -280,6 +285,7 @@ impl<P: Protocol> Engine<P> {
             sentinel: None,
             sentinel_next: Time::MAX,
             oracle: None,
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -331,6 +337,46 @@ impl<P: Protocol> Engine<P> {
     /// The attached differential oracle, if any.
     pub fn oracle(&self) -> Option<&Oracle> {
         self.oracle.as_ref()
+    }
+
+    /// Attach (or reconfigure) telemetry. Counters restart at zero and
+    /// the window baseline is taken from the engine's current state,
+    /// so attaching mid-run is legal — window records then cover only
+    /// what happens after the attach. When the config leaves
+    /// `provenance.fault_plan_id` unset and a fault plan is installed,
+    /// the plan's [`FaultPlan::plan_id`] is filled in automatically.
+    pub fn attach_telemetry(&mut self, cfg: TelemetryConfig) {
+        let mut cfg = cfg;
+        if cfg.provenance.fault_plan_id.is_none() {
+            cfg.provenance.fault_plan_id = self.faults.as_ref().map(|f| f.plan_id());
+        }
+        self.telemetry
+            .configure(cfg, self.time, &self.metrics.crossings_per_edge);
+    }
+
+    /// Attach a telemetry sink; emits a
+    /// [`crate::telemetry::TelemetryEvent::RunStart`] immediately.
+    /// Call after [`Engine::attach_telemetry`] so the announced
+    /// provenance is the configured one.
+    pub fn set_telemetry_sink(&mut self, sink: Box<dyn TelemetrySink>) {
+        self.telemetry.set_sink(sink, self.time);
+    }
+
+    /// The telemetry state: level, counter totals, timing histograms.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Close out telemetry for the run: emit the final partial window
+    /// (if any steps ran since the last window boundary) and a
+    /// [`crate::telemetry::TelemetryEvent::RunEnd`], then flush the
+    /// sink. Call once when the run is over; a no-op when telemetry is
+    /// off. The per-window crossing records plus this final partial
+    /// window sum exactly to [`Metrics::crossings_per_edge`] when
+    /// telemetry was attached before the first step.
+    pub fn finish_telemetry(&mut self) {
+        self.telemetry
+            .finish(self.time, &self.metrics.crossings_per_edge);
     }
 
     /// Checkpoint support (crate-only): the sentinel's dynamic state.
@@ -514,6 +560,11 @@ impl<P: Protocol> Engine<P> {
             s.state.crossings_at_last_check.extend_from_slice(crossings);
         }
         self.sentinel_next = self.sentinel_next_due();
+        // A restore discontinuously moves the clock and the crossing
+        // totals; re-anchor the telemetry windows there so the next
+        // window record's deltas cover only post-restore steps.
+        self.telemetry
+            .rebaseline(time, &self.metrics.crossings_per_edge);
     }
 
     /// Checkpoint support (crate-only): the full internal state beyond
@@ -554,6 +605,8 @@ impl<P: Protocol> Engine<P> {
         self.last_route_use = last_route_use;
         self.metrics = metrics;
         self.fault_log = fault_log;
+        self.telemetry
+            .rebaseline(self.time, &self.metrics.crossings_per_edge);
     }
 
     /// Release excess capacity held by emptied buffers.
@@ -644,8 +697,14 @@ impl<P: Protocol> Engine<P> {
         let (addr, len) = (edges.as_ptr() as usize, edges.len());
         for hit in self.inject_memo.iter().flatten() {
             if hit.addr == addr && hit.len == len {
+                if self.telemetry.counters_on {
+                    self.telemetry.counters.memo_hits += 1;
+                }
                 return hit.resolved;
             }
+        }
+        if self.telemetry.counters_on {
+            self.telemetry.counters.memo_misses += 1;
         }
         let resolved = self.intern_for_admit(edges);
         self.inject_memo[self.inject_memo_cursor] = Some(InjectMemoEntry {
@@ -722,6 +781,9 @@ impl<P: Protocol> Engine<P> {
         ) as u64;
         self.metrics.injected += n;
         self.metrics.on_queue_len(first, len);
+        if self.telemetry.counters_on {
+            self.telemetry.counters.cohorts_admitted += 1;
+        }
         first_id
     }
 
@@ -743,15 +805,54 @@ impl<P: Protocol> Engine<P> {
         let t = self.time + 1;
         self.time = t;
         let faults_active = self.faults.as_ref().is_some_and(|f| f.active_at(t));
+        // The telemetry level, folded to two booleans read once per
+        // step (the level itself never changes mid-step). When off,
+        // everything below degrades to dead branches plus the one
+        // `window_next` compare at the end. Timing is *sampled*: a
+        // full set of per-substage clock reads would dominate a fast
+        // step, so only every `timing_stride`-th step is measured —
+        // the decision is made here, once, through the cached
+        // `timing_next` gate, and the substage methods read the cached
+        // `timing_this_step` flag.
+        let tel_counters = self.telemetry.counters_on;
+        let tel_timing = t >= self.telemetry.timing_next;
+        self.telemetry.timing_this_step = tel_timing;
+        if tel_timing {
+            self.telemetry.timing_next = t + self.telemetry.timing_stride;
+        }
+        let step_t0 = tel_timing.then(std::time::Instant::now);
 
         debug_assert!(self.in_transit.is_empty());
+        let send_t0 = tel_timing.then(std::time::Instant::now);
         if self.cfg.reference_pipeline {
             self.substep_send_reference(t, faults_active)?;
         } else {
             self.substep_send(t, faults_active)?;
         }
+        let sent = if tel_counters {
+            self.in_transit.len() as u64
+        } else {
+            0
+        };
+        if let Some(t0) = send_t0 {
+            self.telemetry.timings.send.record_duration(t0.elapsed());
+        }
         self.substep_wire_faults(t, faults_active);
+        let (delivered_len, absorbed0, injected0) = if tel_counters {
+            (
+                self.delivered.len() as u64,
+                self.metrics.absorbed,
+                self.metrics.injected,
+            )
+        } else {
+            (0, 0, 0)
+        };
+        let recv_t0 = tel_timing.then(std::time::Instant::now);
         self.substep_receive(t);
+        if let Some(t0) = recv_t0 {
+            self.telemetry.timings.receive.record_duration(t0.elapsed());
+        }
+        let inject_t0 = tel_timing.then(std::time::Instant::now);
         if self.oracle.is_some() {
             // The oracle replays this step's injections; buffer them.
             let buffered: Vec<Injection> = injections
@@ -760,13 +861,38 @@ impl<P: Protocol> Engine<P> {
                 .collect();
             self.substep_inject(t, buffered.iter())?;
             self.substep_burst(t, faults_active);
+            if let Some(t0) = inject_t0 {
+                self.telemetry.timings.inject.record_duration(t0.elapsed());
+            }
             self.substep_oracle(t, &buffered)?;
         } else {
             self.substep_inject(t, injections)?;
             self.substep_burst(t, faults_active);
+            if let Some(t0) = inject_t0 {
+                self.telemetry.timings.inject.record_duration(t0.elapsed());
+            }
         }
         self.substep_sample(t);
         self.substep_sentinel(t)?;
+
+        if tel_counters {
+            let absorbed_delta = self.metrics.absorbed - absorbed0;
+            let c = &mut self.telemetry.counters;
+            c.steps += 1;
+            c.packets_sent += sent;
+            c.packets_absorbed += absorbed_delta;
+            // Everything delivered and not absorbed moved to its next
+            // buffer.
+            c.packets_forwarded += delivered_len.saturating_sub(absorbed_delta);
+            c.packets_injected += self.metrics.injected - injected0;
+        }
+        if let Some(t0) = step_t0 {
+            self.telemetry.timings.step.record_duration(t0.elapsed());
+        }
+        if t >= self.telemetry.window_next {
+            self.telemetry
+                .emit_window(t, &self.metrics.crossings_per_edge);
+        }
         Ok(())
     }
 
@@ -776,7 +902,17 @@ impl<P: Protocol> Engine<P> {
     /// produces) and pops through the cached [`Discipline`] when the
     /// protocol declared one.
     fn substep_send(&mut self, t: Time, faults_active: bool) -> Result<(), EngineError> {
-        self.buffers.begin_step();
+        let compact_t0 = self
+            .telemetry
+            .timing_this_step
+            .then(std::time::Instant::now);
+        let deactivated = self.buffers.begin_step();
+        if let Some(t0) = compact_t0 {
+            self.telemetry.timings.compact.record_duration(t0.elapsed());
+        }
+        if self.telemetry.counters_on && deactivated > 0 {
+            self.telemetry.counters.buffers_compacted += deactivated as u64;
+        }
         // Active entries are exactly the nonempty edges after
         // begin_step, and stay nonempty until their own send below
         // (substep 1 never appends to buffers).
@@ -1000,13 +1136,20 @@ impl<P: Protocol> Engine<P> {
             Some(o) => o,
             None => return Ok(()),
         };
+        let oracle_t0 = self
+            .telemetry
+            .timing_this_step
+            .then(std::time::Instant::now);
         oracle.step(&self.graph, self.faults.as_ref(), injections);
-        let diverged = if oracle.due(t) {
-            oracle.model().diff(self)
-        } else {
-            None
-        };
+        let due = oracle.due(t);
+        let diverged = if due { oracle.model().diff(self) } else { None };
         self.oracle = Some(oracle);
+        if due && self.telemetry.counters_on {
+            self.telemetry.counters.oracle_diffs += 1;
+        }
+        if let Some(t0) = oracle_t0 {
+            self.telemetry.timings.oracle.record_duration(t0.elapsed());
+        }
         if let Some(detail) = diverged {
             self.raise(InvariantKind::OracleDivergence, t, detail)?;
         }
@@ -1029,6 +1172,13 @@ impl<P: Protocol> Engine<P> {
     /// run at their configured strides.
     #[cold]
     fn run_sentinel_checks(&mut self, t: Time) -> Result<(), EngineError> {
+        let round_t0 = self
+            .telemetry
+            .timing_this_step
+            .then(std::time::Instant::now);
+        if self.telemetry.counters_on {
+            self.telemetry.counters.sentinel_rounds += 1;
+        }
         let (deep, roundtrip, unit_detail, cert) = {
             let s = self.sentinel.as_ref().expect("gated by substep_sentinel");
             let elapsed = t.saturating_sub(s.state().last_check);
@@ -1113,6 +1263,12 @@ impl<P: Protocol> Engine<P> {
         s.state.crossings_at_last_check.extend_from_slice(crossings);
         s.state.checks_run += 1;
         self.sentinel_next = self.sentinel_next_due();
+        if let Some(t0) = round_t0 {
+            self.telemetry
+                .timings
+                .sentinel
+                .record_duration(t0.elapsed());
+        }
         Ok(())
     }
 

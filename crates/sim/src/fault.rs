@@ -184,6 +184,37 @@ impl FaultPlan {
         self.bursts.iter().filter(move |b| b.time == t)
     }
 
+    /// Content id of the plan (FNV-1a over every outage, drop,
+    /// duplicate, and burst, in insertion order — burst routes
+    /// included). Two identically built plans share an id on every
+    /// platform; telemetry records carry it as
+    /// [`crate::telemetry::Provenance::fault_plan_id`] so a JSONL line
+    /// is joinable to the [`crate::ReproBundle`] holding the same plan.
+    pub fn plan_id(&self) -> u64 {
+        let outages = self
+            .outages
+            .iter()
+            .flat_map(|o| [1u64, u64::from(o.edge.0), o.from, o.until]);
+        let drops = self
+            .drops
+            .iter()
+            .flat_map(|&(e, t)| [2u64, u64::from(e.0), t]);
+        let dups = self
+            .duplicates
+            .iter()
+            .flat_map(|&(e, t)| [3u64, u64::from(e.0), t]);
+        let bursts = self.bursts.iter().flat_map(|b| {
+            let mut words = vec![4u64, b.time, b.injections.len() as u64];
+            for inj in &b.injections {
+                words.push(u64::from(inj.tag));
+                words.push(u64::from(inj.count));
+                words.extend(inj.route.edges().iter().map(|e| u64::from(e.0)));
+            }
+            words
+        });
+        crate::routes::fnv1a_u64s(outages.chain(drops).chain(dups).chain(bursts))
+    }
+
     /// Cheap hot-path filter: can any fault fire at step `t`? The
     /// engine consults this once per step before the per-edge checks.
     #[inline]

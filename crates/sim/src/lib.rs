@@ -61,6 +61,7 @@ pub mod schedule;
 pub mod sentinel;
 pub mod snapshot;
 pub mod source;
+pub mod telemetry;
 pub mod trace;
 
 pub use buffer::BufferStore;
@@ -72,7 +73,8 @@ pub use metrics::Metrics;
 pub use oracle::{Oracle, ReferenceModel};
 pub use packet::{Packet, PacketId, Time};
 pub use parallel::{
-    run_sim_sweep, run_sweep, HarnessError, JobFailure, JobOutcome, SweepConfig, SweepReport,
+    run_sim_sweep, run_sim_sweep_with_progress, run_sweep, run_sweep_with_progress, HarnessError,
+    JobFailure, JobOutcome, SweepConfig, SweepReport,
 };
 pub use protocol::{Discipline, Protocol, SelectKey};
 pub use rate::{RateValidator, RateViolation, WindowValidator};
@@ -85,3 +87,8 @@ pub use sentinel::{
 };
 pub use snapshot::{Snapshot, SNAPSHOT_SCHEMA_VERSION};
 pub use source::{run_with_source, TrafficSource};
+pub use telemetry::{
+    JsonlSink, Log2Histogram, Provenance, RingSink, SharedSink, StageTimings, StderrSink, TeeSink,
+    Telemetry, TelemetryConfig, TelemetryCounters, TelemetryEvent, TelemetryLevel, TelemetrySink,
+    TELEMETRY_SCHEMA_VERSION,
+};

@@ -23,32 +23,37 @@ pub struct BacklogSample {
 }
 
 /// Metrics collected during a run.
+///
+/// Mutation is the engine's alone: the fields are crate-private and
+/// callers read through the accessor methods, so the engine's update
+/// sites are the single source of truth for both this struct and the
+/// telemetry counters derived from it.
 #[derive(Debug, Clone)]
 pub struct Metrics {
     /// Per-edge all-time maximum buffer occupancy.
-    pub max_queue_per_edge: Vec<u64>,
+    pub(crate) max_queue_per_edge: Vec<u64>,
     /// Per-edge total packets sent over the link (crossings). The
     /// per-edge *rates* of the paper's Claims 3.8/3.9 are differences
     /// of these counters over an interval.
-    pub crossings_per_edge: Vec<u64>,
+    pub(crate) crossings_per_edge: Vec<u64>,
     /// All-time maximum number of steps any packet spent in a single
     /// buffer (compare with `⌈wr⌉` from Theorems 4.1/4.3).
-    pub max_buffer_wait: Time,
+    pub(crate) max_buffer_wait: Time,
     /// All-time maximum end-to-end latency (injection to absorption).
-    pub max_latency: Time,
+    pub(crate) max_latency: Time,
     /// Total packets injected (including initial configuration and
     /// fault bursts).
-    pub injected: u64,
+    pub(crate) injected: u64,
     /// Total packets absorbed at their destinations.
-    pub absorbed: u64,
+    pub(crate) absorbed: u64,
     /// Packets lost in transit to a drop fault.
-    pub dropped: u64,
+    pub(crate) dropped: u64,
     /// Extra packets created by duplication faults.
-    pub duplicated: u64,
+    pub(crate) duplicated: u64,
     /// Sampled backlog series (empty if sampling is disabled).
-    pub series: Vec<BacklogSample>,
+    pub(crate) series: Vec<BacklogSample>,
     /// Sampling interval in steps (0 = disabled).
-    pub sample_every: Time,
+    pub(crate) sample_every: Time,
 }
 
 impl Metrics {
@@ -71,6 +76,61 @@ impl Metrics {
     /// law is `injected + duplicated = absorbed + dropped + backlog`.
     pub fn backlog(&self) -> u64 {
         self.injected + self.duplicated - self.absorbed - self.dropped
+    }
+
+    /// Per-edge all-time maximum buffer occupancy (index = edge index).
+    pub fn max_queue_per_edge(&self) -> &[u64] {
+        &self.max_queue_per_edge
+    }
+
+    /// Per-edge total packets sent over the link (index = edge index).
+    /// The per-edge *rates* of Claims 3.8/3.9 are differences of these
+    /// counters over an interval — the quantity telemetry window
+    /// records report per window.
+    pub fn crossings_per_edge(&self) -> &[u64] {
+        &self.crossings_per_edge
+    }
+
+    /// All-time maximum number of steps any packet spent in a single
+    /// buffer (compare with `⌈wr⌉` from Theorems 4.1/4.3).
+    pub fn max_buffer_wait(&self) -> Time {
+        self.max_buffer_wait
+    }
+
+    /// All-time maximum end-to-end latency (injection to absorption).
+    pub fn max_latency(&self) -> Time {
+        self.max_latency
+    }
+
+    /// Total packets injected (including initial configuration and
+    /// fault bursts).
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// Total packets absorbed at their destinations.
+    pub fn absorbed(&self) -> u64 {
+        self.absorbed
+    }
+
+    /// Packets lost in transit to a drop fault.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Extra packets created by duplication faults.
+    pub fn duplicated(&self) -> u64 {
+        self.duplicated
+    }
+
+    /// Sampled backlog series (empty if sampling is disabled).
+    pub fn series(&self) -> &[BacklogSample] {
+        &self.series
+    }
+
+    /// Sampling interval in steps (0 = disabled).
+    pub fn sample_every(&self) -> Time {
+        self.sample_every
     }
 
     /// Forget all *peak* statistics (queue peaks, wait/latency peaks)

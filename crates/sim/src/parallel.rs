@@ -23,10 +23,11 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::error::SimError;
 use crate::sentinel::ReproBundle;
+use crate::telemetry::{SharedSink, TelemetryEvent};
 
 /// Errors surfaced by the sweep harness.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -207,13 +208,39 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    run_sweep_with_progress(inputs, cfg, None, f)
+}
+
+/// [`run_sweep`] with live progress reporting: per-job
+/// started/finished/retried/quarantined events plus a running
+/// [`TelemetryEvent::SweepProgress`] ETA line (emitted after each job
+/// settles) go through `progress`. The sink is shared across worker
+/// threads — that is what [`SharedSink`] exists for — and the sweep's
+/// behaviour is identical to [`run_sweep`] whether or not a sink is
+/// given.
+pub fn run_sweep_with_progress<T, R, F>(
+    inputs: Vec<T>,
+    cfg: &SweepConfig,
+    progress: Option<&SharedSink>,
+    f: F,
+) -> SweepReport<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
     let n = inputs.len();
     let threads = effective_threads(cfg.threads, n);
     let slots: Vec<Mutex<Option<JobOutcome<R>>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let cursor = AtomicUsize::new(0);
     let attempts_total = AtomicUsize::new(0);
+    let settled = AtomicUsize::new(0);
+    let sweep_t0 = Instant::now();
 
     let run_one = |i: usize, item: &T| -> JobOutcome<R> {
+        if let Some(sink) = progress {
+            sink.record(&TelemetryEvent::JobStarted { index: i, total: n });
+        }
         let mut last_message = String::new();
         let max_attempts = 1 + cfg.max_retries;
         for attempt in 0..max_attempts {
@@ -226,10 +253,36 @@ where
                 }
             }
             attempts_total.fetch_add(1, Ordering::Relaxed);
+            let attempt_t0 = Instant::now();
             match catch_unwind(AssertUnwindSafe(|| f(i, item))) {
-                Ok(r) => return JobOutcome::Done(r),
-                Err(payload) => last_message = panic_message(payload.as_ref()),
+                Ok(r) => {
+                    if let Some(sink) = progress {
+                        sink.record(&TelemetryEvent::JobFinished {
+                            index: i,
+                            attempts: attempt + 1,
+                            secs: attempt_t0.elapsed().as_secs_f64(),
+                        });
+                    }
+                    return JobOutcome::Done(r);
+                }
+                Err(payload) => {
+                    last_message = panic_message(payload.as_ref());
+                    if attempt + 1 < max_attempts {
+                        if let Some(sink) = progress {
+                            sink.record(&TelemetryEvent::JobRetried {
+                                index: i,
+                                attempt: attempt + 1,
+                            });
+                        }
+                    }
+                }
             }
+        }
+        if let Some(sink) = progress {
+            sink.record(&TelemetryEvent::JobQuarantined {
+                index: i,
+                attempts: max_attempts,
+            });
         }
         JobOutcome::Quarantined(JobFailure {
             index: i,
@@ -238,10 +291,27 @@ where
             bundle: None,
         })
     };
+    // Settlement bookkeeping for the ETA line: jobs take comparable
+    // time within one sweep, so `elapsed / done × remaining` is the
+    // honest first-order estimate.
+    let report_progress = || {
+        if let Some(sink) = progress {
+            let done = settled.fetch_add(1, Ordering::Relaxed) + 1;
+            let elapsed = sweep_t0.elapsed().as_secs_f64();
+            let eta = elapsed / done as f64 * (n - done) as f64;
+            sink.record(&TelemetryEvent::SweepProgress {
+                done,
+                total: n,
+                elapsed_secs: elapsed,
+                eta_secs: eta,
+            });
+        }
+    };
 
     if threads <= 1 || n <= 1 {
         for (i, item) in inputs.iter().enumerate() {
             *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(run_one(i, item));
+            report_progress();
         }
     } else {
         std::thread::scope(|scope| {
@@ -253,6 +323,7 @@ where
                     }
                     let outcome = run_one(i, &inputs[i]);
                     *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(outcome);
+                    report_progress();
                 });
             }
         });
@@ -294,7 +365,26 @@ where
     R: Send,
     F: Fn(usize, &T) -> Result<R, SimError> + Sync,
 {
-    let report = run_sweep(inputs, cfg, f);
+    run_sim_sweep_with_progress(inputs, cfg, None, f)
+}
+
+/// [`run_sim_sweep`] with live progress through `progress` (see
+/// [`run_sweep_with_progress`]). A job quarantined for a `SimError`
+/// emits its [`TelemetryEvent::JobQuarantined`] when the sweep
+/// post-processes outcomes, after that job's finish event — the error
+/// is a deterministic *result*, observed once the job completes.
+pub fn run_sim_sweep_with_progress<T, R, F>(
+    inputs: Vec<T>,
+    cfg: &SweepConfig,
+    progress: Option<&SharedSink>,
+    f: F,
+) -> SweepReport<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> Result<R, SimError> + Sync,
+{
+    let report = run_sweep_with_progress(inputs, cfg, progress, f);
     let outcomes = report
         .outcomes
         .into_iter()
@@ -306,6 +396,12 @@ where
                     SimError::InvariantViolated(report) => Some(Box::new(report.bundle.clone())),
                     _ => None,
                 };
+                if let Some(sink) = progress {
+                    sink.record(&TelemetryEvent::JobQuarantined {
+                        index: i,
+                        attempts: 1,
+                    });
+                }
                 JobOutcome::Quarantined(JobFailure {
                     index: i,
                     attempts: 1,

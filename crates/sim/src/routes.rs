@@ -46,6 +46,21 @@ fn fnv1a(edges: &[EdgeId]) -> u64 {
     h
 }
 
+/// FNV-1a over a stream of `u64` words (little-endian bytes): the
+/// dependency-free content hash behind [`crate::Schedule::content_hash`]
+/// and [`crate::FaultPlan::plan_id`] — the provenance ids telemetry
+/// records carry. Same platform-independence rationale as `fnv1a`.
+pub(crate) fn fnv1a_u64s(words: impl IntoIterator<Item = u64>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for w in words {
+        for b in w.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
 /// Append-only, content-deduplicated store of packet routes.
 ///
 /// Equality compares the interned entries in id order, so two tables

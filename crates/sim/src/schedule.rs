@@ -255,6 +255,38 @@ impl Schedule {
         &self.ops
     }
 
+    /// Content hash of the schedule (FNV-1a over every operation's
+    /// time, kind, route/suffix edges, tag, and count, in insertion
+    /// order). Two schedules built the same way hash the same on every
+    /// platform; the hash is the `schedule_hash` a telemetry
+    /// [`crate::telemetry::Provenance`] carries, joining JSONL records
+    /// to the schedule that drove the run.
+    pub fn content_hash(&self) -> u64 {
+        crate::routes::fnv1a_u64s(self.ops.iter().flat_map(|op| {
+            let words: Vec<u64> = match op {
+                ScheduleOp::Inject { time, inj } => std::iter::once(1u64)
+                    .chain([*time, u64::from(inj.tag), u64::from(inj.count)])
+                    .chain(inj.route.edges().iter().map(|e| u64::from(e.0)))
+                    .collect(),
+                ScheduleOp::Extend {
+                    time,
+                    buffers,
+                    suffix,
+                    last_edge,
+                } => std::iter::once(2u64)
+                    .chain([
+                        *time,
+                        last_edge.map_or(u64::MAX, |e| u64::from(e.0)),
+                        buffers.len() as u64,
+                    ])
+                    .chain(buffers.iter().map(|e| u64::from(e.0)))
+                    .chain(suffix.iter().map(|e| u64::from(e.0)))
+                    .collect(),
+            };
+            words
+        }))
+    }
+
     /// Sort operations by time (stable: simultaneous operations keep
     /// insertion order; `Extend` at time `t` is applied before
     /// injections at `t` regardless, by the engine's replay loop).

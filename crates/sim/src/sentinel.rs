@@ -309,6 +309,26 @@ pub struct ReproBundle {
     pub fault_plan: Option<FaultPlan>,
 }
 
+impl ReproBundle {
+    /// The telemetry [`crate::telemetry::Provenance`] this bundle
+    /// corresponds to: same seed, same fault-plan id. A telemetry JSONL
+    /// line whose provenance fields match is from the same run as this
+    /// bundle. `protocol` and `schedule_hash` are supplied by the
+    /// caller — a bundle does not record them itself.
+    pub fn provenance(
+        &self,
+        protocol: impl Into<String>,
+        schedule_hash: Option<u64>,
+    ) -> crate::telemetry::Provenance {
+        crate::telemetry::Provenance {
+            seed: self.seed,
+            schedule_hash,
+            protocol: protocol.into(),
+            fault_plan_id: self.fault_plan.as_ref().map(|p| p.plan_id()),
+        }
+    }
+}
+
 /// A violation plus its reproduction bundle.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ViolationReport {

@@ -283,6 +283,42 @@ mod tests {
     }
 
     #[test]
+    fn cohort_injections_trace_as_distinct_packets() {
+        // Cohort admission is a batched fast path (one cohort op, N
+        // packets); the recorder must still see N individual
+        // `Injected` events with N distinct ids, not one.
+        let g = Arc::new(topologies::line(2));
+        let edges: Vec<EdgeId> = g.edge_ids().collect();
+        let route = Route::new(&g, edges.clone()).unwrap();
+        let mut eng = Engine::new(Arc::clone(&g), Fifo, EngineConfig::default());
+        let mut tr = TraceRecorder::new(&eng);
+
+        eng.seed_cohort(route.clone(), 0, 5).unwrap();
+        tr.observe(&eng);
+        let seeded: std::collections::HashSet<u64> =
+            tr.events.iter().filter_map(|e| e.id()).collect();
+        assert_eq!(tr.events.len(), 5, "one Injected per seeded packet");
+        assert_eq!(seeded.len(), 5, "all seeded ids distinct");
+        assert!(tr
+            .events
+            .iter()
+            .all(|e| matches!(e, TraceEvent::Injected { edge, .. } if *edge == edges[0])));
+
+        let mut sched = crate::Schedule::new();
+        sched.inject_cohort_at(1, route, 1, 4);
+        sched.run(&mut eng, 1).unwrap();
+        tr.observe(&eng);
+        let all: std::collections::HashSet<u64> = tr.events.iter().filter_map(|e| e.id()).collect();
+        assert_eq!(all.len(), 9, "4 more distinct ids from the cohort op");
+        let injected = tr
+            .events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Injected { .. }))
+            .count();
+        assert_eq!(injected, 9);
+    }
+
+    #[test]
     fn no_events_when_idle() {
         let g = Arc::new(topologies::line(1));
         let eng = Engine::new(Arc::clone(&g), Fifo, EngineConfig::default());

@@ -86,17 +86,17 @@ fn main() {
     let m = engine.metrics();
     println!(
         "recovered: post-fault max buffer wait {} <= {} = ceil(w*/d) (w* = {}), backlog back to {}",
-        m.max_buffer_wait,
+        m.max_buffer_wait(),
         bound,
         horizon,
         engine.backlog()
     );
     println!(
         "conservation: {} injected + {} duplicated = {} absorbed + {} dropped + {} in flight",
-        m.injected,
-        m.duplicated,
-        m.absorbed,
-        m.dropped,
+        m.injected(),
+        m.duplicated(),
+        m.absorbed(),
+        m.dropped(),
         engine.backlog()
     );
 

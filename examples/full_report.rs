@@ -4,13 +4,20 @@
 //! cargo run --release --example full_report
 //! ```
 //!
+//! Section-by-section progress (with an ETA) streams to stderr through
+//! the telemetry sink while the tour runs.
+//!
 //! For the full-scale tables, run `cargo bench --workspace` instead
 //! (see `EXPERIMENTS.md`).
 
+use adversarial_queuing::sim::{SharedSink, StderrSink};
+
 fn main() {
     let t0 = std::time::Instant::now();
+    let progress = SharedSink::new(StderrSink);
     let sections =
-        adversarial_queuing::core::experiments::quick_report().expect("legal adversaries");
+        adversarial_queuing::core::experiments::quick_report_with_progress(Some(&progress))
+            .expect("legal adversaries");
     for (title, lines) in &sections {
         println!("— {title}");
         for l in lines {

@@ -59,14 +59,17 @@ fn main() {
         .expect("r <= 1/d, so the theorem applies to FIFO");
     let m = engine.metrics();
     println!("steps simulated:        {steps}");
-    println!("packets injected:       {}", m.injected);
-    println!("packets absorbed:       {}", m.absorbed);
+    println!("packets injected:       {}", m.injected());
+    println!("packets absorbed:       {}", m.absorbed());
     println!("peak buffer occupancy:  {}", m.max_queue());
     println!(
         "max per-buffer wait:    {} (theorem bound: {bound})",
-        m.max_buffer_wait
+        m.max_buffer_wait()
     );
-    assert!(m.max_buffer_wait <= bound, "Theorem 4.3's bound must hold!");
+    assert!(
+        m.max_buffer_wait() <= bound,
+        "Theorem 4.3's bound must hold!"
+    );
     println!("=> bound holds; FIFO is stable here, as Theorem 4.3 promises.");
     println!();
     println!(

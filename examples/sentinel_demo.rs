@@ -106,12 +106,13 @@ fn main() {
             println!(
                 "bundle replay: injected({}) + duplicated({}) vs \
                  absorbed({}) + dropped({}) + live({}) -> imbalance {}",
-                m.injected,
-                m.duplicated,
-                m.absorbed,
-                m.dropped,
+                m.injected(),
+                m.duplicated(),
+                m.absorbed(),
+                m.dropped(),
                 live,
-                (m.injected + m.duplicated) as i128 - (m.absorbed + m.dropped + live) as i128
+                (m.injected() + m.duplicated()) as i128
+                    - (m.absorbed() + m.dropped() + live) as i128
             );
             if cfg!(feature = "demo-corruption") {
                 println!("(expected: this build has the demo-corruption bug compiled in)");

@@ -96,7 +96,7 @@ fn main() {
         }
     }
 
-    let backlog: Vec<u64> = eng.metrics().series.iter().map(|p| p.backlog).collect();
+    let backlog: Vec<u64> = eng.metrics().series().iter().map(|p| p.backlog).collect();
     println!("\nbacklog: {}", sparkline_fit(&backlog, 64));
     println!(
         "final backlog {} (S' target {}), {} events traced",

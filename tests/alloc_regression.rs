@@ -17,7 +17,7 @@ use std::sync::Arc;
 
 use aqt_graph::{topologies, Route};
 use aqt_protocols::Fifo;
-use aqt_sim::{Engine, EngineConfig};
+use aqt_sim::{Engine, EngineConfig, RingSink, TelemetryConfig};
 
 /// System allocator with a global counter on every acquiring call
 /// (alloc, alloc_zeroed, realloc). Deallocations are free of interest:
@@ -84,5 +84,50 @@ fn steady_state_drain_steps_do_not_allocate() {
         "steady-state drain must be allocation-free: {} allocations in 2000 steps",
         after - before
     );
-    assert_eq!(eng.metrics().absorbed, 2_100, "drain actually progressed");
+    assert_eq!(eng.metrics().absorbed(), 2_100, "drain actually progressed");
+}
+
+/// The same drain with telemetry *enabled* — counters on, a 256-step
+/// window, and a preallocated ring sink. The instrumented loop must
+/// stay allocation-free too: counters are plain field increments, the
+/// window deltas go into a scratch buffer sized at attach time, and
+/// the ring sink stores `Copy` records in a buffer allocated up
+/// front. ~8 window emissions land inside the measured 2 000 steps,
+/// so the zero-allocation assertion covers the slow path as well as
+/// the per-step fast path.
+#[test]
+fn telemetry_enabled_drain_steps_do_not_allocate() {
+    let graph = Arc::new(topologies::line(256));
+    let e0 = graph.edge_ids().next().expect("line has edges");
+    let unit = Route::single(&graph, e0).expect("unit route");
+    let mut eng = Engine::new(
+        Arc::clone(&graph),
+        Fifo,
+        EngineConfig {
+            sample_every: 0,
+            ..Default::default()
+        },
+    );
+    eng.attach_telemetry(TelemetryConfig::default().with_window(256));
+    eng.set_telemetry_sink(Box::new(RingSink::with_capacity(64)));
+    eng.seed_cohort(unit, 0, 20_000).expect("seeding");
+
+    eng.run_quiet(100).expect("warm-up");
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    eng.run_quiet(2_000).expect("measured drain");
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+
+    assert_eq!(
+        after - before,
+        0,
+        "telemetry-enabled drain must be allocation-free: {} allocations in 2000 steps",
+        after - before
+    );
+    let counters = eng.telemetry().counters();
+    assert_eq!(counters.steps, 2_100, "telemetry counted every step");
+    assert!(
+        counters.packets_absorbed >= 2_100,
+        "telemetry observed the drain"
+    );
 }

@@ -89,7 +89,7 @@ proptest! {
 
         let live: u64 = g.edge_ids().map(|e| eng.queue_len(e) as u64).sum();
         let m = eng.metrics();
-        prop_assert_eq!(m.injected + m.duplicated, m.absorbed + m.dropped + live);
+        prop_assert_eq!(m.injected() + m.duplicated(), m.absorbed() + m.dropped() + live);
         prop_assert_eq!(live, eng.backlog());
 
         let (mut dropped, mut cloned, mut burst) = (0u64, 0u64, 0u64);
@@ -101,8 +101,8 @@ proptest! {
                 FaultEvent::OutageSuppressedSend { .. } => {}
             }
         }
-        prop_assert_eq!(dropped, m.dropped);
-        prop_assert_eq!(cloned, m.duplicated);
+        prop_assert_eq!(dropped, m.dropped());
+        prop_assert_eq!(cloned, m.duplicated());
         // burst_at < 100 steps driven, so every scheduled burst fired
         prop_assert_eq!(burst, eng.faults().unwrap().burst_packet_count());
     }
@@ -141,12 +141,12 @@ proptest! {
         prop_assert_eq!(snapshot::capture(&full), snapshot::capture(&resumed));
         prop_assert_eq!(full.fault_log(), resumed.fault_log());
         let (a, b) = (full.metrics(), resumed.metrics());
-        prop_assert_eq!(a.injected, b.injected);
-        prop_assert_eq!(a.absorbed, b.absorbed);
-        prop_assert_eq!(a.dropped, b.dropped);
-        prop_assert_eq!(a.duplicated, b.duplicated);
-        prop_assert_eq!(a.max_buffer_wait, b.max_buffer_wait);
-        prop_assert_eq!(&a.crossings_per_edge, &b.crossings_per_edge);
+        prop_assert_eq!(a.injected(), b.injected());
+        prop_assert_eq!(a.absorbed(), b.absorbed());
+        prop_assert_eq!(a.dropped(), b.dropped());
+        prop_assert_eq!(a.duplicated(), b.duplicated());
+        prop_assert_eq!(a.max_buffer_wait(), b.max_buffer_wait());
+        prop_assert_eq!(&a.crossings_per_edge(), &b.crossings_per_edge());
     }
 }
 
@@ -208,7 +208,7 @@ fn sweep_survives_a_panicking_simulation_job() {
                 eng.step(std::iter::empty::<Injection>()).unwrap();
             }
         }
-        eng.metrics().absorbed
+        eng.metrics().absorbed()
     });
 
     assert_eq!(report.results().count(), 7, "all healthy jobs must finish");
@@ -365,8 +365,8 @@ fn duplicate_plus_drop_same_edge_and_step_is_legal_drop_wins() {
     eng.step(std::iter::empty::<Injection>()).unwrap();
 
     let m = eng.metrics();
-    assert_eq!(m.dropped, 1, "the drop fires");
-    assert_eq!(m.duplicated, 0, "the duplicate never sees the packet");
+    assert_eq!(m.dropped(), 1, "the drop fires");
+    assert_eq!(m.duplicated(), 0, "the duplicate never sees the packet");
     assert!(eng
         .fault_log()
         .iter()

@@ -47,15 +47,15 @@ fn drive<P: Protocol>(eng: &mut Engine<P>, g: &Arc<Graph>, inj: &[(u64, u64)], s
 }
 
 fn assert_counters_equal(a: &Metrics, b: &Metrics) {
-    assert_eq!(a.injected, b.injected);
-    assert_eq!(a.absorbed, b.absorbed);
-    assert_eq!(a.dropped, b.dropped);
-    assert_eq!(a.duplicated, b.duplicated);
-    assert_eq!(a.max_buffer_wait, b.max_buffer_wait);
-    assert_eq!(a.max_latency, b.max_latency);
-    assert_eq!(a.max_queue_per_edge, b.max_queue_per_edge);
-    assert_eq!(a.crossings_per_edge, b.crossings_per_edge);
-    assert_eq!(a.series, b.series);
+    assert_eq!(a.injected(), b.injected());
+    assert_eq!(a.absorbed(), b.absorbed());
+    assert_eq!(a.dropped(), b.dropped());
+    assert_eq!(a.duplicated(), b.duplicated());
+    assert_eq!(a.max_buffer_wait(), b.max_buffer_wait());
+    assert_eq!(a.max_latency(), b.max_latency());
+    assert_eq!(a.max_queue_per_edge(), b.max_queue_per_edge());
+    assert_eq!(a.crossings_per_edge(), b.crossings_per_edge());
+    assert_eq!(a.series(), b.series());
 }
 
 proptest! {
@@ -119,7 +119,7 @@ proptest! {
         // packet conservation, independently recounted
         let live: u64 = g.edge_ids().map(|e| fast.queue_len(e) as u64).sum();
         let m = fast.metrics();
-        prop_assert_eq!(m.injected + m.duplicated, m.absorbed + m.dropped + live);
+        prop_assert_eq!(m.injected() + m.duplicated(), m.absorbed() + m.dropped() + live);
     }
 
     /// Random cohort bursts x all protocols x random fault plans: a

@@ -55,15 +55,15 @@ fn shortest_path_periodic_load_respects_bounds() {
         let mut a = adv.clone();
         run_with_source(&mut eng, &mut a, 20_000).expect("legal periodic load");
         assert!(
-            eng.metrics().max_buffer_wait <= bound,
+            eng.metrics().max_buffer_wait() <= bound,
             "{proto}: wait {} > bound {bound}",
-            eng.metrics().max_buffer_wait
+            eng.metrics().max_buffer_wait()
         );
         assert_eq!(
-            eng.backlog() + eng.metrics().absorbed,
-            eng.metrics().injected
+            eng.backlog() + eng.metrics().absorbed(),
+            eng.metrics().injected()
         );
-        assert!(eng.metrics().injected > 0, "{proto}: traffic flowed");
+        assert!(eng.metrics().injected() > 0, "{proto}: traffic flowed");
     }
 }
 

@@ -152,7 +152,7 @@ fn differential_run(policy: RefPolicy, seed: u64, steps: u64) {
                 "buffer divergence at edge {e} (seed {seed})"
             );
         }
-        assert_eq!(engine.metrics().absorbed, ref_absorbed.len() as u64);
+        assert_eq!(engine.metrics().absorbed(), ref_absorbed.len() as u64);
     }
 }
 

@@ -104,8 +104,8 @@ fn stability_cell_is_clean_under_certificate() {
         }
     }
     assert!(eng.sentinel().unwrap().is_clean());
-    assert!(eng.metrics().max_buffer_wait <= 2);
-    assert!(eng.metrics().absorbed > 0);
+    assert!(eng.metrics().max_buffer_wait() <= 2);
+    assert!(eng.metrics().absorbed() > 0);
 }
 
 /// Deliberate corruption: restore a snapshot whose `injected` counter
@@ -159,8 +159,8 @@ fn tampered_counter_is_caught_within_one_cadence_window() {
     let live: u64 = g.edge_ids().map(|e| fresh.queue_len(e) as u64).sum();
     let m = fresh.metrics();
     assert_ne!(
-        m.injected + m.duplicated,
-        m.absorbed + m.dropped + live,
+        m.injected() + m.duplicated(),
+        m.absorbed() + m.dropped() + live,
         "the repro bundle must reproduce the inconsistency"
     );
 }
@@ -261,7 +261,7 @@ fn sim_sweep_quarantines_invariant_breaches_with_bundles() {
             eng.step(std::iter::empty::<Injection>())
                 .map_err(SimError::from)?;
         }
-        Ok(eng.metrics().absorbed)
+        Ok(eng.metrics().absorbed())
     });
 
     assert_eq!(report.results().count(), 3, "healthy jobs complete");

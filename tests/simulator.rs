@@ -114,9 +114,9 @@ fn runs_are_deterministic() {
                 eng.step(adv.injections_for(t)).unwrap();
             }
             (
-                eng.metrics().injected,
-                eng.metrics().absorbed,
-                eng.metrics().max_buffer_wait,
+                eng.metrics().injected(),
+                eng.metrics().absorbed(),
+                eng.metrics().max_buffer_wait(),
                 eng.metrics().max_queue(),
             )
         };
@@ -145,7 +145,7 @@ fn parallel_sweep_matches_sequential() {
             };
             eng.step(inj).unwrap();
         }
-        eng.metrics().absorbed
+        eng.metrics().absorbed()
     };
     let sequential: Vec<u64> = rates.iter().map(|&d| work(d)).collect();
     let parallel = par_map(rates, 4, |_, d| work(d));

@@ -1,0 +1,295 @@
+//! Integration tests for the telemetry subsystem: window accounting
+//! against the batch metrics, JSONL export shape, level gating, and
+//! sweep progress event sequences.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Mutex};
+
+use aqt_graph::{topologies, Route};
+use aqt_protocols::Fifo;
+use aqt_sim::{
+    run_sim_sweep_with_progress, run_sweep_with_progress, Engine, EngineConfig, Injection,
+    JobOutcome, Provenance, SharedSink, SimError, SweepConfig, TelemetryConfig, TelemetryEvent,
+    TelemetrySink, Time, TELEMETRY_SCHEMA_VERSION,
+};
+
+/// `(start, end, per-edge crossing deltas)` of one emitted window.
+type WindowRecord = (Time, Time, Vec<u64>);
+
+/// A sink that copies every record out through shared handles, so the
+/// test can inspect what was emitted after the engine (which owns the
+/// boxed sink) is done with it.
+#[derive(Clone, Default)]
+struct Capture {
+    kinds: Arc<Mutex<Vec<&'static str>>>,
+    windows: Arc<Mutex<Vec<WindowRecord>>>,
+}
+
+impl TelemetrySink for Capture {
+    fn record(&mut self, event: &TelemetryEvent<'_>) {
+        self.kinds.lock().unwrap().push(event.kind().as_str());
+        if let TelemetryEvent::Window {
+            start,
+            end,
+            crossings,
+            ..
+        } = event
+        {
+            self.windows
+                .lock()
+                .unwrap()
+                .push((*start, *end, crossings.to_vec()));
+        }
+    }
+}
+
+/// A small non-trivial workload: packets walking the full length of
+/// `line(4)`, injected every other step for `steps` steps.
+fn run_line_workload(eng: &mut Engine<Fifo>, graph: &Arc<aqt_graph::Graph>, steps: Time) {
+    let edges: Vec<_> = graph.edge_ids().collect();
+    let route = Route::new(graph, edges).expect("full line route");
+    for t in 1..=steps {
+        if t % 2 == 1 {
+            eng.step([Injection::new(route.clone(), 0)]).expect("step");
+        } else {
+            eng.step::<[Injection; 0]>([]).expect("step");
+        }
+    }
+}
+
+/// The acceptance identity: per-window per-edge crossings, summed over
+/// every window of the run (finish emits the last partial one), equal
+/// the batch `Metrics::crossings_per_edge` totals.
+#[test]
+fn window_crossings_sum_to_batch_totals() {
+    let graph = Arc::new(topologies::line(4));
+    let mut eng = Engine::new(Arc::clone(&graph), Fifo, EngineConfig::default());
+    let capture = Capture::default();
+    // A window that does not divide the horizon, so the final window
+    // is partial and only `finish_telemetry` can close the books.
+    eng.attach_telemetry(TelemetryConfig::default().with_window(7));
+    eng.set_telemetry_sink(Box::new(capture.clone()));
+    run_line_workload(&mut eng, &graph, 100);
+    eng.finish_telemetry();
+
+    let windows = capture.windows.lock().unwrap();
+    assert!(windows.len() >= 14, "100 steps / window 7");
+    // Windows partition (0, 100]: contiguous, no overlap.
+    let mut prev_end = 0;
+    for (start, end, _) in windows.iter() {
+        assert_eq!(*start, prev_end, "windows are contiguous");
+        assert!(end > start);
+        prev_end = *end;
+    }
+    assert_eq!(prev_end, 100, "final partial window reaches the horizon");
+
+    let mut summed = vec![0u64; graph.edge_count()];
+    for (_, _, crossings) in windows.iter() {
+        assert_eq!(crossings.len(), summed.len());
+        for (acc, c) in summed.iter_mut().zip(crossings) {
+            *acc += c;
+        }
+    }
+    assert_eq!(
+        summed,
+        eng.metrics().crossings_per_edge().to_vec(),
+        "window crossing deltas must sum to the batch totals"
+    );
+    assert!(summed.iter().sum::<u64>() > 0, "the workload moved packets");
+
+    let kinds = capture.kinds.lock().unwrap();
+    assert_eq!(kinds.first(), Some(&"run_start"));
+    assert_eq!(kinds.last(), Some(&"run_end"));
+}
+
+/// Counter totals reported at `run_end` match the engine's own batch
+/// metrics for the quantities both sides count.
+#[test]
+fn counters_match_batch_metrics() {
+    let graph = Arc::new(topologies::line(4));
+    let mut eng = Engine::new(Arc::clone(&graph), Fifo, EngineConfig::default());
+    eng.attach_telemetry(TelemetryConfig::default());
+    run_line_workload(&mut eng, &graph, 60);
+    eng.finish_telemetry();
+
+    let c = eng.telemetry().counters();
+    assert_eq!(c.steps, 60);
+    assert_eq!(c.packets_injected, eng.metrics().injected());
+    assert_eq!(c.packets_absorbed, eng.metrics().absorbed());
+    assert_eq!(
+        c.packets_sent,
+        eng.metrics().crossings_per_edge().iter().sum::<u64>()
+    );
+}
+
+/// `TelemetryLevel::Off` keeps every counter at zero and emits no
+/// windows — the disabled path is genuinely inert.
+#[test]
+fn off_level_counts_nothing() {
+    let graph = Arc::new(topologies::line(4));
+    let mut eng = Engine::new(Arc::clone(&graph), Fifo, EngineConfig::default());
+    let capture = Capture::default();
+    eng.attach_telemetry(TelemetryConfig::off());
+    eng.set_telemetry_sink(Box::new(capture.clone()));
+    run_line_workload(&mut eng, &graph, 50);
+    eng.finish_telemetry();
+
+    assert_eq!(eng.telemetry().counters().steps, 0);
+    assert_eq!(eng.telemetry().counters().packets_sent, 0);
+    assert!(capture.windows.lock().unwrap().is_empty());
+    assert!(eng.metrics().absorbed() > 0, "the run itself still ran");
+}
+
+/// `TelemetryLevel::Timing` populates the stage histograms. With the
+/// sampling stride forced to 1, every step is measured.
+#[test]
+fn timing_level_fills_histograms() {
+    let graph = Arc::new(topologies::line(4));
+    let mut eng = Engine::new(Arc::clone(&graph), Fifo, EngineConfig::default());
+    eng.attach_telemetry(TelemetryConfig::timing().with_timing_sample_every(1));
+    run_line_workload(&mut eng, &graph, 50);
+    eng.finish_telemetry();
+
+    let t = eng.telemetry().timings();
+    assert_eq!(t.step.count(), 50, "one step sample per step");
+    assert_eq!(t.send.count(), 50);
+    assert_eq!(t.receive.count(), 50);
+    assert!(t.step.mean_nanos() > 0.0);
+    assert!(t.step.quantile_bound(0.5).is_some());
+}
+
+/// At the default stride, timing is sampled — far fewer clock reads
+/// than steps, but the histograms are still populated over a long run.
+#[test]
+fn timing_default_stride_samples_sparsely() {
+    let graph = Arc::new(topologies::line(4));
+    let mut eng = Engine::new(Arc::clone(&graph), Fifo, EngineConfig::default());
+    eng.attach_telemetry(TelemetryConfig::timing());
+    run_line_workload(&mut eng, &graph, 256);
+    eng.finish_telemetry();
+
+    let t = eng.telemetry().timings();
+    assert!(t.step.count() >= 4, "a 256-step run yields several samples");
+    assert!(
+        t.step.count() <= 8,
+        "default stride 64 keeps sampling sparse, got {}",
+        t.step.count()
+    );
+    assert_eq!(t.send.count(), t.step.count(), "substages sample together");
+}
+
+/// JSONL export: every line is schema-stamped, carries the provenance,
+/// and the window lines carry the crossings array.
+#[test]
+fn jsonl_lines_are_complete_records() {
+    #[derive(Clone)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+    impl std::io::Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    let buf = SharedBuf(Arc::new(Mutex::new(Vec::new())));
+    let graph = Arc::new(topologies::line(4));
+    let mut eng = Engine::new(Arc::clone(&graph), Fifo, EngineConfig::default());
+    eng.attach_telemetry(
+        TelemetryConfig::default()
+            .with_window(16)
+            .with_provenance(Provenance {
+                seed: Some(42),
+                protocol: "FIFO".to_string(),
+                ..Provenance::default()
+            }),
+    );
+    eng.set_telemetry_sink(Box::new(aqt_sim::JsonlSink::from_writer(buf.clone())));
+    run_line_workload(&mut eng, &graph, 40);
+    eng.finish_telemetry();
+
+    let bytes = buf.0.lock().unwrap().clone();
+    let text = String::from_utf8(bytes).expect("utf8");
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(lines.len() >= 4, "run_start + windows + run_end");
+    let stamp = format!("{{\"schema\":{TELEMETRY_SCHEMA_VERSION},\"kind\":\"");
+    for line in &lines {
+        assert!(line.starts_with(&stamp), "schema-stamped: {line}");
+        assert!(line.ends_with('}'), "complete object: {line}");
+        assert!(line.contains("\"protocol\":\"FIFO\""), "provenance: {line}");
+        assert!(line.contains("\"seed\":42"), "provenance: {line}");
+    }
+    assert!(lines[0].contains("\"kind\":\"run_start\""));
+    assert!(lines.last().unwrap().contains("\"kind\":\"run_end\""));
+    assert!(
+        lines[1].contains("\"crossings\":[") && lines[1].contains("\"kind\":\"window\""),
+        "window line carries the per-edge array: {}",
+        lines[1]
+    );
+}
+
+/// Sweep progress: start/finish/retry events arrive in order, the
+/// `sweep_progress` ETA decreases to zero, and a flaky job's retry is
+/// visible.
+#[test]
+fn sweep_progress_reports_jobs_and_retries() {
+    let capture = Capture::default();
+    let progress = SharedSink::new(capture.clone());
+    let flaked = AtomicU32::new(0);
+    let report = run_sweep_with_progress(
+        vec![10u64, 20, 30],
+        &SweepConfig {
+            threads: 1,
+            max_retries: 1,
+            backoff_base: std::time::Duration::ZERO,
+        },
+        Some(&progress),
+        |i, &x| {
+            if i == 1 && flaked.fetch_add(1, Ordering::SeqCst) == 0 {
+                panic!("flaky once");
+            }
+            x * 2
+        },
+    );
+    assert_eq!(report.results().count(), 3);
+
+    let kinds = capture.kinds.lock().unwrap();
+    let count = |k: &str| kinds.iter().filter(|s| **s == k).count();
+    assert_eq!(count("job_started"), 3);
+    assert_eq!(count("job_finished"), 3);
+    assert_eq!(count("job_retried"), 1);
+    assert_eq!(count("job_quarantined"), 0);
+    assert_eq!(count("sweep_progress"), 3, "one progress line per job");
+}
+
+/// A deterministic `SimError` quarantines through the sim sweep and
+/// emits `job_quarantined`.
+#[test]
+fn sim_sweep_quarantine_is_reported() {
+    let capture = Capture::default();
+    let progress = SharedSink::new(capture.clone());
+    let report = run_sim_sweep_with_progress(
+        vec![1u64, 2],
+        &SweepConfig::no_retry(1),
+        Some(&progress),
+        |_, &x| {
+            if x == 2 {
+                Err(SimError::Checkpoint("synthetic failure".into()))
+            } else {
+                Ok(x)
+            }
+        },
+    );
+    assert_eq!(report.results().count(), 1);
+    let quarantined = report
+        .outcomes
+        .iter()
+        .filter(|o| matches!(o, JobOutcome::Quarantined(_)))
+        .count();
+    assert_eq!(quarantined, 1);
+
+    let kinds = capture.kinds.lock().unwrap();
+    assert_eq!(kinds.iter().filter(|s| **s == "job_quarantined").count(), 1);
+}

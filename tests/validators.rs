@@ -103,8 +103,8 @@ proptest! {
         }
         eng.run_quiet(steps).unwrap();
         let m = eng.metrics();
-        prop_assert_eq!(m.injected, seed_routes.len() as u64);
-        prop_assert_eq!(m.injected, m.absorbed + eng.backlog());
+        prop_assert_eq!(m.injected(), seed_routes.len() as u64);
+        prop_assert_eq!(m.injected(), m.absorbed() + eng.backlog());
         // after enough steps everything is absorbed (line of length 4,
         // at most 20 packets)
         if steps >= 24 {
