@@ -1,0 +1,174 @@
+//! Behavioral coverage: which regions of run-behavior space the
+//! campaign has exercised.
+//!
+//! Coverage is *observed*, not declared: features are derived from the
+//! scenario plus what the run actually did (telemetry counters and
+//! metric peaks, log2-bucketed), so two scenarios that look different
+//! but behave identically land in the same buckets, and a mutation
+//! that unlocks new behavior registers as novelty even when the
+//! scenario diff is tiny. The map is a `BTreeMap` — deterministic
+//! iteration order is what keeps whole campaigns reproducible per
+//! seed.
+
+use std::collections::BTreeMap;
+
+use crate::run::RunStats;
+use crate::scenario::Scenario;
+
+/// `floor(log2(x)) + 1`, with 0 reserved for `x == 0` — the bucketing
+/// that turns unbounded counters into a small feature alphabet.
+pub fn bucket(x: u64) -> u8 {
+    (64 - x.leading_zeros()) as u8
+}
+
+/// One coordinate of behavior space. The discrete axes (protocol,
+/// topology family, fault shapes) partition the search space; the
+/// bucketed axes record how hard the run actually pushed the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Feature {
+    /// Protocol registry index.
+    Protocol(u8),
+    /// Topology family (see `TopologySpec::family`).
+    Topology(u8),
+    /// log2 bucket of the materialized edge count.
+    GraphEdges(u8),
+    /// Bitmask of fault shapes present (outage=1, drop=2, dup=4,
+    /// burst=8).
+    FaultShapes(u8),
+    /// log2 bucket of packets injected (schedule + bursts).
+    Injected(u8),
+    /// log2 bucket of the peak backlog.
+    PeakBacklog(u8),
+    /// log2 bucket of the peak queue length.
+    PeakQueue(u8),
+    /// log2 bucket of the worst per-buffer wait.
+    PeakWait(u8),
+    /// log2 bucket of total edge crossings (telemetry counter).
+    Crossings(u8),
+    /// log2 bucket of packets dropped by faults.
+    Dropped(u8),
+    /// log2 bucket of steps actually run.
+    Steps(u8),
+}
+
+/// The features of one completed (or breached) run.
+pub fn features_of(scenario: &Scenario, protocol_index: u8, stats: &RunStats) -> Vec<Feature> {
+    let mut shapes = 0u8;
+    for f in &scenario.faults {
+        shapes |= match f {
+            crate::scenario::FaultSpec::Outage { .. } => 1,
+            crate::scenario::FaultSpec::Drop { .. } => 2,
+            crate::scenario::FaultSpec::Duplicate { .. } => 4,
+            crate::scenario::FaultSpec::Burst { .. } => 8,
+        };
+    }
+    vec![
+        Feature::Protocol(protocol_index),
+        Feature::Topology(scenario.topology.family()),
+        Feature::GraphEdges(bucket(stats.edges)),
+        Feature::FaultShapes(shapes),
+        Feature::Injected(bucket(stats.injected)),
+        Feature::PeakBacklog(bucket(stats.peak_backlog)),
+        Feature::PeakQueue(bucket(stats.peak_queue)),
+        Feature::PeakWait(bucket(stats.peak_wait)),
+        Feature::Crossings(bucket(stats.crossings)),
+        Feature::Dropped(bucket(stats.dropped)),
+        Feature::Steps(bucket(stats.steps)),
+    ]
+}
+
+/// Hit counts per feature. Novelty (a feature seen for the first time)
+/// is what promotes a scenario into the corpus; hit counts are what
+/// the generator steers away from.
+#[derive(Debug, Clone, Default)]
+pub struct CoverageMap {
+    hits: BTreeMap<Feature, u64>,
+}
+
+impl CoverageMap {
+    pub fn new() -> Self {
+        CoverageMap::default()
+    }
+
+    /// Record one run's features; returns how many were novel.
+    pub fn record(&mut self, features: &[Feature]) -> usize {
+        let mut novel = 0;
+        for &f in features {
+            let slot = self.hits.entry(f).or_insert(0);
+            if *slot == 0 {
+                novel += 1;
+            }
+            *slot += 1;
+        }
+        novel
+    }
+
+    /// Number of distinct features seen.
+    pub fn distinct(&self) -> usize {
+        self.hits.len()
+    }
+
+    /// Total feature observations.
+    pub fn total_hits(&self) -> u64 {
+        self.hits.values().sum()
+    }
+
+    /// The least-hit feature (ties broken by `Feature` order, so the
+    /// answer is deterministic). `None` before any run.
+    pub fn rarest(&self) -> Option<Feature> {
+        self.hits
+            .iter()
+            .min_by_key(|&(f, &n)| (n, *f))
+            .map(|(&f, _)| f)
+    }
+
+    /// Hit count of `f` (0 when unseen).
+    pub fn hits(&self, f: Feature) -> u64 {
+        self.hits.get(&f).copied().unwrap_or(0)
+    }
+
+    /// Deterministic iteration over (feature, hits).
+    pub fn iter(&self) -> impl Iterator<Item = (Feature, u64)> + '_ {
+        self.hits.iter().map(|(&f, &n)| (f, n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_is_log2_with_zero_reserved() {
+        assert_eq!(bucket(0), 0);
+        assert_eq!(bucket(1), 1);
+        assert_eq!(bucket(2), 2);
+        assert_eq!(bucket(3), 2);
+        assert_eq!(bucket(4), 3);
+        assert_eq!(bucket(1023), 10);
+        assert_eq!(bucket(1024), 11);
+        assert_eq!(bucket(u64::MAX), 64);
+    }
+
+    #[test]
+    fn record_counts_novelty_once() {
+        let mut map = CoverageMap::new();
+        let fs = [Feature::Protocol(0), Feature::Topology(1)];
+        assert_eq!(map.record(&fs), 2);
+        assert_eq!(map.record(&fs), 0);
+        assert_eq!(map.record(&[Feature::Protocol(0), Feature::Topology(2)]), 1);
+        assert_eq!(map.distinct(), 3);
+        assert_eq!(map.total_hits(), 6);
+        assert_eq!(map.hits(Feature::Protocol(0)), 3);
+    }
+
+    #[test]
+    fn rarest_is_deterministic_under_ties() {
+        let mut map = CoverageMap::new();
+        assert_eq!(map.rarest(), None);
+        map.record(&[Feature::Topology(4), Feature::Protocol(2)]);
+        // Both hit once: Protocol(2) < Topology(4) in Feature order.
+        assert_eq!(map.rarest(), Some(Feature::Protocol(2)));
+        map.record(&[Feature::Protocol(2)]);
+        assert_eq!(map.rarest(), Some(Feature::Topology(4)));
+    }
+}

@@ -1,0 +1,306 @@
+//! Seeded scenario generation and mutation.
+//!
+//! Everything here is a pure function of the `StdRng` handed in, so a
+//! campaign seed reproduces the exact sequence of scenarios tried.
+//! The generator accepts an optional *steering target* — the coverage
+//! map's least-hit feature — and biases the draw toward it: a rare
+//! protocol forces that protocol, a rare topology family forces that
+//! family, a rare fault-shape bucket biases fault generation. All
+//! other axes stay uniform; steering narrows the search, it never
+//! pins it.
+
+use aqt_graph::{EdgeId, Graph};
+use aqt_protocols::registry;
+use aqt_sim::sentinel::CertificateSpec;
+use aqt_sim::Time;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::coverage::Feature;
+use crate::scenario::{CohortSpec, FaultSpec, InjectSpec, Scenario, TopologySpec};
+
+/// Bounds of the generator's draw, all inclusive upper limits.
+#[derive(Debug, Clone)]
+pub struct GeneratorConfig {
+    /// Max cohorts per scenario.
+    pub max_cohorts: u32,
+    /// Max packets per cohort.
+    pub max_count: u32,
+    /// Max route length (edges).
+    pub max_route_len: u32,
+    /// Max run horizon (steps).
+    pub max_horizon: Time,
+    /// Max fault-plan entries.
+    pub max_faults: u32,
+    /// A certificate to plant into every generated scenario — the
+    /// campaign's tripwire. `None` (the default) runs the structural
+    /// invariants only.
+    pub certificate: Option<CertificateSpec>,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            max_cohorts: 6,
+            max_count: 8,
+            max_route_len: 6,
+            max_horizon: 96,
+            max_faults: 3,
+            certificate: None,
+        }
+    }
+}
+
+/// A random vertex-simple route of at most `max_len` edges: start at a
+/// uniform edge, extend with uniform consecutive out-edges, never
+/// revisiting a node (so [`aqt_graph::Route::new`]'s simplicity check
+/// always passes).
+fn random_route(rng: &mut StdRng, graph: &Graph, max_len: u32) -> Vec<u32> {
+    let first = EdgeId(rng.gen_range(0..graph.edge_count() as u32));
+    let mut route = vec![first.0];
+    let mut visited = vec![graph.src(first), graph.dst(first)];
+    let mut head = graph.dst(first);
+    let target = rng.gen_range(1..=max_len.max(1));
+    while (route.len() as u32) < target {
+        let candidates: Vec<EdgeId> = graph
+            .out_edges(head)
+            .iter()
+            .copied()
+            .filter(|&e| !visited.contains(&graph.dst(e)))
+            .collect();
+        let Some(&next) = candidates.as_slice().choose(rng) else {
+            break;
+        };
+        route.push(next.0);
+        head = graph.dst(next);
+        visited.push(head);
+    }
+    route
+}
+
+fn random_topology(rng: &mut StdRng, family: Option<u8>) -> TopologySpec {
+    let family = family.unwrap_or_else(|| rng.gen_range(0..TopologySpec::FAMILIES as u32) as u8);
+    match family % TopologySpec::FAMILIES as u8 {
+        0 => TopologySpec::Line(rng.gen_range(2..=6)),
+        1 => TopologySpec::Ring(rng.gen_range(3..=8)),
+        2 => TopologySpec::Grid(rng.gen_range(2..=3), rng.gen_range(2..=3)),
+        3 => TopologySpec::Hypercube(rng.gen_range(2..=3)),
+        _ => TopologySpec::Complete(rng.gen_range(3..=5)),
+    }
+}
+
+fn random_cohort(rng: &mut StdRng, graph: &Graph, cfg: &GeneratorConfig, tag: u32) -> CohortSpec {
+    CohortSpec {
+        route: random_route(rng, graph, cfg.max_route_len),
+        tag,
+        count: rng.gen_range(1..=cfg.max_count.max(1)),
+    }
+}
+
+fn random_fault(
+    rng: &mut StdRng,
+    graph: &Graph,
+    cfg: &GeneratorConfig,
+    horizon: Time,
+) -> FaultSpec {
+    let edge = rng.gen_range(0..graph.edge_count() as u32);
+    // FaultPlan::validate: no step-0 faults, outage from ≤ until.
+    let time = rng.gen_range(1..=horizon.max(1));
+    match rng.gen_range(0..4u32) {
+        0 => {
+            let until = rng.gen_range(time..=horizon.max(time));
+            FaultSpec::Outage {
+                edge,
+                from: time,
+                until,
+            }
+        }
+        1 => FaultSpec::Drop { edge, time },
+        2 => FaultSpec::Duplicate { edge, time },
+        _ => FaultSpec::Burst {
+            time,
+            cohorts: vec![random_cohort(rng, graph, cfg, 1000 + time as u32)],
+        },
+    }
+}
+
+/// Draw a fresh scenario, optionally steered toward `target`.
+pub fn generate(rng: &mut StdRng, cfg: &GeneratorConfig, target: Option<Feature>) -> Scenario {
+    let forced_family = match target {
+        Some(Feature::Topology(f)) => Some(f),
+        _ => None,
+    };
+    let topology = random_topology(rng, forced_family);
+    let graph = topology.build();
+    let protocol = match target {
+        Some(Feature::Protocol(i)) => {
+            registry::protocol_names()[i as usize % registry::protocol_names().len()].to_string()
+        }
+        _ => registry::protocol_names()
+            .choose(rng)
+            .expect("registry is nonempty")
+            .to_string(),
+    };
+    // Leave slack after the last event so injected packets can drain
+    // (and the sentinel can observe the drained state).
+    let last_event = rng.gen_range(1..=cfg.max_horizon.saturating_sub(16).max(1));
+    let horizon = last_event + 16;
+    let cohorts = rng.gen_range(1..=cfg.max_cohorts.max(1));
+    let injections = (0..cohorts)
+        .map(|tag| InjectSpec {
+            time: rng.gen_range(1..=last_event),
+            cohort: random_cohort(rng, &graph, cfg, tag),
+        })
+        .collect();
+    let want_faults = match target {
+        Some(Feature::FaultShapes(0)) => 0,
+        Some(Feature::FaultShapes(_)) => cfg.max_faults.max(1),
+        _ => rng.gen_range(0..=cfg.max_faults),
+    };
+    let faults = (0..want_faults)
+        .map(|_| random_fault(rng, &graph, cfg, last_event))
+        .collect();
+    Scenario {
+        topology,
+        protocol,
+        seed: rng.gen_range(0..u64::MAX),
+        horizon,
+        cadence: 1,
+        deep_stride: rng.gen_range(1..=4),
+        injections,
+        faults,
+        certificate: cfg.certificate,
+    }
+}
+
+/// Mutate `base`: one structural tweak per call, so corpus entries
+/// drift through the neighborhood of behavior that earned them their
+/// place.
+pub fn mutate(rng: &mut StdRng, cfg: &GeneratorConfig, base: &Scenario) -> Scenario {
+    let mut s = base.clone();
+    let graph = s.topology.build();
+    match rng.gen_range(0..6u32) {
+        // Re-seed: same structure, different protocol randomness.
+        0 => s.seed = rng.gen_range(0..u64::MAX),
+        // Swap protocol.
+        1 => {
+            s.protocol = registry::protocol_names()
+                .choose(rng)
+                .expect("registry is nonempty")
+                .to_string();
+        }
+        // Add a cohort.
+        2 => {
+            let time = rng.gen_range(1..=s.horizon.saturating_sub(16).max(1));
+            s.injections.push(InjectSpec {
+                time,
+                cohort: random_cohort(rng, &graph, cfg, s.injections.len() as u32),
+            });
+        }
+        // Drop a cohort (keep at least one).
+        3 => {
+            if s.injections.len() > 1 {
+                let i = rng.gen_range(0..s.injections.len());
+                s.injections.remove(i);
+            } else {
+                s.seed = rng.gen_range(0..u64::MAX);
+            }
+        }
+        // Grow a cohort.
+        4 => {
+            let i = rng.gen_range(0..s.injections.len());
+            let c = &mut s.injections[i].cohort;
+            c.count = (c.count + rng.gen_range(1..=4u32)).min(cfg.max_count * 2);
+        }
+        // Toggle faults: add one, or clear them.
+        _ => {
+            if s.faults.is_empty() || rng.gen_bool(0.7) {
+                let last = s.horizon.saturating_sub(16).max(1);
+                s.faults.push(random_fault(rng, &graph, cfg, last));
+            } else {
+                s.faults.clear();
+            }
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run::{run_scenario, Outcome};
+    use rand::SeedableRng;
+
+    #[test]
+    fn generated_scenarios_build_and_run() {
+        let cfg = GeneratorConfig::default();
+        let mut rng = StdRng::seed_from_u64(42);
+        for i in 0..40 {
+            let s = generate(&mut rng, &cfg, None);
+            s.build()
+                .unwrap_or_else(|e| panic!("scenario {i} unbuildable: {e}\n{s:?}"));
+            match run_scenario(&s) {
+                Outcome::Clean(_) => {}
+                other => panic!("scenario {i}: expected clean, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let cfg = GeneratorConfig::default();
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..10 {
+            assert_eq!(
+                generate(&mut a, &cfg, None).fingerprint(),
+                generate(&mut b, &cfg, None).fingerprint()
+            );
+        }
+    }
+
+    #[test]
+    fn steering_forces_the_targeted_axis() {
+        let cfg = GeneratorConfig::default();
+        let mut rng = StdRng::seed_from_u64(3);
+        for i in 0..9u8 {
+            let s = generate(&mut rng, &cfg, Some(Feature::Protocol(i)));
+            assert_eq!(s.protocol, registry::protocol_names()[i as usize]);
+        }
+        for f in 0..TopologySpec::FAMILIES as u8 {
+            let s = generate(&mut rng, &cfg, Some(Feature::Topology(f)));
+            assert_eq!(s.topology.family(), f);
+        }
+    }
+
+    #[test]
+    fn mutations_stay_buildable() {
+        let cfg = GeneratorConfig::default();
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut s = generate(&mut rng, &cfg, None);
+        for i in 0..60 {
+            s = mutate(&mut rng, &cfg, &s);
+            s.build()
+                .unwrap_or_else(|e| panic!("mutation {i} unbuildable: {e}\n{s:?}"));
+        }
+    }
+
+    #[test]
+    fn random_routes_are_simple_paths() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for spec in [
+            TopologySpec::Ring(6),
+            TopologySpec::Grid(3, 3),
+            TopologySpec::Complete(4),
+        ] {
+            let graph = spec.build();
+            for _ in 0..50 {
+                let route = random_route(&mut rng, &graph, 8);
+                let edges: Vec<EdgeId> = route.iter().map(|&e| EdgeId(e)).collect();
+                aqt_graph::Route::new(&graph, edges)
+                    .unwrap_or_else(|e| panic!("invalid route {route:?} on {spec:?}: {e}"));
+            }
+        }
+    }
+}

@@ -101,8 +101,8 @@ impl BufferStore {
     }
 
     /// The raw queue (crate-internal: [`crate::Protocol::select`] takes
-    /// `&VecDeque<Packet>`, and the deprecated `Engine::queue` still
-    /// exposes it).
+    /// `&VecDeque<Packet>`; everything outside the crate goes through
+    /// `Engine::queue_iter` / `Engine::queue_len`).
     #[inline]
     pub(crate) fn queue(&self, edge: usize) -> &VecDeque<Packet> {
         &self.queues[edge]
@@ -240,17 +240,6 @@ impl BufferStore {
             .iter()
             .map(|q| (q.capacity() * std::mem::size_of::<Packet>()) as u64)
             .sum()
-    }
-
-    /// Release excess capacity on every oversized, mostly-empty buffer
-    /// (the policy of the deprecated `Engine::compact_buffers`; routine
-    /// compaction now happens in [`BufferStore::begin_step`]).
-    pub fn compact_all(&mut self) {
-        for q in &mut self.queues {
-            if q.capacity() > COMPACT_MIN_CAPACITY && q.len() < q.capacity() / 4 {
-                q.shrink_to_fit();
-            }
-        }
     }
 }
 

@@ -72,6 +72,14 @@ impl Checkpoint {
     pub fn fault_log(&self) -> &[FaultEvent] {
         &self.fault_log
     }
+
+    /// The captured sentinel state, if the source engine had a sentinel
+    /// attached. Campaign triage reads this to tell whether a resumed
+    /// run would re-arm mid-window certificate tracking or start from a
+    /// fresh baseline.
+    pub fn sentinel_state(&self) -> Option<&SentinelState> {
+        self.sentinel.as_ref()
+    }
 }
 
 /// Capture the complete state of `engine`.

@@ -476,14 +476,6 @@ impl<P: Protocol> Engine<P> {
         self.buffers.iter(edge.index())
     }
 
-    /// Read-only view of the buffer at the tail of `edge`, in queue
-    /// (arrival) order.
-    #[deprecated(note = "leaks the buffer representation; use `queue_iter` / `queue_len`")]
-    #[inline]
-    pub fn queue(&self, edge: EdgeId) -> &VecDeque<Packet> {
-        self.buffers.queue(edge.index())
-    }
-
     /// The engine's route interner. Resolve a packet's route with
     /// `engine.routes().get(p.route_id())`.
     #[inline]
@@ -607,14 +599,6 @@ impl<P: Protocol> Engine<P> {
         self.fault_log = fault_log;
         self.telemetry
             .rebaseline(self.time, &self.metrics.crossings_per_edge);
-    }
-
-    /// Release excess capacity held by emptied buffers.
-    #[deprecated(
-        note = "the engine now compacts emptied buffers automatically at each step boundary"
-    )]
-    pub fn compact_buffers(&mut self) {
-        self.buffers.compact_all();
     }
 
     /// Iterate over every live packet (buffer order within each edge,

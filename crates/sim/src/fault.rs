@@ -126,6 +126,21 @@ impl FaultPlan {
         &self.outages
     }
 
+    /// Scheduled in-transit drops, as `(edge, step)` pairs.
+    pub fn drops(&self) -> &[(EdgeId, Time)] {
+        &self.drops
+    }
+
+    /// Scheduled duplications, as `(edge, step)` pairs.
+    pub fn duplicates(&self) -> &[(EdgeId, Time)] {
+        &self.duplicates
+    }
+
+    /// Scheduled mid-run bursts.
+    pub fn bursts(&self) -> &[Burst] {
+        &self.bursts
+    }
+
     /// Well-formedness: nonempty intervals, fault times ≥ 1 (step 0
     /// does not exist; use [`crate::engine::Engine::seed`] for initial
     /// configurations). Overlapping outages and a duplicate scheduled
@@ -351,6 +366,43 @@ mod tests {
         assert!(plan.active_at(3));
         assert!(plan.active_at(6));
         assert!(!plan.active_at(9));
+    }
+
+    #[test]
+    fn accessors_expose_every_fault_shape() {
+        let plan = FaultPlan::new()
+            .with_outage(EdgeId(0), 2, 5)
+            .with_drop(EdgeId(1), 3)
+            .with_duplicate(EdgeId(2), 4);
+        assert_eq!(plan.outages().len(), 1);
+        assert_eq!(plan.drops(), &[(EdgeId(1), 3)]);
+        assert_eq!(plan.duplicates(), &[(EdgeId(2), 4)]);
+        assert!(plan.bursts().is_empty());
+    }
+
+    /// Golden value: [`FaultPlan::plan_id`] is a cross-platform,
+    /// cross-refactor stable content id — the campaign corpus dedup key
+    /// and the telemetry provenance join key. If this test fails, the
+    /// hash changed: every stored corpus entry, triage fingerprint, and
+    /// archived JSONL provenance line silently stops joining. Change
+    /// the hash only with a deliberate migration (and update this
+    /// constant in the same commit).
+    #[test]
+    fn plan_id_is_pinned() {
+        use crate::engine::Injection;
+        use aqt_graph::{topologies, Route};
+
+        let g = topologies::line(2);
+        let edges: Vec<EdgeId> = g.edge_ids().collect();
+        let route = Route::new(&g, edges.clone()).unwrap();
+        let plan = FaultPlan::new()
+            .with_outage(EdgeId(0), 2, 5)
+            .with_drop(EdgeId(1), 3)
+            .with_duplicate(EdgeId(2), 4)
+            .with_burst(6, vec![Injection::cohort(route, 9, 3)]);
+        assert_eq!(plan.plan_id(), 0x120F_81DB_1422_532E);
+        // And the empty plan (FNV-1a offset basis, no words).
+        assert_eq!(FaultPlan::new().plan_id(), 0xCBF2_9CE4_8422_2325);
     }
 
     #[test]

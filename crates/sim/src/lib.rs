@@ -79,7 +79,7 @@ pub use parallel::{
 pub use protocol::{Discipline, Protocol, SelectKey};
 pub use rate::{RateValidator, RateViolation, WindowValidator};
 pub use ratio::Ratio;
-pub use routes::{RouteId, RouteTable};
+pub use routes::{fnv1a_u64s, RouteId, RouteTable};
 pub use schedule::{Schedule, ScheduleOp};
 pub use sentinel::{
     CertificateSpec, InvariantKind, ReproBundle, Sentinel, SentinelConfig, SentinelState, Severity,

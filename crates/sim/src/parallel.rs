@@ -163,6 +163,21 @@ impl<R> SweepReport<R> {
             .collect()
     }
 
+    /// Reproduction bundles captured by quarantined jobs, with their
+    /// input indices — the [`run_sim_sweep`] jobs that failed with
+    /// [`SimError::InvariantViolated`]. This is the campaign corpus
+    /// ingestion point: every sweep failure that carries a bundle can
+    /// seed mutation (`aqt-campaign`'s `Corpus::seed_from_sweep`).
+    pub fn bundles(&self) -> Vec<(usize, &ReproBundle)> {
+        self.outcomes
+            .iter()
+            .filter_map(|o| match o {
+                JobOutcome::Quarantined(q) => q.bundle.as_deref().map(|b| (q.index, b)),
+                JobOutcome::Done(_) => None,
+            })
+            .collect()
+    }
+
     /// `Ok(results)` if nothing was quarantined, else the first
     /// failure as a typed error.
     pub fn into_complete(self) -> Result<Vec<R>, HarnessError> {

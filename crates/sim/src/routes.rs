@@ -50,7 +50,7 @@ fn fnv1a(edges: &[EdgeId]) -> u64 {
 /// dependency-free content hash behind [`crate::Schedule::content_hash`]
 /// and [`crate::FaultPlan::plan_id`] — the provenance ids telemetry
 /// records carry. Same platform-independence rationale as `fnv1a`.
-pub(crate) fn fnv1a_u64s(words: impl IntoIterator<Item = u64>) -> u64 {
+pub fn fnv1a_u64s(words: impl IntoIterator<Item = u64>) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for w in words {
         for b in w.to_le_bytes() {

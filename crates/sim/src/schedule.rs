@@ -287,32 +287,37 @@ impl Schedule {
         }))
     }
 
-    /// Sort operations by time (stable: simultaneous operations keep
-    /// insertion order; `Extend` at time `t` is applied before
-    /// injections at `t` regardless, by the engine's replay loop).
-    fn sort(&mut self) {
-        if !self.sorted {
-            self.ops.sort_by_key(|op| op.time());
-            self.sorted = true;
-        }
-    }
-
     /// Replay this schedule on `engine` from the engine's current time
     /// through `until` (inclusive). Operations scheduled at or before
     /// the engine's current time cause an error (they can never fire).
-    pub fn run<P: Protocol>(
-        mut self,
+    pub fn run<P: Protocol>(self, engine: &mut Engine<P>, until: Time) -> Result<(), EngineError> {
+        self.replay(engine, until)
+    }
+
+    /// [`Schedule::run`] by reference: replay without consuming the
+    /// schedule, so one schedule can drive many engines (the campaign
+    /// shrinker re-runs a candidate dozens of times, and cloning a
+    /// million-op schedule per attempt would dominate the re-run).
+    /// A stable time-sorted *index* order is computed per call; the
+    /// operations themselves are never moved.
+    pub fn replay<P: Protocol>(
+        &self,
         engine: &mut Engine<P>,
         until: Time,
     ) -> Result<(), EngineError> {
-        self.sort();
+        // Stable by time: simultaneous operations keep insertion order
+        // (`Extend` at time `t` is applied before injections at `t`
+        // regardless, by the loop below).
+        let mut order: Vec<u32> = (0..self.ops.len() as u32).collect();
+        if !self.sorted {
+            order.sort_by_key(|&i| self.ops[i as usize].time());
+        }
         let start = engine.time();
-        if let Some(op) = self.ops.first() {
-            if op.time() <= start {
+        if let Some(&first) = order.first() {
+            let t0 = self.ops[first as usize].time();
+            if t0 <= start {
                 return Err(EngineError::Usage(format!(
-                    "schedule op at time {} but engine already at {}",
-                    op.time(),
-                    start
+                    "schedule op at time {t0} but engine already at {start}"
                 )));
             }
         }
@@ -323,8 +328,8 @@ impl Schedule {
         let mut injections: Vec<&Injection> = Vec::new();
         for t in (start + 1)..=until {
             // Extensions scheduled at the start of step t.
-            while idx < self.ops.len() && self.ops[idx].time() == t {
-                match &self.ops[idx] {
+            while idx < order.len() && self.ops[order[idx] as usize].time() == t {
+                match &self.ops[order[idx] as usize] {
                     ScheduleOp::Extend {
                         buffers,
                         suffix,
@@ -342,10 +347,10 @@ impl Schedule {
             }
             engine.step(injections.drain(..))?;
         }
-        if idx < self.ops.len() {
+        if idx < order.len() {
             return Err(EngineError::Usage(format!(
                 "schedule extends past the requested horizon: next op at {}, ran until {}",
-                self.ops[idx].time(),
+                self.ops[order[idx] as usize].time(),
                 until
             )));
         }
@@ -481,6 +486,56 @@ mod tests {
             "cohort replay must be state-identical to singleton replay"
         );
         assert_eq!(a.metrics().absorbed, b.metrics().absorbed);
+    }
+
+    /// Golden value: [`Schedule::content_hash`] is a cross-platform,
+    /// cross-refactor stable content id — the `schedule_hash` of every
+    /// telemetry provenance line and half of the campaign corpus dedup
+    /// key. If this test fails, the hash changed: archived JSONL lines
+    /// and stored campaign fingerprints stop joining. Change it only
+    /// deliberately, updating this constant in the same commit.
+    #[test]
+    fn content_hash_is_pinned() {
+        let g = topologies::line(3);
+        let edges: Vec<EdgeId> = g.edge_ids().collect();
+        let full = Route::new(&g, edges.clone()).unwrap();
+        let tail = Route::new(&g, edges[1..].to_vec()).unwrap();
+        let mut s = Schedule::new();
+        s.inject_at(3, full, 7);
+        s.inject_cohort_at(5, tail, 9, 4);
+        s.extend_ending_at(6, vec![edges[0], edges[1]], vec![edges[2]], edges[2]);
+        assert_eq!(s.content_hash(), 0xBF3B_EACE_70E2_AAAF);
+        // And the empty schedule (FNV-1a offset basis, no words).
+        assert_eq!(Schedule::new().content_hash(), 0xCBF2_9CE4_8422_2325);
+    }
+
+    #[test]
+    fn replay_by_reference_matches_run_and_handles_unsorted_ops() {
+        let g = Arc::new(topologies::line(2));
+        let edges: Vec<EdgeId> = g.edge_ids().collect();
+        let route = Route::new(&g, edges.clone()).unwrap();
+        let short = Route::new(&g, vec![edges[0]]).unwrap();
+        // Deliberately out of insertion order.
+        let mut s = Schedule::new();
+        s.inject_at(4, route.clone(), 1);
+        s.inject_cohort_at(2, short, 0, 3);
+        let mut by_ref = Engine::new(Arc::clone(&g), Fifo, EngineConfig::default());
+        s.replay(&mut by_ref, 8).unwrap();
+        // The schedule is untouched and replays again identically.
+        assert_eq!(s.len(), 2);
+        let mut again = Engine::new(Arc::clone(&g), Fifo, EngineConfig::default());
+        s.replay(&mut again, 8).unwrap();
+        assert_eq!(
+            crate::snapshot::capture(&by_ref),
+            crate::snapshot::capture(&again)
+        );
+        // And the consuming `run` produces the same trajectory.
+        let mut consumed = Engine::new(Arc::clone(&g), Fifo, EngineConfig::default());
+        s.run(&mut consumed, 8).unwrap();
+        assert_eq!(
+            crate::snapshot::capture(&by_ref),
+            crate::snapshot::capture(&consumed)
+        );
     }
 
     #[test]

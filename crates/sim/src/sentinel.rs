@@ -38,6 +38,12 @@
 //! [`Severity::Quarantine`] the report (bundle included) is retained on
 //! the sentinel and the run continues; at [`Severity::Log`] only the
 //! violation itself is recorded.
+//!
+//! Every invariant family is catalogued in the repository-level
+//! `INVARIANTS.md` (formal statement, how it is tested, what breaks
+//! if it is violated); [`InvariantKind::ALL`] is the exhaustiveness
+//! anchor the catalog test checks against, and the `aqt-campaign`
+//! crate drives a coverage-directed fuzz campaign over these checks.
 
 use crate::fault::FaultPlan;
 use crate::metrics::Metrics;
@@ -78,6 +84,22 @@ pub enum InvariantKind {
 }
 
 impl InvariantKind {
+    /// Every invariant family the sentinel ships, in declaration order.
+    ///
+    /// The authoritative enumeration for exhaustiveness checks: the
+    /// `INVARIANTS.md` catalog test iterates this array so a newly
+    /// added variant without a catalog entry (or vice versa) fails CI,
+    /// and the campaign coverage map uses it to label breach features.
+    pub const ALL: [InvariantKind; 7] = [
+        InvariantKind::Conservation,
+        InvariantKind::UnitSpeed,
+        InvariantKind::RouteProgress,
+        InvariantKind::SnapshotRoundTrip,
+        InvariantKind::Certificate,
+        InvariantKind::OracleDivergence,
+        InvariantKind::GadgetInvariant,
+    ];
+
     /// Stable display name.
     pub fn name(self) -> &'static str {
         match self {
@@ -251,6 +273,23 @@ impl SentinelConfig {
     /// Stamp repro bundles with the run's seed (builder style).
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = Some(seed);
+        self
+    }
+
+    /// Override the severity of one invariant family (builder style).
+    /// [`InvariantKind::GadgetInvariant`] has no configurable slot —
+    /// external checkers dispatch their own severity — so setting it
+    /// here is a no-op.
+    pub fn with_severity(mut self, kind: InvariantKind, severity: Severity) -> Self {
+        match kind {
+            InvariantKind::Conservation => self.conservation = severity,
+            InvariantKind::UnitSpeed => self.unit_speed = severity,
+            InvariantKind::RouteProgress => self.route_progress = severity,
+            InvariantKind::SnapshotRoundTrip => self.snapshot_roundtrip = severity,
+            InvariantKind::Certificate => self.certificate = severity,
+            InvariantKind::OracleDivergence => self.oracle = severity,
+            InvariantKind::GadgetInvariant => {}
+        }
         self
     }
 
@@ -631,6 +670,30 @@ mod tests {
             cfg.severity_of(InvariantKind::GadgetInvariant),
             Severity::Halt
         );
+    }
+
+    #[test]
+    fn all_kinds_have_distinct_stable_names() {
+        let names: Vec<&str> = InvariantKind::ALL.iter().map(|k| k.name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), InvariantKind::ALL.len());
+        assert!(names.contains(&"conservation"));
+        assert!(names.contains(&"gadget-invariant"));
+    }
+
+    #[test]
+    fn with_severity_overrides_each_configurable_slot() {
+        for kind in InvariantKind::ALL {
+            let cfg = SentinelConfig::all_halt().with_severity(kind, Severity::Log);
+            let expect = if kind == InvariantKind::GadgetInvariant {
+                Severity::Halt // external checkers dispatch their own
+            } else {
+                Severity::Log
+            };
+            assert_eq!(cfg.severity_of(kind), expect, "{}", kind.name());
+        }
     }
 
     #[test]

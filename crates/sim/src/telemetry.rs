@@ -46,7 +46,9 @@ use crate::packet::Time;
 /// * **1** — initial schema: `run_start` / `window` / `run_end` /
 ///   `job_started` / `job_finished` / `job_retried` /
 ///   `job_quarantined` / `sweep_progress` records.
-pub const TELEMETRY_SCHEMA_VERSION: u32 = 1;
+/// * **2** — counter blocks gained `windows_emitted` (the campaign
+///   coverage map's window-emission dimension).
+pub const TELEMETRY_SCHEMA_VERSION: u32 = 2;
 
 /// How much the engine instruments per step.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -197,6 +199,11 @@ pub struct TelemetryCounters {
     pub sentinel_rounds: u64,
     /// Oracle full-state diffs performed.
     pub oracle_diffs: u64,
+    /// Telemetry windows closed and emitted (including the final
+    /// partial window). A campaign coverage dimension: runs that never
+    /// cross a window boundary exercise none of the window-emission
+    /// path.
+    pub windows_emitted: u64,
 }
 
 impl TelemetryCounters {
@@ -218,6 +225,7 @@ impl TelemetryCounters {
             memo_misses: self.memo_misses.saturating_sub(base.memo_misses),
             sentinel_rounds: self.sentinel_rounds.saturating_sub(base.sentinel_rounds),
             oracle_diffs: self.oracle_diffs.saturating_sub(base.oracle_diffs),
+            windows_emitted: self.windows_emitted.saturating_sub(base.windows_emitted),
         }
     }
 }
@@ -543,7 +551,7 @@ impl JsonlSink {
             ",\"steps\":{},\"packets_sent\":{},\"packets_forwarded\":{},\
              \"packets_absorbed\":{},\"packets_injected\":{},\"cohorts_admitted\":{},\
              \"buffers_compacted\":{},\"memo_hits\":{},\"memo_misses\":{},\
-             \"sentinel_rounds\":{},\"oracle_diffs\":{}",
+             \"sentinel_rounds\":{},\"oracle_diffs\":{},\"windows_emitted\":{}",
             c.steps,
             c.packets_sent,
             c.packets_forwarded,
@@ -554,7 +562,8 @@ impl JsonlSink {
             c.memo_hits,
             c.memo_misses,
             c.sentinel_rounds,
-            c.oracle_diffs
+            c.oracle_diffs,
+            c.windows_emitted
         )
         .unwrap();
     }
@@ -1119,6 +1128,11 @@ impl Telemetry {
     #[cold]
     pub(crate) fn emit_window(&mut self, now: Time, crossings: &[u64]) {
         debug_assert_eq!(crossings.len(), self.crossings_at_window_start.len());
+        if self.counters_on {
+            // Before the delta: the closing window accounts for its own
+            // emission.
+            self.counters.windows_emitted += 1;
+        }
         for (i, (&total, base)) in crossings
             .iter()
             .zip(self.crossings_at_window_start.iter_mut())
@@ -1300,7 +1314,7 @@ mod tests {
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 3);
         for l in &lines {
-            assert!(l.starts_with("{\"schema\":1,\"kind\":\""), "line: {l}");
+            assert!(l.starts_with("{\"schema\":2,\"kind\":\""), "line: {l}");
             assert!(l.ends_with('}'), "line: {l}");
         }
         assert!(lines[0].contains("\"kind\":\"run_start\""));

@@ -1,0 +1,146 @@
+//! The adversarial campaign, demonstrated live.
+//!
+//! Runs a seeded coverage-directed campaign over the topology ×
+//! protocol × adversary × fault space with every sentinel invariant at
+//! `Halt`.
+//!
+//! ```text
+//! cargo run --release --example campaign_demo
+//! ```
+//!
+//! finishes cleanly: on a correct engine the structural invariants
+//! hold on every generated scenario, and the demo reports the coverage
+//! the campaign accumulated. Then
+//!
+//! ```text
+//! cargo run --release --example campaign_demo --features demo-corruption
+//! ```
+//!
+//! compiles the intentionally broken absorption path into the engine
+//! (absorbed packets with `id % 977 == 5` vanish without being
+//! counted — the same planted bug as `sentinel_demo`). The campaign
+//! hunts it down as a `conservation` breach, shrinks the triggering
+//! scenario to a strictly smaller deterministic repro, and prints the
+//! ready-to-commit regression test.
+//!
+//! Environment knobs (all optional):
+//!
+//! * `CAMPAIGN_SEED` — master seed (default 0xC0FFEE).
+//! * `CAMPAIGN_RUNS` — max scenarios (default 400).
+//! * `CAMPAIGN_BUDGET_SECS` — wall-clock budget (default none).
+//! * `CAMPAIGN_ARTIFACTS` — directory to write regression-test sources
+//!   into (default: print to stdout only).
+
+use std::time::Duration;
+
+use aqt_campaign::{run_campaign, CampaignConfig, Corpus};
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let mut cfg = CampaignConfig {
+        seed: env_u64("CAMPAIGN_SEED", 0xC0FFEE),
+        max_runs: env_u64("CAMPAIGN_RUNS", 400),
+        ..CampaignConfig::default()
+    };
+    if let Some(secs) = std::env::var("CAMPAIGN_BUDGET_SECS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+    {
+        cfg.time_budget = Some(Duration::from_secs(secs));
+    }
+    // Larger cohorts widen the absorbed-id range so the planted
+    // demo-corruption bug (id % 977 == 5) is reached quickly.
+    cfg.generator.max_count = 24;
+
+    println!(
+        "campaign: seed={:#x}, max {} runs, budget {:?}, every invariant at Halt",
+        cfg.seed, cfg.max_runs, cfg.time_budget
+    );
+
+    let mut corpus = Corpus::new();
+    let report = run_campaign(&cfg, &mut corpus);
+    println!("{}", report.summary());
+
+    if report.findings.is_empty() {
+        if cfg!(feature = "demo-corruption") {
+            eprintln!(
+                "demo-corruption is compiled in but the campaign found \
+                 nothing — raise CAMPAIGN_RUNS"
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "no breaches: the engine held every invariant on {} generated \
+             scenarios.\nnow try: cargo run --release --example campaign_demo \
+             --features demo-corruption",
+            report.runs
+        );
+        return;
+    }
+
+    if !cfg!(feature = "demo-corruption") {
+        // A breach on a clean build is a real engine bug: print
+        // everything and fail loudly.
+        for f in &report.findings {
+            eprintln!("UNEXPECTED breach: {}", f.report);
+            eprintln!("{}", f.regression_test_source());
+        }
+        std::process::exit(2);
+    }
+
+    let artifacts = std::env::var("CAMPAIGN_ARTIFACTS").ok();
+    for f in &report.findings {
+        println!(
+            "\nbreach: {} ({} duplicate sightings)",
+            f.report.violation, f.duplicates
+        );
+        let bundle = &f.report.bundle;
+        println!(
+            "repro bundle: seed={:?} step={} snapshot backlog={} faults={}",
+            bundle.seed,
+            bundle.step,
+            bundle
+                .snapshot
+                .buffers
+                .iter()
+                .map(|b| b.len() as u64)
+                .sum::<u64>(),
+            if bundle.fault_plan.is_some() {
+                "installed"
+            } else {
+                "none"
+            }
+        );
+        match &f.shrunk {
+            Some(s) => println!(
+                "shrunk: weight {} -> {} in {} attempts ({} accepted), \
+                 breach re-verified at step {}",
+                f.scenario.weight(),
+                s.scenario.weight(),
+                s.attempts,
+                s.accepted,
+                s.report.violation.time
+            ),
+            None => println!("shrinking disabled"),
+        }
+        let src = f.regression_test_source();
+        if let Some(dir) = &artifacts {
+            std::fs::create_dir_all(dir).expect("create artifact dir");
+            let path = format!(
+                "{dir}/campaign_regression_{}_{:016x}.rs",
+                f.kind().name().replace('-', "_"),
+                f.repro().fingerprint()
+            );
+            std::fs::write(&path, &src).expect("write artifact");
+            println!("regression test written to {path}");
+        } else {
+            println!("--- regression test ---\n{src}");
+        }
+    }
+}

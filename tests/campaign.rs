@@ -1,0 +1,383 @@
+//! End-to-end tests of the campaign subsystem: the INVARIANTS.md
+//! catalog's exhaustiveness, ReproBundle round-trip fidelity at every
+//! severity, the find → shrink → regression-emit pipeline, and corpus
+//! seeding from sweep quarantine output.
+
+use std::sync::Arc;
+
+use aqt_campaign::{
+    run_campaign, run_scenario, CampaignConfig, CohortSpec, Corpus, InjectSpec, Outcome, Scenario,
+    TopologySpec,
+};
+use aqt_graph::{topologies, EdgeId, Route};
+use aqt_protocols::Fifo;
+use aqt_sim::sentinel::{CertificateSpec, SentinelConfig};
+use aqt_sim::{
+    run_sim_sweep, snapshot, Engine, EngineConfig, EngineError, FaultPlan, Injection,
+    InvariantKind, Ratio, Severity, SimError, SweepConfig, ViolationReport,
+};
+
+// ---------------------------------------------------------------------
+// INVARIANTS.md catalog exhaustiveness
+// ---------------------------------------------------------------------
+
+const CATALOG: &str = include_str!("../INVARIANTS.md");
+
+/// Every sentinel invariant family has a catalog entry, and every
+/// catalog entry names a real family — the file cannot drift from
+/// `InvariantKind`.
+#[test]
+fn invariants_catalog_is_exhaustive() {
+    for kind in InvariantKind::ALL {
+        let heading = format!("### `{}`", kind.name());
+        assert!(
+            CATALOG.contains(&heading),
+            "INVARIANTS.md has no entry '{heading}' for {kind:?}"
+        );
+    }
+    // No orphan entries: every `### `…`` heading in the sentinel
+    // section must be one of the variants.
+    let names: Vec<&str> = InvariantKind::ALL.iter().map(|k| k.name()).collect();
+    for line in CATALOG.lines() {
+        if let Some(rest) = line.strip_prefix("### `") {
+            let Some(name) = rest.split('`').next() else {
+                continue;
+            };
+            assert!(
+                names.contains(&name),
+                "INVARIANTS.md entry '{name}' names no InvariantKind variant"
+            );
+        }
+    }
+    // Each entry documents all four catalog facets.
+    for facet in [
+        "**Formal statement.**",
+        "**How to test.**",
+        "**What breaks if violated.**",
+        "**Default severity.**",
+    ] {
+        let count = CATALOG.matches(facet).count();
+        assert!(
+            count >= InvariantKind::ALL.len(),
+            "facet '{facet}' appears {count} times, expected one per invariant"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// ReproBundle round-trip fidelity (Halt / Quarantine / Log)
+// ---------------------------------------------------------------------
+
+/// A run that provably breaches the certificate: bound ⌈w·r⌉ = 1 on a
+/// line(2), then a 4-packet cohort whose tail waits 3 steps. A drop
+/// fault rides along so the bundle carries a fault plan.
+fn breaching_engine(severity: Severity) -> (Engine<Fifo>, Route, FaultPlan) {
+    let g = Arc::new(topologies::line(2));
+    let route = Route::new(&g, vec![EdgeId(0), EdgeId(1)]).unwrap();
+    let plan = FaultPlan::new().with_drop(EdgeId(1), 6);
+    let mut eng = Engine::new(g, Fifo, EngineConfig::default());
+    let mut cfg = SentinelConfig::all_halt()
+        .with_seed(0xBEEF)
+        .with_certificate(CertificateSpec {
+            window: 1,
+            rate: Ratio::new(1, 3),
+            d: 2,
+            initial: 0,
+            time_priority: false,
+        });
+    cfg.cadence = 1;
+    cfg.deep_stride = 1;
+    for kind in InvariantKind::ALL {
+        cfg = cfg.with_severity(kind, severity);
+    }
+    eng.attach_sentinel(cfg);
+    eng.install_faults(plan.clone()).unwrap();
+    (eng, route, plan)
+}
+
+fn drive_to_breach(severity: Severity) -> (Option<Box<ViolationReport>>, Engine<Fifo>) {
+    let (mut eng, route, _) = breaching_engine(severity);
+    for t in 0..12u64 {
+        let inj = if t == 0 {
+            vec![Injection::cohort(route.clone(), 0, 4)]
+        } else {
+            vec![]
+        };
+        match eng.step(inj) {
+            Ok(()) => {}
+            Err(EngineError::Invariant(report)) => return (Some(report), eng),
+            Err(e) => panic!("unexpected engine error: {e}"),
+        }
+    }
+    (None, eng)
+}
+
+#[test]
+fn halt_bundle_replays_to_the_same_breach() {
+    let (report, _) = drive_to_breach(Severity::Halt);
+    let report = report.expect("halting breach");
+    assert_eq!(report.violation.kind, InvariantKind::Certificate);
+    assert_eq!(report.bundle.step, report.violation.time);
+    assert_eq!(report.bundle.seed, Some(0xBEEF));
+    assert!(report.bundle.fault_plan.is_some(), "plan travels in bundle");
+
+    // Fidelity 1: a from-scratch rerun of the same run reproduces the
+    // identical violation and the identical bundle.
+    let (again, _) = drive_to_breach(Severity::Halt);
+    let again = again.expect("deterministic breach");
+    assert_eq!(again.violation, report.violation);
+    assert_eq!(again.bundle, report.bundle);
+
+    // Fidelity 2: the bundle alone reconstructs a breaching state.
+    // Order matters: install the fault plan first (only legal at
+    // time 0), then restore the snapshot (which moves the clock).
+    let g = Arc::new(topologies::line(2));
+    let mut fresh = Engine::new(Arc::clone(&g), Fifo, EngineConfig::default());
+    fresh
+        .install_faults(report.bundle.fault_plan.clone().unwrap())
+        .unwrap();
+    snapshot::restore(&mut fresh, &report.bundle.snapshot).unwrap();
+    assert_eq!(fresh.time(), report.bundle.step);
+    let mut cfg = SentinelConfig::all_halt().with_certificate(CertificateSpec {
+        window: 1,
+        rate: Ratio::new(1, 3),
+        d: 2,
+        initial: 0,
+        time_priority: false,
+    });
+    cfg.cadence = 1;
+    cfg.deep_stride = 1;
+    fresh.attach_sentinel(cfg);
+    // The restored queue still holds the overdue packets; the deep
+    // certificate scan re-detects them on the very next step.
+    let err = fresh.step(Vec::<Injection>::new()).unwrap_err();
+    let EngineError::Invariant(rereport) = err else {
+        panic!("expected invariant halt, got {err}");
+    };
+    assert_eq!(rereport.violation.kind, InvariantKind::Certificate);
+    assert_eq!(rereport.violation.time, report.bundle.step + 1);
+}
+
+#[test]
+fn quarantine_bundle_matches_the_halt_bundle() {
+    let (halted, _) = drive_to_breach(Severity::Halt);
+    let halted = halted.expect("halting breach");
+
+    let (none, eng) = drive_to_breach(Severity::Quarantine);
+    assert!(none.is_none(), "quarantine must not abort the run");
+    let sentinel = eng.sentinel().expect("attached");
+    let quarantined = sentinel.quarantined();
+    assert!(!quarantined.is_empty());
+    // The first quarantined report is the same breach the halting run
+    // died on: same violation, same bundle, observed at the same step.
+    assert_eq!(quarantined[0].violation, halted.violation);
+    assert_eq!(quarantined[0].bundle, halted.bundle);
+    // And the run kept going afterwards.
+    assert_eq!(eng.time(), 12);
+}
+
+#[test]
+fn log_severity_records_the_same_breach_at_the_same_step() {
+    let (halted, _) = drive_to_breach(Severity::Halt);
+    let halted = halted.expect("halting breach");
+
+    let (none, eng) = drive_to_breach(Severity::Log);
+    assert!(none.is_none(), "log must not abort the run");
+    let sentinel = eng.sentinel().expect("attached");
+    assert!(sentinel.quarantined().is_empty(), "log keeps no bundles");
+    let log = sentinel.log();
+    assert!(!log.is_empty());
+    assert_eq!(log[0], halted.violation, "same breach, same step");
+
+    // Log-severity fidelity is from-scratch determinism: a rerun
+    // produces the identical log.
+    let (_, eng2) = drive_to_breach(Severity::Log);
+    assert_eq!(eng2.sentinel().unwrap().log(), log);
+}
+
+// ---------------------------------------------------------------------
+// Campaign: find a planted breach, shrink it, emit a regression test
+// ---------------------------------------------------------------------
+
+fn planted_config(seed: u64) -> CampaignConfig {
+    let mut cfg = CampaignConfig {
+        seed,
+        max_runs: 80,
+        ..CampaignConfig::default()
+    };
+    // The planted tripwire: bound ⌈w·r⌉ = 1, so any cohort of ≥ 3
+    // packets sharing a first edge breaches.
+    cfg.generator.certificate = Some(CertificateSpec {
+        window: 1,
+        rate: Ratio::new(1, 8),
+        d: 7,
+        initial: 0,
+        time_priority: false,
+    });
+    cfg
+}
+
+#[test]
+fn campaign_finds_and_minimizes_the_planted_breach() {
+    let mut corpus = Corpus::new();
+    let report = run_campaign(&planted_config(0xCA11), &mut corpus);
+    assert!(
+        !report.findings.is_empty(),
+        "planted breach not found: {}",
+        report.summary()
+    );
+    let finding = &report.findings[0];
+    assert_eq!(finding.kind(), InvariantKind::Certificate);
+    assert_eq!(
+        finding.report.bundle.step, finding.report.violation.time,
+        "bundle pinned to the observation step"
+    );
+
+    // The shrunk repro is strictly smaller and still breaches.
+    let shrunk = finding.shrunk.as_ref().expect("shrinking enabled");
+    assert!(shrunk.scenario.weight() < finding.scenario.weight());
+    let Outcome::Breach(rerun, _) = run_scenario(&shrunk.scenario) else {
+        panic!("shrunk scenario no longer breaches");
+    };
+    assert_eq!(rerun.violation, shrunk.report.violation);
+
+    // The emitted regression test embeds the shrunk scenario and the
+    // breached kind.
+    let src = finding.regression_test_source();
+    assert!(src.contains("#[test]"));
+    assert!(src.contains("InvariantKind::Certificate"));
+    assert!(src.contains(&format!("{:016x}", shrunk.scenario.fingerprint())));
+    assert!(src.contains("seed: "));
+}
+
+#[test]
+fn campaigns_replay_identically_from_the_same_seed() {
+    let (mut ca, mut cb) = (Corpus::new(), Corpus::new());
+    let ra = run_campaign(&planted_config(0xD0_0D), &mut ca);
+    let rb = run_campaign(&planted_config(0xD0_0D), &mut cb);
+    assert_eq!(ra.runs, rb.runs);
+    assert_eq!(ra.clean, rb.clean);
+    assert_eq!(ra.findings.len(), rb.findings.len());
+    for (fa, fb) in ra.findings.iter().zip(&rb.findings) {
+        assert_eq!(fa.scenario, fb.scenario);
+        assert_eq!(fa.report.violation, fb.report.violation);
+        assert_eq!(fa.duplicates, fb.duplicates);
+        let (sa, sb) = (fa.shrunk.as_ref().unwrap(), fb.shrunk.as_ref().unwrap());
+        assert_eq!(sa.scenario, sb.scenario);
+        assert_eq!(sa.attempts, sb.attempts);
+    }
+    let fa: Vec<u64> = ca.entries().iter().map(|s| s.fingerprint()).collect();
+    let fb: Vec<u64> = cb.entries().iter().map(|s| s.fingerprint()).collect();
+    assert_eq!(
+        fa, fb,
+        "corpus evolution is part of the determinism contract"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Corpus seeding from sweep quarantine output
+// ---------------------------------------------------------------------
+
+/// A sweep over per-job certificate tightness: jobs with a breaching
+/// bound are quarantined with bundles, and those bundles seed a
+/// campaign corpus.
+#[test]
+fn sweep_quarantine_bundles_seed_the_corpus() {
+    let template = Scenario {
+        topology: TopologySpec::Line(2),
+        protocol: "FIFO".into(),
+        seed: 0,
+        horizon: 24,
+        cadence: 1,
+        deep_stride: 1,
+        injections: vec![InjectSpec {
+            time: 1,
+            cohort: CohortSpec {
+                route: vec![0, 1],
+                tag: 0,
+                count: 5,
+            },
+        }],
+        faults: vec![],
+        certificate: None,
+    };
+    // Jobs 1 and 3 get the unsatisfiable bound; 0 and 2 run clean.
+    let inputs: Vec<(u64, bool)> = vec![(10, false), (11, true), (12, false), (13, true)];
+    let sweep = run_sim_sweep(
+        inputs,
+        &SweepConfig {
+            max_retries: 0,
+            ..SweepConfig::default()
+        },
+        |_, &(seed, tight)| {
+            let mut s = template.clone();
+            s.seed = seed;
+            if tight {
+                s.certificate = Some(CertificateSpec {
+                    window: 1,
+                    rate: Ratio::new(1, 3),
+                    d: 2,
+                    initial: 0,
+                    time_priority: false,
+                });
+                // Give the bundle a fault plan to carry across.
+                s.faults = vec![aqt_campaign::FaultSpec::Drop { edge: 1, time: 20 }];
+            }
+            match run_scenario(&s) {
+                Outcome::Clean(stats) => Ok(stats.steps),
+                Outcome::Breach(report, _) => Err(SimError::InvariantViolated(report)),
+                Outcome::Invalid(e) => Err(SimError::Checkpoint(e)),
+            }
+        },
+    );
+    assert_eq!(sweep.results().count(), 2);
+    let bundles = sweep.bundles();
+    assert_eq!(bundles.len(), 2, "both tight jobs quarantined with bundles");
+    assert_eq!(bundles[0].0, 1);
+    assert_eq!(bundles[1].0, 3);
+
+    let mut corpus = Corpus::new();
+    let added = corpus.seed_from_sweep(&sweep, &template);
+    assert_eq!(added, 2);
+    // The grafts carry the failing jobs' seeds and fault plans, and
+    // remain runnable starting points.
+    let seeds: Vec<u64> = corpus.entries().iter().map(|s| s.seed).collect();
+    assert_eq!(seeds, vec![11, 13]);
+    for entry in corpus.entries() {
+        assert!(!entry.faults.is_empty(), "bundle fault plan was grafted");
+        entry.build().expect("seeded scenarios must build");
+    }
+    // Seeding again is a no-op: fingerprint dedup.
+    assert_eq!(corpus.seed_from_sweep(&sweep, &template), 0);
+}
+
+// ---------------------------------------------------------------------
+// The planted engine bug (demo-corruption): campaign catches it
+// ---------------------------------------------------------------------
+
+/// With the intentionally corrupted absorption path compiled in
+/// (absorbed packets with `id % 977 == 5` vanish uncounted), the
+/// campaign must hunt down the conservation breach and minimize it.
+#[cfg(feature = "demo-corruption")]
+#[test]
+fn campaign_finds_the_demo_corruption_conservation_breach() {
+    let mut cfg = CampaignConfig {
+        seed: 0xC0FFEE,
+        max_runs: 400,
+        ..CampaignConfig::default()
+    };
+    cfg.generator.max_count = 24;
+    let mut corpus = Corpus::new();
+    let report = run_campaign(&cfg, &mut corpus);
+    let finding = report
+        .findings
+        .iter()
+        .find(|f| f.kind() == InvariantKind::Conservation)
+        .unwrap_or_else(|| panic!("conservation breach not found: {}", report.summary()));
+    let shrunk = finding.shrunk.as_ref().expect("shrinking enabled");
+    assert!(shrunk.scenario.weight() < finding.scenario.weight());
+    let Outcome::Breach(rerun, _) = run_scenario(&shrunk.scenario) else {
+        panic!("shrunk scenario no longer breaches");
+    };
+    assert_eq!(rerun.violation.kind, InvariantKind::Conservation);
+}
