@@ -1,12 +1,12 @@
-//! An adaptive (feedback) `(w,r)` adversary.
+//! An adaptive (feedback) adversary.
 //!
 //! The adversarial queuing model allows the adversary to observe the
 //! entire system state when choosing injections — Theorems 4.1/4.3
 //! quantify over *all* `(w,r)` adversaries, adaptive ones included.
-//! This adversary spends its windowed budget where it hurts most: each
-//! step it ranks its candidate routes by the current queue length
+//! This adversary spends its constraint budget where it hurts most:
+//! each step it ranks its candidate routes by the current queue length
 //! along them and injects the most-loaded ones first (still within the
-//! exact per-edge window budgets).
+//! exact per-edge headroom of its constraint model).
 //!
 //! Compared with the oblivious stochastic adversary it produces
 //! measurably deeper queues, making it the stronger stress test for
@@ -14,29 +14,34 @@
 
 use aqt_graph::{EdgeId, Graph, Route};
 use aqt_sim::engine::Injection;
-use aqt_sim::{Ratio, Time, WindowValidator};
+use aqt_sim::rate::{AdversaryModel, AdversaryModelSpec, Constraint};
+use aqt_sim::{Ratio, Time};
 
 /// The adaptive adversary. Drive it with
 /// [`AdaptiveAdversary::injections_for`], passing a queue-length probe
 /// (typically `|e| engine.queue_len(e)`).
 pub struct AdaptiveAdversary {
-    window: u64,
-    rate: Ratio,
     routes: Vec<Route>,
-    tracker: WindowValidator,
+    tracker: AdversaryModel,
     /// Scratch: (score, route index), reused each step.
     scratch: Vec<(usize, usize)>,
 }
 
 impl AdaptiveAdversary {
-    /// Create over a candidate route pool.
+    /// Create a `(w, r)` adaptive adversary over a candidate route
+    /// pool — shorthand for [`AdaptiveAdversary::with_model`] with a
+    /// single `Window` member.
     pub fn new(graph: &Graph, window: u64, rate: Ratio, routes: Vec<Route>) -> Self {
+        Self::with_model(graph, &AdversaryModelSpec::window(window, rate), routes)
+    }
+
+    /// Create an adaptive adversary saturating an arbitrary composed
+    /// constraint model.
+    pub fn with_model(graph: &Graph, spec: &AdversaryModelSpec, routes: Vec<Route>) -> Self {
         assert!(!routes.is_empty(), "need at least one candidate route");
         AdaptiveAdversary {
-            window,
-            rate,
             routes,
-            tracker: WindowValidator::new(window, rate, graph.edge_count()),
+            tracker: spec.build(graph.edge_count()),
             scratch: Vec::new(),
         }
     }
@@ -46,20 +51,15 @@ impl AdaptiveAdversary {
         self.routes.iter().map(Route::len).max().unwrap_or(0)
     }
 
-    /// The window size.
-    pub fn window(&self) -> u64 {
-        self.window
-    }
-
-    /// The rate.
-    pub fn rate(&self) -> Ratio {
-        self.rate
+    /// The constraint model this adversary saturates.
+    pub fn model_spec(&self) -> &AdversaryModelSpec {
+        self.tracker.spec()
     }
 
     /// Injections for step `t`, given the current queue lengths.
     /// Greedy: routes whose edges currently carry the most queued
     /// packets go first; each candidate is injected as long as every
-    /// edge of it has window headroom.
+    /// edge of it has model headroom.
     pub fn injections_for(
         &mut self,
         t: Time,
@@ -87,8 +87,8 @@ impl AdaptiveAdversary {
                 if fits {
                     for &e in route.edges() {
                         self.tracker
-                            .record(e, t)
-                            .expect("headroom checked; record cannot fail");
+                            .observe(e, t)
+                            .expect("headroom checked; observe cannot fail");
                     }
                     out.push(Injection::new(route.clone(), i as u32));
                     progressed = true;
@@ -117,7 +117,7 @@ mod tests {
         let w = 12;
         let r = Ratio::new(1, 4);
         let mut adv = AdaptiveAdversary::new(&g, w, r, routes);
-        let mut check = WindowValidator::new(w, r, g.edge_count());
+        let mut check = aqt_sim::WindowValidator::new(w, r, g.edge_count());
         for t in 1..=200 {
             for inj in adv.injections_for(t, |_| 0) {
                 check
@@ -125,6 +125,26 @@ mod tests {
                     .expect("adaptive adversary must stay (w,r)-legal");
             }
         }
+    }
+
+    #[test]
+    fn adaptive_composed_model_stays_legal() {
+        let g = topologies::ring(6);
+        let routes = crate::stochastic::random_routes(&g, 3, 12, 3);
+        let spec = AdversaryModelSpec::window(12, Ratio::new(1, 4))
+            .and(aqt_sim::ConstraintSpec::BufferBound { bound: 3 });
+        let mut adv = AdaptiveAdversary::with_model(&g, &spec, routes);
+        let mut check = spec.build(g.edge_count());
+        let mut total = 0;
+        for t in 1..=200 {
+            for inj in adv.injections_for(t, |_| 0) {
+                check
+                    .observe_route(inj.route.edges(), t)
+                    .expect("adaptive adversary must stay model-legal");
+                total += 1;
+            }
+        }
+        assert!(total > 0);
     }
 
     #[test]

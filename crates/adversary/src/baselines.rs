@@ -88,7 +88,7 @@ pub fn run_baseball_pump(rate: Ratio, s0: u64, rounds: usize) -> Result<PumpRepo
         Arc::clone(&graph),
         Fifo,
         EngineConfig {
-            validate_rate: Some(rate),
+            validate: Some(aqt_sim::AdversaryModelSpec::rate(rate)),
             ..Default::default()
         },
     );

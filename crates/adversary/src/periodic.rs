@@ -9,6 +9,7 @@
 
 use aqt_graph::Route;
 use aqt_sim::engine::Injection;
+use aqt_sim::rate::AdversaryModelSpec;
 use aqt_sim::source::TrafficSource;
 use aqt_sim::{Ratio, Time};
 
@@ -86,6 +87,23 @@ impl PeriodicAdversary {
     /// Total packets injected so far.
     pub fn total_injected(&self) -> u64 {
         self.injected.iter().sum()
+    }
+
+    /// Build against a composed constraint model: the per-edge stream
+    /// rate sums are checked against the model's tightest long-run
+    /// rate ([`AdversaryModelSpec::long_run_rate`]).
+    ///
+    /// This is a *necessary* condition only — a member's burst budget
+    /// (a `⌊wr⌋` window, a `σ` allowance) can still reject the exact
+    /// floor-pattern alignment, so exact legality remains the engine's
+    /// model validation. An empty model accepts any streams.
+    pub fn with_model(
+        graph: &aqt_graph::Graph,
+        streams: Vec<Stream>,
+        spec: &AdversaryModelSpec,
+    ) -> Result<Self, String> {
+        let budget = spec.long_run_rate().unwrap_or(Ratio::ONE);
+        Self::new(graph, streams, budget)
     }
 }
 
@@ -178,11 +196,44 @@ mod tests {
             Arc::clone(&g),
             Fifo,
             EngineConfig {
-                validate_rate: Some(Ratio::new(1, 2)),
+                validate: Some(AdversaryModelSpec::rate(Ratio::new(1, 2))),
                 ..Default::default()
             },
         );
         run_with_source(&mut eng, &mut adv, 500).expect("periodic adversary stays legal");
         assert!(eng.metrics().injected() > 200);
+    }
+
+    #[test]
+    fn with_model_uses_tightest_long_run_rate() {
+        let g = topologies::line(2);
+        let e: Vec<_> = g.edge_ids().collect();
+        let shared = Route::new(&g, vec![e[0]]).unwrap();
+        // rate(1/2) ∘ burst_local(rho=1/4, ...): the budget is min = 1/4,
+        // so two 1/8-streams fit but two 1/5-streams do not.
+        let spec =
+            AdversaryModelSpec::rate(Ratio::new(1, 2)).and(aqt_sim::ConstraintSpec::BurstLocal {
+                rho: Ratio::new(1, 4),
+                sigma: 2,
+                locality: 4,
+            });
+        let fits = PeriodicAdversary::with_model(
+            &g,
+            vec![
+                Stream::new(shared.clone(), Ratio::new(1, 8), 0),
+                Stream::new(shared.clone(), Ratio::new(1, 8), 1),
+            ],
+            &spec,
+        );
+        assert!(fits.is_ok());
+        let too_much = PeriodicAdversary::with_model(
+            &g,
+            vec![
+                Stream::new(shared.clone(), Ratio::new(1, 5), 0),
+                Stream::new(shared, Ratio::new(1, 5), 1),
+            ],
+            &spec,
+        );
+        assert!(too_much.is_err());
     }
 }

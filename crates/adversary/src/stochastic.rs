@@ -1,17 +1,25 @@
-//! Saturating `(w, r)` adversaries for the stability experiments
-//! (Section 4).
+//! Saturating adversaries for the stability experiments (Section 4).
 //!
 //! Theorems 4.1/4.3 are universally quantified over `(w,r)` adversaries,
 //! so the experiments stress them with adversaries that inject *as much
-//! as Definition 2.1 permits*: a pool of candidate routes (random simple
-//! paths of length ≤ `d`, or caller-supplied), injected greedily subject
-//! to per-edge sliding-window budgets — including the front-loaded
-//! bursts of `⌊wr⌋` packets in a single step that the windowed adversary
-//! is allowed and a plain rate-r adversary is not.
+//! as the constraint model permits*: a pool of candidate routes (random
+//! simple paths of length ≤ `d`, or caller-supplied), injected greedily
+//! subject to the model's per-edge headroom — including the
+//! front-loaded bursts of `⌊wr⌋` packets in a single step that the
+//! windowed adversary is allowed and a plain rate-r adversary is not.
+//!
+//! [`SaturatingAdversary::with_model`] saturates *any* composed
+//! [`AdversaryModel`] — `(w,r)` windows, `(ρ,σ,L)` locally bursty
+//! classes, buffer bounds, or their conjunctions — because the greedy
+//! loop only consults [`Constraint::headroom`]. Legality is checked,
+//! not assumed: the tracker records every injection it emits, and the
+//! per-constraint tests re-validate the stream with an independent
+//! model.
 
 use aqt_graph::{EdgeId, Graph, NodeId, Route};
 use aqt_sim::engine::Injection;
-use aqt_sim::{Ratio, Time, WindowValidator};
+use aqt_sim::rate::{AdversaryModel, AdversaryModelSpec, Constraint};
+use aqt_sim::{Ratio, Time};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -67,13 +75,11 @@ pub enum InjectionStyle {
     Burst,
 }
 
-/// A `(w, r)` adversary that injects as many packets from its route
-/// pool as the windowed constraint allows.
+/// An adversary that injects as many packets from its route pool as
+/// its constraint model allows.
 pub struct SaturatingAdversary {
-    window: u64,
-    rate: Ratio,
     routes: Vec<Route>,
-    tracker: WindowValidator,
+    tracker: AdversaryModel,
     style: InjectionStyle,
     rng: StdRng,
     /// Max injection attempts per step (bounds per-step work).
@@ -81,7 +87,9 @@ pub struct SaturatingAdversary {
 }
 
 impl SaturatingAdversary {
-    /// Create a saturating adversary over the given route pool.
+    /// Create a saturating `(w, r)` adversary over the given route
+    /// pool — shorthand for [`SaturatingAdversary::with_model`] with a
+    /// single `Window` member.
     pub fn new(
         graph: &Graph,
         window: u64,
@@ -90,13 +98,30 @@ impl SaturatingAdversary {
         style: InjectionStyle,
         seed: u64,
     ) -> Self {
+        Self::with_model(
+            graph,
+            &AdversaryModelSpec::window(window, rate),
+            routes,
+            style,
+            seed,
+        )
+    }
+
+    /// Create a saturating adversary for an arbitrary composed
+    /// constraint model: each step it injects greedily while every
+    /// member reports headroom on every route edge.
+    pub fn with_model(
+        graph: &Graph,
+        spec: &AdversaryModelSpec,
+        routes: Vec<Route>,
+        style: InjectionStyle,
+        seed: u64,
+    ) -> Self {
         assert!(!routes.is_empty(), "need at least one candidate route");
         let attempts_per_step = (routes.len() * 4).clamp(16, 512);
         SaturatingAdversary {
-            window,
-            rate,
             routes,
-            tracker: WindowValidator::new(window, rate, graph.edge_count()),
+            tracker: spec.build(graph.edge_count()),
             style,
             rng: StdRng::seed_from_u64(seed),
             attempts_per_step,
@@ -109,14 +134,9 @@ impl SaturatingAdversary {
         self.routes.iter().map(Route::len).max().unwrap_or(0)
     }
 
-    /// The window size `w`.
-    pub fn window(&self) -> u64 {
-        self.window
-    }
-
-    /// The rate `r`.
-    pub fn rate(&self) -> Ratio {
-        self.rate
+    /// The constraint model this adversary saturates.
+    pub fn model_spec(&self) -> &AdversaryModelSpec {
+        self.tracker.spec()
     }
 
     /// Produce the injections for step `t` (monotone increasing calls).
@@ -137,8 +157,8 @@ impl SaturatingAdversary {
             if fits {
                 for &e in route.edges() {
                     self.tracker
-                        .record(e, t)
-                        .expect("headroom was checked; record cannot fail");
+                        .observe(e, t)
+                        .expect("headroom was checked; observe cannot fail");
                 }
                 out.push(Injection::new(route.clone(), idx as u32));
                 if self.style == InjectionStyle::Spread && !out.is_empty() {
@@ -184,7 +204,7 @@ mod tests {
         let r = Ratio::new(1, 4); // budget 3 per window per edge
         let mut adv = SaturatingAdversary::new(&g, w, r, routes, InjectionStyle::Burst, 2);
         // independently verify with a second validator
-        let mut check = WindowValidator::new(w, r, g.edge_count());
+        let mut check = aqt_sim::WindowValidator::new(w, r, g.edge_count());
         let mut total = 0usize;
         for t in 1..=100 {
             for inj in adv.injections_for(t) {
@@ -195,6 +215,68 @@ mod tests {
             }
         }
         assert!(total > 0, "adversary should inject something");
+    }
+
+    /// Drive a saturating adversary over `spec` for `steps` steps and
+    /// re-validate its whole stream with an independent model. Returns
+    /// the total injections, asserting legality throughout.
+    fn saturate_and_revalidate(spec: &AdversaryModelSpec, steps: Time) -> usize {
+        let g = topologies::ring(5);
+        let routes = random_routes(&g, 3, 10, 1);
+        let mut adv = SaturatingAdversary::with_model(&g, spec, routes, InjectionStyle::Burst, 2);
+        let mut check = spec.build(g.edge_count());
+        let mut total = 0usize;
+        for t in 1..=steps {
+            for inj in adv.injections_for(t) {
+                check
+                    .observe_route(inj.route.edges(), t)
+                    .expect("saturating adversary must stay legal for its model");
+                total += 1;
+            }
+        }
+        total
+    }
+
+    #[test]
+    fn burst_local_saturator_is_legal_and_productive() {
+        let spec = AdversaryModelSpec::burst_local(Ratio::new(1, 4), 3, 8);
+        let total = saturate_and_revalidate(&spec, 100);
+        assert!(total > 0, "adversary should inject something");
+    }
+
+    #[test]
+    fn buffer_bound_saturator_is_legal_and_productive() {
+        let spec = AdversaryModelSpec::buffer_bound(2);
+        let total = saturate_and_revalidate(&spec, 100);
+        assert!(total > 0, "adversary should inject something");
+    }
+
+    #[test]
+    fn composed_model_saturator_is_legal_and_productive() {
+        let spec = AdversaryModelSpec::window(12, Ratio::new(1, 3))
+            .and(aqt_sim::ConstraintSpec::BurstLocal {
+                rho: Ratio::new(1, 4),
+                sigma: 2,
+                locality: 6,
+            })
+            .and(aqt_sim::ConstraintSpec::BufferBound { bound: 4 });
+        let total = saturate_and_revalidate(&spec, 100);
+        assert!(total > 0, "adversary should inject something");
+    }
+
+    #[test]
+    fn buffer_bound_saturator_uses_the_burst_allowance() {
+        // B=2 on a single edge: the first step admits len + B = 3.
+        let g = topologies::line(1);
+        let e = g.edge_ids().next().unwrap();
+        let route = Route::new(&g, vec![e]).unwrap();
+        let spec = AdversaryModelSpec::buffer_bound(2);
+        let mut adv =
+            SaturatingAdversary::with_model(&g, &spec, vec![route], InjectionStyle::Burst, 3);
+        assert_eq!(adv.injections_for(1).len(), 3);
+        // the bucket is drained: exactly one per step from now on
+        assert_eq!(adv.injections_for(2).len(), 1);
+        assert_eq!(adv.injections_for(3).len(), 1);
     }
 
     #[test]

@@ -144,6 +144,7 @@ mod tests {
                 },
             }],
             faults: vec![],
+            model: vec![],
             certificate: None,
         }
     }

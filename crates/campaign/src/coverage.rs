@@ -35,6 +35,10 @@ pub enum Feature {
     /// Bitmask of fault shapes present (outage=1, drop=2, dup=4,
     /// burst=8).
     FaultShapes(u8),
+    /// Bitmask of adversary-model member kinds (rate=1, window=2,
+    /// burst-local=4, buffer-bound=8; 0 = unconstrained). See
+    /// [`Scenario::model_mask`](crate::scenario::Scenario::model_mask).
+    Model(u8),
     /// log2 bucket of packets injected (schedule + bursts).
     Injected(u8),
     /// log2 bucket of the peak backlog.
@@ -67,6 +71,7 @@ pub fn features_of(scenario: &Scenario, protocol_index: u8, stats: &RunStats) ->
         Feature::Topology(scenario.topology.family()),
         Feature::GraphEdges(bucket(stats.edges)),
         Feature::FaultShapes(shapes),
+        Feature::Model(scenario.model_mask()),
         Feature::Injected(bucket(stats.injected)),
         Feature::PeakBacklog(bucket(stats.peak_backlog)),
         Feature::PeakQueue(bucket(stats.peak_queue)),

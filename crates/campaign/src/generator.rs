@@ -12,7 +12,7 @@
 use aqt_graph::{EdgeId, Graph};
 use aqt_protocols::registry;
 use aqt_sim::sentinel::CertificateSpec;
-use aqt_sim::Time;
+use aqt_sim::{AdversaryModelSpec, Constraint, ConstraintSpec, Ratio, Time};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -90,6 +90,90 @@ fn random_topology(rng: &mut StdRng, family: Option<u8>) -> TopologySpec {
     }
 }
 
+/// Draw an adversary-constraint model with the member kinds of
+/// `mask` (rate=1, window=2, burst-local=4, buffer-bound=8), in the
+/// canonical member order. `mask == 0` is the empty (unconstrained)
+/// model. Parameters are drawn loose enough that a modest schedule can
+/// survive [`legalize`] with packets left.
+fn model_for_mask(rng: &mut StdRng, mask: u8) -> Vec<ConstraintSpec> {
+    let mut model = Vec::new();
+    if mask & 1 != 0 {
+        model.push(ConstraintSpec::Rate(Ratio::new(rng.gen_range(1..=3), 4)));
+    }
+    if mask & 2 != 0 {
+        model.push(ConstraintSpec::Window {
+            window: rng.gen_range(4..=16),
+            rate: Ratio::new(rng.gen_range(1..=3), 4),
+        });
+    }
+    if mask & 4 != 0 {
+        model.push(ConstraintSpec::BurstLocal {
+            rho: Ratio::new(1, rng.gen_range(2..=4)),
+            sigma: rng.gen_range(1..=4),
+            locality: rng.gen_range(2..=8),
+        });
+    }
+    if mask & 8 != 0 {
+        model.push(ConstraintSpec::BufferBound {
+            bound: rng.gen_range(1..=6),
+        });
+    }
+    model
+}
+
+/// Draw a model-kind bitmask: unconstrained stays the common case,
+/// each single member shows up regularly, and a two-member
+/// composition rounds out the alphabet.
+fn random_model_mask(rng: &mut StdRng) -> u8 {
+    match rng.gen_range(0..8u32) {
+        0..=2 => 0,
+        3 => 1,
+        4 => 2,
+        5 => 4,
+        6 => 8,
+        _ => {
+            let a = 1u8 << rng.gen_range(0..4u32);
+            let mut b = a;
+            while b == a {
+                b = 1u8 << rng.gen_range(0..4u32);
+            }
+            a | b
+        }
+    }
+}
+
+/// Clamp `injections` to what `model` admits: in time order, each
+/// cohort keeps the packets whose whole route has per-edge headroom
+/// (the saturating-adversary probe), and cohorts clamped to zero are
+/// dropped. A legalized schedule passes the engine's exact model
+/// validation by construction — fault bursts are exempt and left
+/// untouched. No-op for the empty model.
+fn legalize(injections: &mut Vec<InjectSpec>, model: &[ConstraintSpec], edge_count: usize) {
+    if model.is_empty() {
+        return;
+    }
+    let mut tracker = AdversaryModelSpec::new(model.to_vec()).build(edge_count);
+    injections.sort_by_key(|i| i.time);
+    injections.retain_mut(|inj| {
+        let edges: Vec<EdgeId> = inj.cohort.route.iter().map(|&e| EdgeId(e)).collect();
+        let mut admitted = 0u32;
+        for _ in 0..inj.cohort.count {
+            let fits = edges.iter().all(|&e| tracker.headroom(e, inj.time) >= 1);
+            if !fits {
+                break;
+            }
+            for &e in &edges {
+                tracker
+                    .observe(e, inj.time)
+                    .expect("headroom was checked; observe cannot fail");
+            }
+            admitted += 1;
+        }
+        inj.cohort.count = admitted;
+        admitted > 0
+    });
+}
+
 fn random_cohort(rng: &mut StdRng, graph: &Graph, cfg: &GeneratorConfig, tag: u32) -> CohortSpec {
     CohortSpec {
         route: random_route(rng, graph, cfg.max_route_len),
@@ -131,6 +215,10 @@ pub fn generate(rng: &mut StdRng, cfg: &GeneratorConfig, target: Option<Feature>
         Some(Feature::Topology(f)) => Some(f),
         _ => None,
     };
+    let model_mask = match target {
+        Some(Feature::Model(m)) => m % 16,
+        _ => random_model_mask(rng),
+    };
     let topology = random_topology(rng, forced_family);
     let graph = topology.build();
     let protocol = match target {
@@ -147,12 +235,14 @@ pub fn generate(rng: &mut StdRng, cfg: &GeneratorConfig, target: Option<Feature>
     let last_event = rng.gen_range(1..=cfg.max_horizon.saturating_sub(16).max(1));
     let horizon = last_event + 16;
     let cohorts = rng.gen_range(1..=cfg.max_cohorts.max(1));
-    let injections = (0..cohorts)
+    let mut injections: Vec<InjectSpec> = (0..cohorts)
         .map(|tag| InjectSpec {
             time: rng.gen_range(1..=last_event),
             cohort: random_cohort(rng, &graph, cfg, tag),
         })
         .collect();
+    let model = model_for_mask(rng, model_mask);
+    legalize(&mut injections, &model, graph.edge_count());
     let want_faults = match target {
         Some(Feature::FaultShapes(0)) => 0,
         Some(Feature::FaultShapes(_)) => cfg.max_faults.max(1),
@@ -170,6 +260,7 @@ pub fn generate(rng: &mut StdRng, cfg: &GeneratorConfig, target: Option<Feature>
         deep_stride: rng.gen_range(1..=4),
         injections,
         faults,
+        model,
         certificate: cfg.certificate,
     }
 }
@@ -180,7 +271,7 @@ pub fn generate(rng: &mut StdRng, cfg: &GeneratorConfig, target: Option<Feature>
 pub fn mutate(rng: &mut StdRng, cfg: &GeneratorConfig, base: &Scenario) -> Scenario {
     let mut s = base.clone();
     let graph = s.topology.build();
-    match rng.gen_range(0..6u32) {
+    match rng.gen_range(0..7u32) {
         // Re-seed: same structure, different protocol randomness.
         0 => s.seed = rng.gen_range(0..u64::MAX),
         // Swap protocol.
@@ -214,7 +305,7 @@ pub fn mutate(rng: &mut StdRng, cfg: &GeneratorConfig, base: &Scenario) -> Scena
             c.count = (c.count + rng.gen_range(1..=4u32)).min(cfg.max_count * 2);
         }
         // Toggle faults: add one, or clear them.
-        _ => {
+        5 => {
             if s.faults.is_empty() || rng.gen_bool(0.7) {
                 let last = s.horizon.saturating_sub(16).max(1);
                 s.faults.push(random_fault(rng, &graph, cfg, last));
@@ -222,7 +313,21 @@ pub fn mutate(rng: &mut StdRng, cfg: &GeneratorConfig, base: &Scenario) -> Scena
                 s.faults.clear();
             }
         }
+        // Toggle the adversary model: attach a single-member model, or
+        // lift the constraint entirely.
+        _ => {
+            if s.model.is_empty() {
+                let mask = 1u8 << rng.gen_range(0..4u32);
+                s.model = model_for_mask(rng, mask);
+            } else {
+                s.model.clear();
+            }
+        }
     }
+    // A structural tweak can push the schedule past the (possibly
+    // freshly attached) model; clamp it back to legality so mutants
+    // run clean rather than tripping the validator.
+    legalize(&mut s.injections, &s.model, graph.edge_count());
     s
 }
 
@@ -272,6 +377,46 @@ mod tests {
             let s = generate(&mut rng, &cfg, Some(Feature::Topology(f)));
             assert_eq!(s.topology.family(), f);
         }
+        for m in [0u8, 1, 2, 4, 8, 3, 5, 9, 12, 15] {
+            let s = generate(&mut rng, &cfg, Some(Feature::Model(m)));
+            assert_eq!(s.model_mask(), m, "steering must force the model axis");
+        }
+    }
+
+    #[test]
+    fn generator_reaches_every_model_variant_within_budget() {
+        // The unsteered generator must surface the whole model
+        // alphabet — no model, each single member, and at least one
+        // composition — within a bounded draw budget, and every
+        // legalized schedule must satisfy its own declared model.
+        let cfg = GeneratorConfig::default();
+        let mut rng = StdRng::seed_from_u64(20);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..400 {
+            let s = generate(&mut rng, &cfg, None);
+            seen.insert(s.model_mask());
+            if !s.model.is_empty() {
+                let mut check =
+                    AdversaryModelSpec::new(s.model.clone()).build(s.topology.build().edge_count());
+                let mut injections = s.injections.clone();
+                injections.sort_by_key(|i| i.time);
+                for inj in &injections {
+                    let edges: Vec<EdgeId> = inj.cohort.route.iter().map(|&e| EdgeId(e)).collect();
+                    for _ in 0..inj.cohort.count {
+                        check
+                            .observe_route(&edges, inj.time)
+                            .expect("legalized schedule must satisfy its model");
+                    }
+                }
+            }
+        }
+        for mask in [0u8, 1, 2, 4, 8] {
+            assert!(seen.contains(&mask), "model mask {mask} never generated");
+        }
+        assert!(
+            seen.iter().any(|m| m.count_ones() >= 2),
+            "no composed model generated within the budget"
+        );
     }
 
     #[test]

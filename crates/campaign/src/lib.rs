@@ -16,9 +16,12 @@
 //! ## The loop
 //!
 //! 1. **Draw** a [`Scenario`] — plain data pinning topology, protocol,
-//!    seed, horizon, injection schedule, fault plan, and optionally a
-//!    theorem certificate ([`generator`]). Draws are steered toward
-//!    the behavior regions the [`coverage`] map has exercised least.
+//!    seed, horizon, injection schedule, fault plan, an
+//!    adversary-constraint model (a composition of
+//!    [`aqt_sim::ConstraintSpec`] members the schedule is legalized
+//!    against, and the engine re-validates), and optionally a theorem
+//!    certificate ([`generator`]). Draws are steered toward the
+//!    behavior regions the [`coverage`] map has exercised least.
 //! 2. **Run** it under an all-halt sentinel with counter telemetry
 //!    ([`run`]). Telemetry totals and metric peaks become coverage
 //!    features; novelty promotes the scenario into the [`corpus`].

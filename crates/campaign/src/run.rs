@@ -13,7 +13,7 @@
 use aqt_protocols::registry;
 use aqt_sim::sentinel::SentinelConfig;
 use aqt_sim::telemetry::{Provenance, TelemetryConfig, TelemetryLevel};
-use aqt_sim::{Engine, EngineConfig, EngineError, Protocol, ViolationReport};
+use aqt_sim::{AdversaryModelSpec, Engine, EngineConfig, EngineError, Protocol, ViolationReport};
 
 use crate::scenario::Scenario;
 
@@ -78,6 +78,12 @@ pub enum Outcome {
     /// A sentinel invariant halted the run; the report carries the
     /// repro bundle.
     Breach(Box<ViolationReport>, RunStats),
+    /// The injection schedule violated the scenario's own declared
+    /// adversary model (the engine's exact re-validation fired). The
+    /// string is the violation detail. Not a breach — the validator
+    /// working is correct behavior — and not `Invalid`: the run
+    /// executed up to the violating step and its stats still count.
+    Overrate(String, RunStats),
     /// The scenario could not be built or misused the engine — a
     /// generator bug, not a simulator bug.
     Invalid(String),
@@ -87,7 +93,7 @@ impl Outcome {
     /// The run's stats, when it ran at all.
     pub fn stats(&self) -> Option<&RunStats> {
         match self {
-            Outcome::Clean(s) | Outcome::Breach(_, s) => Some(s),
+            Outcome::Clean(s) | Outcome::Breach(_, s) | Outcome::Overrate(_, s) => Some(s),
             Outcome::Invalid(_) => None,
         }
     }
@@ -115,7 +121,16 @@ pub fn run_scenario(scenario: &Scenario) -> Outcome {
     let Some(protocol) = registry::by_name(&scenario.protocol, scenario.seed) else {
         return Outcome::Invalid(format!("unknown protocol '{}'", scenario.protocol));
     };
-    let mut engine = Engine::new(built.graph, protocol, EngineConfig::default());
+    let validate =
+        (!scenario.model.is_empty()).then(|| AdversaryModelSpec::new(scenario.model.clone()));
+    let mut engine = Engine::new(
+        built.graph,
+        protocol,
+        EngineConfig {
+            validate,
+            ..EngineConfig::default()
+        },
+    );
     let mut sentinel = SentinelConfig::all_halt()
         .with_cadence(scenario.cadence)
         .with_seed(scenario.seed);
@@ -130,6 +145,7 @@ pub fn run_scenario(scenario: &Scenario) -> Outcome {
             schedule_hash: Some(built.schedule.content_hash()),
             protocol: scenario.protocol.clone(),
             fault_plan_id: None,
+            model_fingerprint: None, // auto-filled from the engine's model
         },
         ..TelemetryConfig::default()
     });
@@ -141,6 +157,7 @@ pub fn run_scenario(scenario: &Scenario) -> Outcome {
     match built.schedule.replay(&mut engine, scenario.horizon) {
         Ok(()) => Outcome::Clean(RunStats::capture(&engine)),
         Err(EngineError::Invariant(report)) => Outcome::Breach(report, RunStats::capture(&engine)),
+        Err(EngineError::Rate(v)) => Outcome::Overrate(v.to_string(), RunStats::capture(&engine)),
         Err(e) => Outcome::Invalid(e.to_string()),
     }
 }
@@ -179,6 +196,7 @@ mod tests {
                 },
             ],
             faults: vec![],
+            model: vec![],
             certificate: None,
         }
     }
@@ -247,6 +265,42 @@ mod tests {
             }
             other => panic!("expected two identical breaches, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn legal_model_runs_clean_under_validation() {
+        // Edge 1 sees 3 packets at t=1 and 2 at t=5: 5 per 8-window
+        // (≤ ⌊8·3/4⌋ = 6) and a worst burst of 3 in one step (≤ 1+4).
+        let mut s = clean_scenario();
+        s.model = vec![
+            aqt_sim::ConstraintSpec::Window {
+                window: 8,
+                rate: Ratio::new(3, 4),
+            },
+            aqt_sim::ConstraintSpec::BufferBound { bound: 4 },
+        ];
+        let out = run_scenario(&s);
+        let Outcome::Clean(stats) = out else {
+            panic!("expected clean under a satisfied model, got {out:?}");
+        };
+        assert_eq!(stats.injected, 5);
+    }
+
+    #[test]
+    fn model_violating_schedule_is_overrate_not_breach() {
+        // The first cohort puts 3 packets on each edge in one step,
+        // busting buffer_bound(1) (burst cap |I| + B = 2).
+        let mut s = clean_scenario();
+        s.model = vec![aqt_sim::ConstraintSpec::BufferBound { bound: 1 }];
+        let out = run_scenario(&s);
+        let Outcome::Overrate(detail, stats) = out else {
+            panic!("expected overrate, got {out:?}");
+        };
+        assert!(
+            detail.contains("buffer"),
+            "detail names the member: {detail}"
+        );
+        assert!(!Outcome::Overrate(detail, stats).is_breach());
     }
 
     #[test]

@@ -14,7 +14,7 @@ use std::sync::Arc;
 
 use aqt_graph::{topologies, EdgeId, Graph, Route};
 use aqt_sim::sentinel::CertificateSpec;
-use aqt_sim::{fnv1a_u64s, FaultPlan, Injection, Schedule, Time};
+use aqt_sim::{fnv1a_u64s, ConstraintSpec, FaultPlan, Injection, Schedule, Time};
 
 /// A topology family instance, shrinkable along its size parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -268,6 +268,12 @@ pub struct Scenario {
     pub injections: Vec<InjectSpec>,
     /// The fault plan.
     pub faults: Vec<FaultSpec>,
+    /// The adversary-constraint model the injection schedule claims to
+    /// satisfy (conjunction of members; empty = unconstrained). The
+    /// engine re-validates during the run: a schedule that breaks its
+    /// own declared model surfaces as `Outcome::Overrate`, never as a
+    /// breach. Fault bursts bypass the model (Observation 4.4).
+    pub model: Vec<ConstraintSpec>,
     /// Optional theorem bound to enforce during the run.
     pub certificate: Option<CertificateSpec>,
 }
@@ -365,6 +371,10 @@ impl Scenario {
         for f in &self.faults {
             words.extend(f.words());
         }
+        words.push(self.model.len() as u64);
+        for m in &self.model {
+            words.extend(m.words());
+        }
         match &self.certificate {
             None => words.push(0),
             Some(c) => words.extend([
@@ -392,6 +402,23 @@ impl Scenario {
                 .map(|i| i.cohort.weight())
                 .sum::<u64>()
             + self.faults.iter().map(FaultSpec::weight).sum::<u64>()
+            + self.model.len() as u64
+    }
+
+    /// Bitmask of the constraint-member kinds present in the model:
+    /// rate=1, window=2, burst-local=4, buffer-bound=8 (0 = no model).
+    /// The coverage map's `Feature::Model` axis.
+    pub fn model_mask(&self) -> u8 {
+        let mut mask = 0u8;
+        for m in &self.model {
+            mask |= match m {
+                ConstraintSpec::Rate(_) => 1,
+                ConstraintSpec::Window { .. } => 2,
+                ConstraintSpec::BurstLocal { .. } => 4,
+                ConstraintSpec::BufferBound { .. } => 8,
+            };
+        }
+        mask
     }
 
     /// This scenario as a Rust expression, for emitting ready-to-commit
@@ -409,6 +436,7 @@ impl Scenario {
             })
             .collect();
         let faults: Vec<String> = self.faults.iter().map(FaultSpec::to_rust).collect();
+        let model: Vec<String> = self.model.iter().map(ConstraintSpec::to_rust).collect();
         let certificate = match &self.certificate {
             None => "None".into(),
             Some(c) => format!(
@@ -422,7 +450,7 @@ impl Scenario {
             ),
         };
         format!(
-            "Scenario {{\n    topology: {},\n    protocol: \"{}\".into(),\n    seed: {},\n    horizon: {},\n    cadence: {},\n    deep_stride: {},\n    injections: vec![{}],\n    faults: vec![{}],\n    certificate: {},\n}}",
+            "Scenario {{\n    topology: {},\n    protocol: \"{}\".into(),\n    seed: {},\n    horizon: {},\n    cadence: {},\n    deep_stride: {},\n    injections: vec![{}],\n    faults: vec![{}],\n    model: vec![{}],\n    certificate: {},\n}}",
             self.topology.to_rust(),
             self.protocol,
             self.seed,
@@ -431,6 +459,7 @@ impl Scenario {
             self.deep_stride,
             injections.join(", "),
             faults.join(", "),
+            model.join(", "),
             certificate
         )
     }
@@ -457,6 +486,7 @@ mod tests {
                 },
             }],
             faults: vec![FaultSpec::Drop { edge: 1, time: 4 }],
+            model: vec![],
             certificate: None,
         }
     }
@@ -520,6 +550,32 @@ mod tests {
             time_priority: false,
         });
         assert_ne!(f, t.fingerprint());
+        let mut t = s.clone();
+        t.model = vec![ConstraintSpec::Rate(aqt_sim::Ratio::new(1, 2))];
+        assert_ne!(f, t.fingerprint());
+        let mut u = t.clone();
+        u.model = vec![ConstraintSpec::BufferBound { bound: 3 }];
+        assert_ne!(t.fingerprint(), u.fingerprint());
+    }
+
+    #[test]
+    fn model_mask_reflects_member_kinds() {
+        let mut s = base();
+        assert_eq!(s.model_mask(), 0);
+        s.model = vec![ConstraintSpec::Rate(aqt_sim::Ratio::new(1, 2))];
+        assert_eq!(s.model_mask(), 1);
+        s.model.push(ConstraintSpec::BurstLocal {
+            rho: aqt_sim::Ratio::new(1, 4),
+            sigma: 2,
+            locality: 4,
+        });
+        assert_eq!(s.model_mask(), 1 | 4);
+        s.model.push(ConstraintSpec::Window {
+            window: 8,
+            rate: aqt_sim::Ratio::new(1, 2),
+        });
+        s.model.push(ConstraintSpec::BufferBound { bound: 1 });
+        assert_eq!(s.model_mask(), 15);
     }
 
     #[test]
@@ -564,6 +620,18 @@ mod tests {
         assert!(src.contains("TopologySpec::Line(3)"));
         assert!(src.contains("CohortSpec { route: vec![0, 1, 2], tag: 0, count: 2 }"));
         assert!(src.contains("FaultSpec::Drop { edge: 1, time: 4 }"));
+        assert!(src.contains("model: vec![]"));
         assert!(src.contains("certificate: None"));
+
+        let mut s = base();
+        s.model = vec![
+            ConstraintSpec::Rate(aqt_sim::Ratio::new(1, 2)),
+            ConstraintSpec::BufferBound { bound: 3 },
+        ];
+        let src = s.to_rust();
+        assert!(src.contains(
+            "model: vec![ConstraintSpec::Rate(Ratio::new(1, 2)), \
+             ConstraintSpec::BufferBound { bound: 3 }]"
+        ));
     }
 }

@@ -101,7 +101,16 @@ fn candidates(s: &Scenario, breach_time: Time) -> Vec<Scenario> {
             out.push(t);
         }
     }
-    // 6. Smaller topologies. Routes that no longer fit simply fail to
+    // 6. Drop one adversary-model member at a time: validation can
+    //    only reject schedules, so a breach that survived under the
+    //    model also breaches without it — the member is chaff unless
+    //    the breach *is* the validator (Overrate never reaches here).
+    for i in 0..s.model.len() {
+        let mut t = s.clone();
+        t.model.remove(i);
+        out.push(t);
+    }
+    // 7. Smaller topologies. Routes that no longer fit simply fail to
     //    build and the candidate is rejected by its run.
     for topo in s.topology.shrink_candidates() {
         let mut t = s.clone();
@@ -191,6 +200,7 @@ mod tests {
                 },
             ],
             faults: vec![FaultSpec::Drop { edge: 3, time: 40 }],
+            model: vec![aqt_sim::ConstraintSpec::BufferBound { bound: 7 }],
             certificate: Some(CertificateSpec {
                 window: 1,
                 rate: Ratio::new(1, 5),
@@ -217,10 +227,11 @@ mod tests {
             original.weight()
         );
         assert_eq!(out.report.violation.kind, kind);
-        // The chaff is gone: the late injection, the fault, and the
-        // post-breach horizon slack.
+        // The chaff is gone: the late injection, the fault, the
+        // satisfied model member, and the post-breach horizon slack.
         assert_eq!(out.scenario.injections.len(), 1);
         assert!(out.scenario.faults.is_empty());
+        assert!(out.scenario.model.is_empty());
         assert!(out.scenario.horizon <= report.violation.time);
         // Re-running the shrunk scenario reproduces the breach — the
         // emitted regression test will hold.

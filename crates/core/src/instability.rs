@@ -36,8 +36,8 @@ use aqt_graph::{GEpsilon, Route};
 use aqt_protocols::Fifo;
 use aqt_sim::metrics::BacklogSample;
 use aqt_sim::{
-    checkpoint, Engine, EngineConfig, EngineError, Schedule, SharedSink, SimError, TelemetryConfig,
-    Time,
+    checkpoint, AdversaryModelSpec, Engine, EngineConfig, EngineError, Schedule, SharedSink,
+    SimError, TelemetryConfig, Time,
 };
 
 use crate::verify::{check_c_invariant, CInvariantReport};
@@ -319,9 +319,8 @@ impl InstabilityConstruction {
             Arc::clone(&graph),
             Fifo,
             EngineConfig {
-                validate_rate: self.cfg.validate.then_some(rate),
+                validate: self.cfg.validate.then(|| AdversaryModelSpec::rate(rate)),
                 validate_reroutes: self.cfg.validate,
-                validate_window: None,
                 sample_every,
                 ..Default::default()
             },

@@ -7,8 +7,8 @@
 //!
 //! * the network snapshot (buffers, clock, id counter),
 //! * the full [`Metrics`] (peaks, per-edge counters, backlog series),
-//! * the adversary validator histories ([`RateValidator`] /
-//!   [`WindowValidator`]), so a resumed run keeps validating exactly
+//! * the adversary-model history ([`AdversaryModel`] — every member's
+//!   incremental state), so a resumed run keeps validating exactly
 //!   where it left off,
 //! * the reroute bookkeeping (`last_route_use`, which drives the
 //!   Definition 3.2 "new edge" check),
@@ -30,7 +30,7 @@ use crate::fault::FaultEvent;
 use crate::metrics::Metrics;
 use crate::packet::Time;
 use crate::protocol::Protocol;
-use crate::rate::{RateValidator, WindowValidator};
+use crate::rate::AdversaryModel;
 use crate::sentinel::SentinelState;
 use crate::snapshot::{self, Snapshot};
 
@@ -41,8 +41,7 @@ pub struct Checkpoint {
     /// The network state (also usable standalone for diffing).
     pub snapshot: Snapshot,
     metrics: Metrics,
-    rate_validator: Option<RateValidator>,
-    window_validator: Option<WindowValidator>,
+    model: Option<AdversaryModel>,
     last_route_use: Vec<Option<Time>>,
     fault_log: Vec<FaultEvent>,
     /// Dynamic state of the attached sentinel (check phase, crossing
@@ -84,13 +83,11 @@ impl Checkpoint {
 
 /// Capture the complete state of `engine`.
 pub fn checkpoint<P: Protocol>(engine: &Engine<P>) -> Checkpoint {
-    let (rate_validator, window_validator, last_route_use, metrics, fault_log) =
-        engine.full_state();
+    let (model, last_route_use, metrics, fault_log) = engine.full_state();
     Checkpoint {
         snapshot: snapshot::capture(engine),
         metrics: metrics.clone(),
-        rate_validator: rate_validator.cloned(),
-        window_validator: window_validator.cloned(),
+        model: model.cloned(),
         last_route_use: last_route_use.to_vec(),
         fault_log: fault_log.to_vec(),
         sentinel: engine.sentinel_state().cloned(),
@@ -98,15 +95,15 @@ pub fn checkpoint<P: Protocol>(engine: &Engine<P>) -> Checkpoint {
 }
 
 /// Restore `ck` into `engine`, replacing its entire dynamic state
-/// (network, clock, metrics, validator histories, fault log).
+/// (network, clock, metrics, adversary-model history, fault log).
 ///
 /// Unlike [`snapshot::restore`], this works on validating engines —
-/// the validator histories travel with the checkpoint. The target must
-/// be over a graph with the same edge count, and its validator
-/// configuration must match the checkpoint's (a checkpoint taken from
-/// a rate-validating run cannot resume on an engine without that
-/// validator, and vice versa — silently changing what gets validated
-/// mid-run would make the resumed result incomparable).
+/// the model history travels with the checkpoint. The target must be
+/// over a graph with the same edge count, and its adversary-model
+/// *spec* must equal the checkpoint's member for member (a checkpoint
+/// taken under `rate(1/2)` cannot resume on an unvalidated engine or
+/// under `rate(1/2) ∘ buffer_bound(4)` — silently changing what gets
+/// validated mid-run would make the resumed result incomparable).
 pub fn restore<P: Protocol>(engine: &mut Engine<P>, ck: &Checkpoint) -> Result<(), SimError> {
     if ck.snapshot.schema != snapshot::SNAPSHOT_SCHEMA_VERSION {
         return Err(SimError::SchemaMismatch {
@@ -122,15 +119,10 @@ pub fn restore<P: Protocol>(engine: &mut Engine<P>, ck: &Checkpoint) -> Result<(
             edges
         )));
     }
-    let (rate_v, window_v, _, _, _) = engine.full_state();
-    if rate_v.is_some() != ck.rate_validator.is_some() {
+    let (model, _, _, _) = engine.full_state();
+    if model.map(AdversaryModel::spec) != ck.model.as_ref().map(AdversaryModel::spec) {
         return Err(SimError::Checkpoint(
-            "rate-validator configuration differs between checkpoint and engine".into(),
-        ));
-    }
-    if window_v.is_some() != ck.window_validator.is_some() {
-        return Err(SimError::Checkpoint(
-            "window-validator configuration differs between checkpoint and engine".into(),
+            "adversary-model configuration differs between checkpoint and engine".into(),
         ));
     }
     if engine.sentinel().is_some() != ck.sentinel.is_some() {
@@ -143,8 +135,7 @@ pub fn restore<P: Protocol>(engine: &mut Engine<P>, ck: &Checkpoint) -> Result<(
     // Restore metrics first (restore_state then overwrites the packet
     // counters consistently with the snapshot).
     engine.restore_full_state(
-        ck.rate_validator.clone(),
-        ck.window_validator.clone(),
+        ck.model.clone(),
         ck.last_route_use.clone(),
         ck.metrics.clone(),
         ck.fault_log.clone(),
@@ -217,7 +208,7 @@ mod tests {
             g,
             Fifo,
             EngineConfig {
-                validate_rate: Some(Ratio::new(1, 2)),
+                validate: Some(crate::rate::AdversaryModelSpec::rate(Ratio::new(1, 2))),
                 sample_every: 3,
                 ..Default::default()
             },
@@ -313,7 +304,32 @@ mod tests {
             g,
             Fifo,
             EngineConfig {
-                validate_rate: Some(Ratio::new(1, 2)),
+                validate: Some(crate::rate::AdversaryModelSpec::rate(Ratio::new(1, 2))),
+                ..Default::default()
+            },
+        );
+        assert!(matches!(
+            restore(&mut other, &ck),
+            Err(SimError::Checkpoint(_))
+        ));
+    }
+
+    #[test]
+    fn restore_rejects_model_spec_mismatch() {
+        // Both engines validate, but under different model specs: the
+        // fail-closed gate compares member for member, not presence.
+        let (eng, _) = validating_engine();
+        let ck = checkpoint(&eng);
+        let g = Arc::new(topologies::line(2));
+        let mut other = Engine::new(
+            g,
+            Fifo,
+            EngineConfig {
+                validate: Some(
+                    crate::rate::AdversaryModelSpec::rate(Ratio::new(1, 2))
+                        .and(crate::rate::ConstraintSpec::BufferBound { bound: 4 }),
+                ),
+                sample_every: 3,
                 ..Default::default()
             },
         );

@@ -29,10 +29,11 @@
 //!   preconditions: the policy is historic, the rerouted packets share
 //!   a common route edge, and the new edges are *new* in the sense of
 //!   Definition 3.2.
-//! * **Adversary validation** — with [`EngineConfig::validate_rate`]
-//!   (resp. `validate_window`), every injection and every route
-//!   extension is fed to an exact [`RateValidator`] (resp.
-//!   [`WindowValidator`]). Extensions are recorded at the *original
+//! * **Adversary validation** — with [`EngineConfig::validate`], every
+//!   injection and every route extension is fed to an exact
+//!   [`AdversaryModel`]: the composition of any number of constraint
+//!   members (`Rate`, `Window`, `BurstLocal`, `BufferBound` — see
+//!   [`crate::rate`]). Extensions are recorded at the *original
 //!   injection times* of the extended packets, so what is validated is
 //!   precisely the effective adversary `A'` of Lemma 3.3 — the one
 //!   that injects the final routes.
@@ -48,8 +49,7 @@ use crate::metrics::{BacklogSample, Metrics};
 use crate::oracle::{Oracle, ReferenceModel};
 use crate::packet::{Packet, PacketId, Time};
 use crate::protocol::{Discipline, Protocol};
-use crate::rate::{RateValidator, RateViolation, WindowValidator};
-use crate::ratio::Ratio;
+use crate::rate::{AdversaryModel, AdversaryModelSpec, Constraint, RateViolation};
 use crate::routes::{RouteId, RouteTable};
 use crate::sentinel::{
     self, InvariantKind, ReproBundle, Sentinel, SentinelConfig, SentinelState, Severity, Violation,
@@ -60,16 +60,16 @@ use crate::telemetry::{Telemetry, TelemetryConfig, TelemetrySink};
 /// Engine configuration.
 #[derive(Debug, Clone, Default)]
 pub struct EngineConfig {
-    /// Validate every injection against a rate-`r` adversary constraint
-    /// (Section 3's adversary). Extensions are validated as performed
-    /// by the effective adversary `A'`.
-    pub validate_rate: Option<Ratio>,
-    /// Validate every injection against a `(w, r)` adversary constraint
-    /// (Definition 2.1).
-    pub validate_window: Option<(u64, Ratio)>,
+    /// Validate every injection against this composed adversary model
+    /// (see [`crate::rate::AdversaryModelSpec`]). The classic cases:
+    /// `AdversaryModelSpec::rate(r)` is Section 3's rate-`r` adversary,
+    /// `AdversaryModelSpec::window(w, r)` is Definition 2.1's `(w, r)`
+    /// adversary. Extensions are validated as performed by the
+    /// effective adversary `A'`.
+    pub validate: Option<AdversaryModelSpec>,
     /// Check the preconditions of Lemma 3.3 on every route extension.
-    /// Requires `validate_rate` (the definition of a "new" edge depends
-    /// on the rate through `⌈1/r⌉`).
+    /// Requires a `Rate` member in `validate` (the definition of a
+    /// "new" edge depends on the rate through `⌈1/r⌉`).
     pub validate_reroutes: bool,
     /// Sample the backlog series every this many steps (0 = never).
     pub sample_every: Time,
@@ -222,8 +222,8 @@ pub struct Engine<P: Protocol> {
     /// Round-robin replacement cursor for `inject_memo`.
     inject_memo_cursor: usize,
     metrics: Metrics,
-    rate_validator: Option<RateValidator>,
-    window_validator: Option<WindowValidator>,
+    /// Composed adversary model enforcing [`EngineConfig::validate`].
+    model: Option<AdversaryModel>,
     /// Latest injection time of any packet whose (effective) route uses
     /// each edge — drives the "new edge" check of Definition 3.2.
     last_route_use: Vec<Option<Time>>,
@@ -257,10 +257,7 @@ impl<P: Protocol> Engine<P> {
     /// Create an engine over `graph` driven by `protocol`.
     pub fn new(graph: Arc<Graph>, protocol: P, cfg: EngineConfig) -> Self {
         let m = graph.edge_count();
-        let rate_validator = cfg.validate_rate.map(|r| RateValidator::new(r, m));
-        let window_validator = cfg
-            .validate_window
-            .map(|(w, r)| WindowValidator::new(w, r, m));
+        let model = cfg.validate.as_ref().map(|spec| spec.build(m));
         let metrics = Metrics::new(m, cfg.sample_every);
         let discipline = protocol.discipline();
         Engine {
@@ -275,8 +272,7 @@ impl<P: Protocol> Engine<P> {
             inject_memo: Default::default(),
             inject_memo_cursor: 0,
             metrics,
-            rate_validator,
-            window_validator,
+            model,
             last_route_use: vec![None; m],
             in_transit: Vec::new(),
             delivered: Vec::new(),
@@ -349,6 +345,9 @@ impl<P: Protocol> Engine<P> {
         let mut cfg = cfg;
         if cfg.provenance.fault_plan_id.is_none() {
             cfg.provenance.fault_plan_id = self.faults.as_ref().map(|f| f.plan_id());
+        }
+        if cfg.provenance.model_fingerprint.is_none() {
+            cfg.provenance.model_fingerprint = self.model.as_ref().map(|m| m.spec().fingerprint());
         }
         self.telemetry
             .configure(cfg, self.time, &self.metrics.crossings_per_edge);
@@ -510,10 +509,10 @@ impl<P: Protocol> Engine<P> {
         self.next_id
     }
 
-    /// Does this engine run adversary validators? (Snapshot restore is
-    /// incompatible with them — their histories cannot be rewound.)
+    /// Does this engine run an adversary model? (Snapshot restore is
+    /// incompatible with one — its member histories cannot be rewound.)
     pub fn has_validators(&self) -> bool {
-        self.rate_validator.is_some() || self.window_validator.is_some()
+        self.model.is_some()
     }
 
     /// Replace the network state wholesale (snapshot restore). The
@@ -560,21 +559,19 @@ impl<P: Protocol> Engine<P> {
     }
 
     /// Checkpoint support (crate-only): the full internal state beyond
-    /// what [`crate::snapshot::Snapshot`] captures — validator
+    /// what [`crate::snapshot::Snapshot`] captures — adversary-model
     /// histories, complete metrics, reroute bookkeeping, fault log.
     #[allow(clippy::type_complexity)]
     pub(crate) fn full_state(
         &self,
     ) -> (
-        Option<&RateValidator>,
-        Option<&WindowValidator>,
+        Option<&AdversaryModel>,
         &[Option<Time>],
         &Metrics,
         &[FaultEvent],
     ) {
         (
-            self.rate_validator.as_ref(),
-            self.window_validator.as_ref(),
+            self.model.as_ref(),
             &self.last_route_use,
             &self.metrics,
             &self.fault_log,
@@ -583,17 +580,16 @@ impl<P: Protocol> Engine<P> {
 
     /// Checkpoint support (crate-only): restore the state captured by
     /// [`Engine::full_state`]. The caller (`crate::checkpoint`) has
-    /// validated that the checkpoint matches this engine's graph.
+    /// validated that the checkpoint matches this engine's graph and
+    /// that the model specs agree.
     pub(crate) fn restore_full_state(
         &mut self,
-        rate_validator: Option<RateValidator>,
-        window_validator: Option<WindowValidator>,
+        model: Option<AdversaryModel>,
         last_route_use: Vec<Option<Time>>,
         metrics: Metrics,
         fault_log: Vec<FaultEvent>,
     ) {
-        self.rate_validator = rate_validator;
-        self.window_validator = window_validator;
+        self.model = model;
         self.last_route_use = last_route_use;
         self.metrics = metrics;
         self.fault_log = fault_log;
@@ -1046,7 +1042,7 @@ impl<P: Protocol> Engine<P> {
         self.delivered = delivered;
     }
 
-    /// Substep 2b: the adversary's injections, through the validators.
+    /// Substep 2b: the adversary's injections, through the model.
     fn substep_inject<I>(&mut self, t: Time, injections: I) -> Result<(), EngineError>
     where
         I: IntoIterator,
@@ -1056,13 +1052,10 @@ impl<P: Protocol> Engine<P> {
             let inj: &Injection = std::borrow::Borrow::borrow(&inj);
             let edges = inj.route.edges();
             // The adversary constraints are per packet: a cohort of n
-            // is n injections as far as the validators are concerned.
-            for _ in 0..inj.count {
-                if let Some(v) = self.rate_validator.as_mut() {
-                    v.record_route(edges, t)?;
-                }
-                if let Some(v) = self.window_validator.as_mut() {
-                    v.record_route(edges, t)?;
+            // is n injections as far as the model is concerned.
+            if let Some(m) = self.model.as_mut() {
+                for _ in 0..inj.count {
+                    m.observe_route(edges, t)?;
                 }
             }
             for &e in edges {
@@ -1448,13 +1441,13 @@ impl<P: Protocol> Engine<P> {
             self.check_lemma33_preconditions(buffers, suffix, last_edge)?;
         }
 
-        // Feed the validators at the original injection times, in
+        // Feed the model at the original injection times, in
         // non-decreasing time order (the effective adversary A').
         // Initial-configuration packets (injected_at == 0, only
         // creatable via seed()) are exempt: Observation 4.4 grants the
         // adversary an arbitrary initial configuration, routes
         // included.
-        if self.rate_validator.is_some() || self.window_validator.is_some() {
+        if let Some(model) = &mut self.model {
             let routes = &self.routes;
             let selected =
                 |p: &&Packet| last_edge.is_none_or(|e| routes.get(p.route).last() == Some(&e));
@@ -1470,15 +1463,8 @@ impl<P: Protocol> Engine<P> {
                 .collect();
             inject_times.sort_unstable();
             for t in inject_times {
-                if let Some(v) = self.rate_validator.as_mut() {
-                    for &e in suffix {
-                        v.record(e, t).map_err(EngineError::Rate)?;
-                    }
-                }
-                if let Some(v) = self.window_validator.as_mut() {
-                    for &e in suffix {
-                        v.record(e, t).map_err(EngineError::Rate)?;
-                    }
+                for &e in suffix {
+                    model.observe(e, t).map_err(EngineError::Rate)?;
                 }
             }
         }
@@ -1535,11 +1521,18 @@ impl<P: Protocol> Engine<P> {
                 self.protocol.name()
             )));
         }
-        let rate = self.cfg.validate_rate.ok_or_else(|| {
-            EngineError::Reroute(
-                "validate_reroutes requires validate_rate (new-edge check needs ⌈1/r⌉)".into(),
-            )
-        })?;
+        let rate = self
+            .cfg
+            .validate
+            .as_ref()
+            .and_then(AdversaryModelSpec::reroute_rate)
+            .ok_or_else(|| {
+                EngineError::Reroute(
+                    "validate_reroutes requires a Rate member in the adversary model \
+                     (new-edge check needs ⌈1/r⌉)"
+                        .into(),
+                )
+            })?;
 
         // Common-edge check over the rerouted cohort. With a
         // `last_edge` filter the cohort provably shares that edge
@@ -1598,6 +1591,7 @@ impl<P: Protocol> Engine<P> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ratio::Ratio;
     use aqt_graph::topologies;
     use std::collections::VecDeque as VD;
 
@@ -1743,7 +1737,7 @@ mod tests {
             Arc::clone(&g),
             Fifo,
             EngineConfig {
-                validate_rate: Some(Ratio::new(1, 2)),
+                validate: Some(AdversaryModelSpec::rate(Ratio::new(1, 2))),
                 ..Default::default()
             },
         );
@@ -1761,7 +1755,7 @@ mod tests {
             Arc::clone(&g),
             Fifo,
             EngineConfig {
-                validate_window: Some((10, Ratio::new(1, 2))),
+                validate: Some(AdversaryModelSpec::window(10, Ratio::new(1, 2))),
                 ..Default::default()
             },
         );
@@ -1770,6 +1764,29 @@ mod tests {
         eng.step(vec![Injection::new(route.clone(), 0); 5]).unwrap();
         // a sixth in the same window is not
         let err = eng.step([Injection::new(route, 0)]).unwrap_err();
+        assert!(matches!(err, EngineError::Rate(_)));
+    }
+
+    #[test]
+    fn composed_model_members_all_enforced() {
+        use crate::rate::ConstraintSpec;
+        let g = Arc::new(topologies::line(1));
+        let e = g.edge_ids().next().unwrap();
+        // window(10, 1/2) alone admits a burst of 5; the composed
+        // buffer_bound(2) member caps the same step at 3.
+        let mut eng = Engine::new(
+            Arc::clone(&g),
+            Fifo,
+            EngineConfig {
+                validate: Some(
+                    AdversaryModelSpec::window(10, Ratio::new(1, 2))
+                        .and(ConstraintSpec::BufferBound { bound: 2 }),
+                ),
+                ..Default::default()
+            },
+        );
+        let route = Route::new(&g, vec![e]).unwrap();
+        let err = eng.step(vec![Injection::new(route, 0); 5]).unwrap_err();
         assert!(matches!(err, EngineError::Rate(_)));
     }
 
@@ -1808,7 +1825,7 @@ mod tests {
             Arc::clone(&g),
             Fifo,
             EngineConfig {
-                validate_rate: Some(Ratio::new(3, 5)),
+                validate: Some(AdversaryModelSpec::rate(Ratio::new(3, 5))),
                 validate_reroutes: true,
                 ..Default::default()
             },
@@ -1833,7 +1850,7 @@ mod tests {
             Arc::clone(&g),
             Fifo,
             EngineConfig {
-                validate_rate: Some(Ratio::new(3, 5)),
+                validate: Some(AdversaryModelSpec::rate(Ratio::new(3, 5))),
                 validate_reroutes: true,
                 ..Default::default()
             },
@@ -1887,7 +1904,7 @@ mod tests {
             Arc::clone(&g),
             NonHistoric,
             EngineConfig {
-                validate_rate: Some(Ratio::new(3, 5)),
+                validate: Some(AdversaryModelSpec::rate(Ratio::new(3, 5))),
                 validate_reroutes: true,
                 ..Default::default()
             },

@@ -17,13 +17,15 @@
 //!
 //! ## What this crate adds beyond the bare model
 //!
-//! * [`rate::RateValidator`] / [`rate::WindowValidator`] — *exact*
+//! * [`rate`] — the adversary-constraint algebra: *exact*
 //!   integer-arithmetic enforcement of the paper's two adversary
 //!   classes (the rate-r adversary of Section 3 and the `(w,r)`
-//!   adversary of Definition 2.1). Every experiment in this repository
-//!   runs its adversary through a validator, so a schedule that would
-//!   exceed the allowed injection rate fails loudly rather than
-//!   producing a vacuous "instability" result.
+//!   adversary of Definition 2.1) plus the locally bursty `(ρ,σ,L)`
+//!   and buffer-bound-`B` classes from the related work, composable
+//!   member-wise into an [`rate::AdversaryModel`]. Every experiment in
+//!   this repository runs its adversary through a model, so a schedule
+//!   that would exceed the allowed injection rate fails loudly rather
+//!   than producing a vacuous "instability" result.
 //! * On-line rerouting of in-flight packets (the technique of
 //!   Lemma 3.3), including streaming validation of the *effective*
 //!   adversary `A'` that injects the final (extended) routes.
@@ -77,7 +79,10 @@ pub use parallel::{
     JobFailure, JobOutcome, SweepConfig, SweepReport,
 };
 pub use protocol::{Discipline, Protocol, SelectKey};
-pub use rate::{RateValidator, RateViolation, WindowValidator};
+pub use rate::{
+    AdversaryModel, AdversaryModelSpec, BufferBoundValidator, BurstLocalValidator, Constraint,
+    ConstraintSpec, ConstraintValidator, RateValidator, RateViolation, WindowValidator,
+};
 pub use ratio::Ratio;
 pub use routes::{fnv1a_u64s, RouteId, RouteTable};
 pub use schedule::{Schedule, ScheduleOp};

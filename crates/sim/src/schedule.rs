@@ -404,7 +404,7 @@ mod tests {
             Arc::clone(&g),
             Fifo,
             EngineConfig {
-                validate_rate: Some(r),
+                validate: Some(crate::rate::AdversaryModelSpec::rate(r)),
                 ..Default::default()
             },
         );

@@ -364,6 +364,7 @@ impl ReproBundle {
             schedule_hash,
             protocol: protocol.into(),
             fault_plan_id: self.fault_plan.as_ref().map(|p| p.plan_id()),
+            model_fingerprint: None,
         }
     }
 }

@@ -41,12 +41,18 @@ use crate::routes::{RouteId, RouteTable};
 /// * 3 — route interning: routes moved out of [`PacketState`] into the
 ///   canonical [`Snapshot::routes`] table; packets reference entries by
 ///   index.
+/// * 4 — composable adversary models: the checkpoint layer replaced
+///   the fixed rate/window validator pair with an
+///   [`crate::rate::AdversaryModel`] of arbitrary members. Snapshots
+///   share this stamp with checkpoints, so captures from the
+///   fixed-validator era fail closed instead of resuming under a
+///   silently different validation regime.
 ///
 /// Bump on any change to the meaning or layout of [`Snapshot`] /
 /// [`PacketState`]; [`restore`] and [`crate::checkpoint::restore`]
 /// reject any other value, so a state capture can never be silently
 /// misread across a format change.
-pub const SNAPSHOT_SCHEMA_VERSION: u32 = 3;
+pub const SNAPSHOT_SCHEMA_VERSION: u32 = 4;
 
 /// A point-in-time capture of the network state.
 #[derive(Debug, Clone, PartialEq)]
@@ -376,7 +382,7 @@ mod tests {
             g,
             Fifo,
             EngineConfig {
-                validate_rate: Some(Ratio::new(1, 2)),
+                validate: Some(crate::rate::AdversaryModelSpec::rate(Ratio::new(1, 2))),
                 ..Default::default()
             },
         );

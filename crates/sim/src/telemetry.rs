@@ -48,7 +48,11 @@ use crate::packet::Time;
 ///   `job_quarantined` / `sweep_progress` records.
 /// * **2** — counter blocks gained `windows_emitted` (the campaign
 ///   coverage map's window-emission dimension).
-pub const TELEMETRY_SCHEMA_VERSION: u32 = 2;
+/// * **3** — provenance blocks gained `model_fingerprint` (the
+///   [`crate::rate::AdversaryModelSpec::fingerprint`] of the run's
+///   adversary model), so a record names the exact constraint
+///   composition its run validated under.
+pub const TELEMETRY_SCHEMA_VERSION: u32 = 3;
 
 /// How much the engine instruments per step.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -92,6 +96,11 @@ pub struct Provenance {
     /// Filled in automatically by [`crate::Engine::attach_telemetry`]
     /// when left `None` and a plan is installed.
     pub fault_plan_id: Option<u64>,
+    /// [`crate::rate::AdversaryModelSpec::fingerprint`] of the engine's
+    /// adversary model. Filled in automatically by
+    /// [`crate::Engine::attach_telemetry`] when left `None` and the
+    /// engine validates.
+    pub model_fingerprint: Option<u64>,
 }
 
 /// Telemetry configuration. The default is the "watch a run" shape:
@@ -541,6 +550,10 @@ impl JsonlSink {
         match p.fault_plan_id {
             Some(h) => write!(line, ",\"fault_plan_id\":{h}").unwrap(),
             None => line.push_str(",\"fault_plan_id\":null"),
+        }
+        match p.model_fingerprint {
+            Some(h) => write!(line, ",\"model_fingerprint\":{h}").unwrap(),
+            None => line.push_str(",\"model_fingerprint\":null"),
         }
     }
 
@@ -1291,6 +1304,7 @@ mod tests {
             schedule_hash: None,
             protocol: "FIFO".into(),
             fault_plan_id: None,
+            model_fingerprint: Some(11),
         };
         sink.record(&TelemetryEvent::RunStart {
             time: 0,
@@ -1314,12 +1328,13 @@ mod tests {
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 3);
         for l in &lines {
-            assert!(l.starts_with("{\"schema\":2,\"kind\":\""), "line: {l}");
+            assert!(l.starts_with("{\"schema\":3,\"kind\":\""), "line: {l}");
             assert!(l.ends_with('}'), "line: {l}");
         }
         assert!(lines[0].contains("\"kind\":\"run_start\""));
         assert!(lines[0].contains("\"seed\":7"));
         assert!(lines[0].contains("\"protocol\":\"FIFO\""));
+        assert!(lines[0].contains("\"model_fingerprint\":11"));
         assert!(lines[1].contains("\"crossings\":[1,2,3]"));
         assert!(lines[2].contains("\"eta_secs\":6.000"));
         assert_eq!(sink.records(), 3);

@@ -33,7 +33,7 @@
 
 use std::time::Duration;
 
-use aqt_campaign::{run_campaign, CampaignConfig, Corpus};
+use aqt_campaign::{run_campaign, CampaignConfig, Corpus, Feature};
 
 fn env_u64(name: &str, default: u64) -> u64 {
     std::env::var(name)
@@ -66,6 +66,27 @@ fn main() {
     let mut corpus = Corpus::new();
     let report = run_campaign(&cfg, &mut corpus);
     println!("{}", report.summary());
+
+    // The adversary-model dimension: which constraint compositions
+    // (rate=1, window=2, burst-local=4, buffer-bound=8 bitmask) the
+    // campaign actually ran, and how often.
+    let model_buckets: Vec<(u8, u64)> = report
+        .coverage
+        .iter()
+        .filter_map(|(f, n)| match f {
+            Feature::Model(mask) => Some((mask, n)),
+            _ => None,
+        })
+        .collect();
+    print!("adversary models exercised (mask:runs):");
+    for (mask, n) in &model_buckets {
+        print!(" {mask}:{n}");
+    }
+    println!();
+    if model_buckets.len() < 2 {
+        eprintln!("campaign never varied the adversary model — generator bug");
+        std::process::exit(1);
+    }
 
     if report.findings.is_empty() {
         if cfg!(feature = "demo-corruption") {

@@ -16,7 +16,7 @@ use adversarial_queuing::core::theory::StabilityCertificate;
 use adversarial_queuing::graph::topologies;
 use adversarial_queuing::protocols::Fifo;
 use adversarial_queuing::sim::{
-    checkpoint, snapshot, Engine, EngineConfig, FaultPlan, Injection, Ratio,
+    checkpoint, snapshot, AdversaryModelSpec, Engine, EngineConfig, FaultPlan, Injection, Ratio,
 };
 
 fn main() {
@@ -53,7 +53,7 @@ fn main() {
         Arc::clone(&graph),
         Fifo,
         EngineConfig {
-            validate_window: Some((w, rate)),
+            validate: Some(AdversaryModelSpec::window(w, rate)),
             ..Default::default()
         },
     );
@@ -106,7 +106,7 @@ fn main() {
         Arc::clone(&graph),
         Fifo,
         EngineConfig {
-            validate_window: Some((w, rate)),
+            validate: Some(AdversaryModelSpec::window(w, rate)),
             ..Default::default()
         },
     );

@@ -1,0 +1,73 @@
+//! Experiment E16: the threshold mapping re-run under each composed
+//! adversary-constraint model.
+//!
+//! The paper's stability results (Theorems 4.1/4.3) are stated for the
+//! `(w, r)` windowed adversary. The constraint algebra lets us ask
+//! which of those results survive when the adversary is constrained
+//! differently but comparably: a strict rate-`r` member, a locally
+//! bursty `(ρ, σ, L)` member, a buffer-bound-`B` member, and the
+//! three-way composition of window ∘ burst-local ∘ buffer-bound.
+//!
+//! ```sh
+//! cargo run --release --example model_landscape [steps]
+//! ```
+//!
+//! Writes the per-run telemetry (every record's provenance carries the
+//! model fingerprint printed in the table) to
+//! `telemetry_model_landscape.jsonl`.
+
+use adversarial_queuing::analysis::Table;
+use adversarial_queuing::core::experiments::e16_model_landscape;
+use adversarial_queuing::sim::{JsonlSink, SharedSink};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let steps: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(4000);
+    let (d, w) = (3, 12);
+
+    println!(
+        "E16: saturating each adversary model on torus-4x4 (d={d}, w={w}) for {steps} steps, \
+         nominal rate r = f·1/(d+1), engine re-validating the same model…\n"
+    );
+    let sink = SharedSink::new(
+        JsonlSink::create("telemetry_model_landscape.jsonl").expect("create telemetry JSONL"),
+    );
+    let rows = e16_model_landscape(d, w, steps, Some(&sink)).expect("legal adversaries");
+    sink.flush();
+
+    let mut t = Table::new(
+        "E16: threshold survival across adversary models",
+        &[
+            "model",
+            "fingerprint",
+            "protocol",
+            "f",
+            "long-run r",
+            "bound",
+            "max wait",
+            "verdict",
+            "survives",
+        ],
+    );
+    for r in &rows {
+        t.row(&[
+            r.model.clone(),
+            format!("{:016x}", r.model_fingerprint),
+            r.protocol.clone(),
+            format!("{:.1}", r.rate_factor),
+            format!("{:.3}", r.long_run_rate),
+            r.bound.map_or("—".to_string(), |b| b.to_string()),
+            r.max_wait.to_string(),
+            r.verdict.to_string(),
+            if r.survives { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "Expected shape: the identity (w, r) composition reproduces the paper's \
+         thresholds at f ≤ 1; rate and burst-local share its long-run rate and \
+         survive; buffer-bound alone caps bursts but admits long-run rate 1, so \
+         the threshold result does not transfer; the composition is strictly \
+         tighter than the identity. telemetry: telemetry_model_landscape.jsonl"
+    );
+}

@@ -13,7 +13,7 @@ use adversarial_queuing::adversary::stochastic::{
 use adversarial_queuing::core::theory::StabilityCertificate;
 use adversarial_queuing::graph::topologies;
 use adversarial_queuing::protocols::Fifo;
-use adversarial_queuing::sim::{Engine, EngineConfig, Ratio};
+use adversarial_queuing::sim::{AdversaryModelSpec, Engine, EngineConfig, Ratio};
 
 fn main() {
     // 1. A network: directed ring with 8 switches.
@@ -39,7 +39,7 @@ fn main() {
         Arc::clone(&graph),
         Fifo,
         EngineConfig {
-            validate_window: Some((w, r)),
+            validate: Some(AdversaryModelSpec::window(w, r)),
             sample_every: 500,
             ..Default::default()
         },

@@ -15,7 +15,7 @@ use adversarial_queuing::analysis::series::sparkline_fit;
 use adversarial_queuing::graph::{FnGadget, Route};
 use adversarial_queuing::protocols::Fifo;
 use adversarial_queuing::sim::trace::{TraceEvent, TraceRecorder};
-use adversarial_queuing::sim::{Engine, EngineConfig};
+use adversarial_queuing::sim::{AdversaryModelSpec, Engine, EngineConfig};
 
 fn main() {
     let params = GadgetParams::new(1, 4); // r = 3/4
@@ -33,7 +33,7 @@ fn main() {
         Arc::clone(&graph),
         Fifo,
         EngineConfig {
-            validate_rate: Some(params.rate),
+            validate: Some(AdversaryModelSpec::rate(params.rate)),
             validate_reroutes: true,
             sample_every: (2 * s + params.n as u64) / 64,
             ..Default::default()

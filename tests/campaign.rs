@@ -299,6 +299,7 @@ fn sweep_quarantine_bundles_seed_the_corpus() {
             },
         }],
         faults: vec![],
+        model: vec![],
         certificate: None,
     };
     // Jobs 1 and 3 get the unsatisfiable bound; 0 and 2 run clean.
@@ -326,7 +327,7 @@ fn sweep_quarantine_bundles_seed_the_corpus() {
             match run_scenario(&s) {
                 Outcome::Clean(stats) => Ok(stats.steps),
                 Outcome::Breach(report, _) => Err(SimError::InvariantViolated(report)),
-                Outcome::Invalid(e) => Err(SimError::Checkpoint(e)),
+                Outcome::Overrate(e, _) | Outcome::Invalid(e) => Err(SimError::Checkpoint(e)),
             }
         },
     );

@@ -9,7 +9,8 @@ use std::sync::Arc;
 use aqt_graph::{topologies, EdgeId, Graph, Route};
 use aqt_protocols::Fifo;
 use aqt_sim::{
-    checkpoint, snapshot, Engine, EngineConfig, Injection, SimError, SNAPSHOT_SCHEMA_VERSION,
+    checkpoint, fnv1a_u64s, snapshot, AdversaryModelSpec, ConstraintSpec, Engine, EngineConfig,
+    Injection, Ratio, SimError, SNAPSHOT_SCHEMA_VERSION, TELEMETRY_SCHEMA_VERSION,
 };
 use proptest::prelude::*;
 
@@ -171,7 +172,10 @@ fn pre_interning_schema_2_payload_is_rejected_without_mutation() {
 
     let mut ck = checkpoint::checkpoint(&eng);
     assert_eq!(ck.snapshot.schema, SNAPSHOT_SCHEMA_VERSION);
-    assert_eq!(SNAPSHOT_SCHEMA_VERSION, 3, "route interning bumped to 3");
+    assert_eq!(
+        SNAPSHOT_SCHEMA_VERSION, 4,
+        "composable adversary models bumped the snapshot schema to 4"
+    );
     ck.snapshot.schema = 2; // the pre-interning format stamp
 
     let mut target = busy_engine(&g);
@@ -243,6 +247,130 @@ proptest! {
         restored.run_quiet(6).unwrap();
         proptest::prop_assert_eq!(snapshot::capture(&eng), snapshot::capture(&restored));
     }
+}
+
+/// Golden values for the adversary-constraint wire format. These pins
+/// are the serialization contract: the canonical `words()` encodings
+/// feed scenario fingerprints and checkpoint equality, the `Display`
+/// forms land in violation reports and experiment tables, and the
+/// `to_rust()` forms are emitted into committed regression tests.
+/// Changing any of them silently re-keys every stored fingerprint —
+/// bump the schema and update these values deliberately instead.
+#[test]
+fn constraint_spec_serialized_forms_are_pinned() {
+    let rate = ConstraintSpec::Rate(Ratio::new(1, 2));
+    let window = ConstraintSpec::Window {
+        window: 8,
+        rate: Ratio::new(1, 4),
+    };
+    let burst = ConstraintSpec::BurstLocal {
+        rho: Ratio::new(1, 2),
+        sigma: 3,
+        locality: 8,
+    };
+    let buffer = ConstraintSpec::BufferBound { bound: 3 };
+
+    // Canonical 5-word encodings: [tag, ...params].
+    assert_eq!(rate.words(), [1, 1, 2, 0, 0]);
+    assert_eq!(window.words(), [2, 8, 1, 4, 0]);
+    assert_eq!(burst.words(), [3, 1, 2, 3, 8]);
+    assert_eq!(buffer.words(), [4, 3, 0, 0, 0]);
+
+    // Display forms.
+    assert_eq!(rate.to_string(), "rate(1/2)");
+    assert_eq!(window.to_string(), "window(w=8, r=1/4)");
+    assert_eq!(burst.to_string(), "burst_local(rho=1/2, sigma=3, L=8)");
+    assert_eq!(buffer.to_string(), "buffer_bound(B=3)");
+
+    // Emitted Rust forms.
+    assert_eq!(rate.to_rust(), "ConstraintSpec::Rate(Ratio::new(1, 2))");
+    assert_eq!(
+        window.to_rust(),
+        "ConstraintSpec::Window { window: 8, rate: Ratio::new(1, 4) }"
+    );
+    assert_eq!(
+        burst.to_rust(),
+        "ConstraintSpec::BurstLocal { rho: Ratio::new(1, 2), sigma: 3, locality: 8 }"
+    );
+    assert_eq!(buffer.to_rust(), "ConstraintSpec::BufferBound { bound: 3 }");
+
+    // Model fingerprints: FNV-1a over [member count] ++ member words,
+    // pinned both structurally and as literal values.
+    let single = AdversaryModelSpec::rate(Ratio::new(1, 2));
+    assert_eq!(single.fingerprint(), fnv1a_u64s([1u64, 1, 1, 2, 0, 0]));
+    assert_eq!(single.fingerprint(), 0x3e36_921a_1361_8d06);
+    let composed = AdversaryModelSpec::window(8, Ratio::new(1, 4)).and(buffer);
+    assert_eq!(composed.fingerprint(), 0x31a9_8b39_6f39_24cf);
+    assert_eq!(
+        AdversaryModelSpec::burst_local(Ratio::new(1, 2), 3, 8).fingerprint(),
+        0xc5a0_7860_9418_b28f
+    );
+    assert_eq!(
+        composed.to_string(),
+        "window(w=8, r=1/4) ∘ buffer_bound(B=3)"
+    );
+
+    // The schema stamps that gate persisted payloads carrying models.
+    assert_eq!(SNAPSHOT_SCHEMA_VERSION, 4);
+    assert_eq!(TELEMETRY_SCHEMA_VERSION, 3);
+}
+
+/// A checkpoint taken under one adversary model must not restore into
+/// an engine validating a different one: validator state would not
+/// match the engine's configuration and violations would be computed
+/// under a silently different regime. The gate compares full member
+/// specs, so even a same-kind parameter drift fails closed.
+#[test]
+fn checkpoint_with_mismatched_model_fails_closed() {
+    let g = Arc::new(topologies::ring(6));
+    let spec_a = AdversaryModelSpec::rate(Ratio::new(1, 2));
+    let spec_b = AdversaryModelSpec::rate(Ratio::new(1, 3));
+
+    let mut eng = Engine::new(
+        Arc::clone(&g),
+        Fifo,
+        EngineConfig {
+            validate: Some(spec_a),
+            ..EngineConfig::default()
+        },
+    );
+    eng.step([Injection::new(ring_route(&g, 1), 0)]).unwrap();
+    let ck = checkpoint::checkpoint(&eng);
+
+    for other in [Some(spec_b), None] {
+        let mut target = Engine::new(
+            Arc::clone(&g),
+            Fifo,
+            EngineConfig {
+                validate: other.clone(),
+                ..EngineConfig::default()
+            },
+        );
+        let before = snapshot::capture(&target);
+        let err = checkpoint::restore(&mut target, &ck).unwrap_err();
+        assert!(matches!(err, SimError::Checkpoint(_)), "got {err:?}");
+        assert!(
+            err.to_string().contains("adversary-model"),
+            "error names the gate: {err}"
+        );
+        assert_eq!(
+            snapshot::capture(&target),
+            before,
+            "refused model-mismatch restore must not touch the engine ({other:?})"
+        );
+    }
+
+    // Matching spec restores fine.
+    let mut target = Engine::new(
+        Arc::clone(&g),
+        Fifo,
+        EngineConfig {
+            validate: Some(AdversaryModelSpec::rate(Ratio::new(1, 2))),
+            ..EngineConfig::default()
+        },
+    );
+    checkpoint::restore(&mut target, &ck).unwrap();
+    assert_eq!(target.time(), eng.time());
 }
 
 /// The checkpoint path routes the same payload validation: a corrupted

@@ -9,7 +9,7 @@ use aqt_adversary::periodic::{PeriodicAdversary, Stream};
 use aqt_core::theory::StabilityCertificate;
 use aqt_graph::{catalog, paths};
 use aqt_protocols::by_name;
-use aqt_sim::{run_with_source, Engine, EngineConfig, Ratio};
+use aqt_sim::{run_with_source, AdversaryModelSpec, Engine, EngineConfig, Ratio};
 
 /// Shortest-path streams, each injecting exactly once per period
 /// `P = n_streams·(d+1)` at a distinct phase. Any sliding window of
@@ -48,7 +48,7 @@ fn shortest_path_periodic_load_respects_bounds() {
             Arc::clone(&graph),
             by_name(proto, 0).expect("protocol"),
             EngineConfig {
-                validate_window: Some((period, budget)),
+                validate: Some(AdversaryModelSpec::window(period, budget)),
                 ..Default::default()
             },
         );
