@@ -146,6 +146,7 @@ mod tests {
             faults: vec![],
             model: vec![],
             certificate: None,
+            closed_loop: None,
         }
     }
 

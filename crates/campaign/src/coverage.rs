@@ -53,6 +53,10 @@ pub enum Feature {
     Dropped(u8),
     /// log2 bucket of steps actually run.
     Steps(u8),
+    /// Closed-loop workload axis: the shed-discipline index
+    /// (see [`crate::scenario::ShedSpec::index`]). Present only for
+    /// closed-loop scenarios, so hitting it at all is novelty.
+    ClosedLoop(u8),
 }
 
 /// The features of one completed (or breached) run.
@@ -66,7 +70,7 @@ pub fn features_of(scenario: &Scenario, protocol_index: u8, stats: &RunStats) ->
             crate::scenario::FaultSpec::Burst { .. } => 8,
         };
     }
-    vec![
+    let mut features = vec![
         Feature::Protocol(protocol_index),
         Feature::Topology(scenario.topology.family()),
         Feature::GraphEdges(bucket(stats.edges)),
@@ -79,7 +83,11 @@ pub fn features_of(scenario: &Scenario, protocol_index: u8, stats: &RunStats) ->
         Feature::Crossings(bucket(stats.crossings)),
         Feature::Dropped(bucket(stats.dropped)),
         Feature::Steps(bucket(stats.steps)),
-    ]
+    ];
+    if let Some(cl) = &scenario.closed_loop {
+        features.push(Feature::ClosedLoop(cl.shed.index()));
+    }
+    features
 }
 
 /// Hit counts per feature. Novelty (a feature seen for the first time)

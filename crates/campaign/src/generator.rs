@@ -18,7 +18,9 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 
 use crate::coverage::Feature;
-use crate::scenario::{CohortSpec, FaultSpec, InjectSpec, Scenario, TopologySpec};
+use crate::scenario::{
+    ClosedLoopSpec, CohortSpec, FaultSpec, InjectSpec, RetrySpec, Scenario, ShedSpec, TopologySpec,
+};
 
 /// Bounds of the generator's draw, all inclusive upper limits.
 #[derive(Debug, Clone)]
@@ -174,6 +176,36 @@ fn legalize(injections: &mut Vec<InjectSpec>, model: &[ConstraintSpec], edge_cou
     });
 }
 
+/// Draw a closed-loop workload spec, optionally pinning the shed
+/// discipline (the coverage axis). Bounds keep runs small: at most 8
+/// clients over at most 3 edges, with an optional mid-run outage to
+/// ignite a retry storm.
+fn random_closed_loop(rng: &mut StdRng, forced_shed: Option<u8>) -> ClosedLoopSpec {
+    let shed = ShedSpec::ALL[forced_shed.unwrap_or_else(|| rng.gen_range(0..4u32) as u8) as usize
+        % ShedSpec::ALL.len()];
+    let retry = match rng.gen_range(0..4u32) {
+        0 => RetrySpec::None,
+        1 => RetrySpec::Immediate,
+        2 => RetrySpec::Fixed(rng.gen_range(1..=4)),
+        _ => RetrySpec::ExpBackoff(rng.gen_range(1..=4), 16),
+    };
+    let pause = rng.gen_bool(0.5).then(|| {
+        let from = rng.gen_range(4..=16u64);
+        (from, from + rng.gen_range(4..=24u64))
+    });
+    ClosedLoopSpec {
+        num_clients: rng.gen_range(1..=8),
+        think_time: rng.gen_range(1..=10),
+        timeout: rng.gen_range(3..=12),
+        max_attempts: rng.gen_range(1..=8),
+        retry,
+        capacity: rng.gen_range(1..=16),
+        shed,
+        pause,
+        path_len: rng.gen_range(1..=3),
+    }
+}
+
 fn random_cohort(rng: &mut StdRng, graph: &Graph, cfg: &GeneratorConfig, tag: u32) -> CohortSpec {
     CohortSpec {
         route: random_route(rng, graph, cfg.max_route_len),
@@ -209,8 +241,46 @@ fn random_fault(
     }
 }
 
+/// Draw a fresh *closed-loop* scenario around `spec`: the workload
+/// generates the injections, so the open-loop schedule and faults stay
+/// empty, the service order is FIFO, and the topology is the spec's
+/// own line. Half the draws declare the rate-1 adversary model, which
+/// the ≤ 1-dispatch-per-step loop satisfies by construction — so the
+/// realized injections flow through the exact model validators.
+fn generate_closed_loop(rng: &mut StdRng, cfg: &GeneratorConfig, spec: ClosedLoopSpec) -> Scenario {
+    let last_event = spec.pause.map_or(0, |(_, until)| until);
+    let slack = cfg.max_horizon.saturating_sub(last_event + 16).max(1);
+    let horizon = last_event + 16 + rng.gen_range(0..=slack);
+    let model = if rng.gen_bool(0.5) {
+        vec![ConstraintSpec::Rate(Ratio::new(1, 1))]
+    } else {
+        vec![]
+    };
+    Scenario {
+        topology: TopologySpec::Line(spec.path_len.max(1)),
+        protocol: "FIFO".into(),
+        seed: rng.gen_range(0..u64::MAX),
+        horizon,
+        cadence: 1,
+        deep_stride: rng.gen_range(1..=4),
+        injections: vec![],
+        faults: vec![],
+        model,
+        certificate: cfg.certificate,
+        closed_loop: Some(spec),
+    }
+}
+
 /// Draw a fresh scenario, optionally steered toward `target`.
 pub fn generate(rng: &mut StdRng, cfg: &GeneratorConfig, target: Option<Feature>) -> Scenario {
+    let forced_shed = match target {
+        Some(Feature::ClosedLoop(s)) => Some(s),
+        _ => None,
+    };
+    if forced_shed.is_some() || (target.is_none() && rng.gen_range(0..8u32) == 0) {
+        let spec = random_closed_loop(rng, forced_shed);
+        return generate_closed_loop(rng, cfg, spec);
+    }
     let forced_family = match target {
         Some(Feature::Topology(f)) => Some(f),
         _ => None,
@@ -262,6 +332,7 @@ pub fn generate(rng: &mut StdRng, cfg: &GeneratorConfig, target: Option<Feature>
         faults,
         model,
         certificate: cfg.certificate,
+        closed_loop: None,
     }
 }
 
@@ -270,8 +341,41 @@ pub fn generate(rng: &mut StdRng, cfg: &GeneratorConfig, target: Option<Feature>
 /// place.
 pub fn mutate(rng: &mut StdRng, cfg: &GeneratorConfig, base: &Scenario) -> Scenario {
     let mut s = base.clone();
+    // Closed-loop scenarios mutate within the closed-loop neighborhood:
+    // the open-loop arms (cohorts, faults, protocol swaps) would make
+    // them unbuildable or dishonest (the service order is FIFO).
+    if let Some(spec) = &mut s.closed_loop {
+        match rng.gen_range(0..6u32) {
+            0 => s.seed = rng.gen_range(0..u64::MAX),
+            1 => spec.shed = ShedSpec::ALL[rng.gen_range(0..4u32) as usize],
+            2 => {
+                spec.retry = match rng.gen_range(0..4u32) {
+                    0 => RetrySpec::None,
+                    1 => RetrySpec::Immediate,
+                    2 => RetrySpec::Fixed(rng.gen_range(1..=4)),
+                    _ => RetrySpec::ExpBackoff(rng.gen_range(1..=4), 16),
+                };
+            }
+            3 => spec.timeout = rng.gen_range(3..=12),
+            4 => spec.capacity = rng.gen_range(1..=16),
+            _ => {
+                // Toggle the outage; keep the horizon covering it.
+                spec.pause = match spec.pause {
+                    Some(_) => None,
+                    None => {
+                        let from = rng.gen_range(4..=16u64);
+                        Some((from, from + rng.gen_range(4..=24u64)))
+                    }
+                };
+            }
+        }
+        if let Some((_, until)) = spec.pause {
+            s.horizon = s.horizon.max(until + 16);
+        }
+        return s;
+    }
     let graph = s.topology.build();
-    match rng.gen_range(0..7u32) {
+    match rng.gen_range(0..8u32) {
         // Re-seed: same structure, different protocol randomness.
         0 => s.seed = rng.gen_range(0..u64::MAX),
         // Swap protocol.
@@ -315,13 +419,28 @@ pub fn mutate(rng: &mut StdRng, cfg: &GeneratorConfig, base: &Scenario) -> Scena
         }
         // Toggle the adversary model: attach a single-member model, or
         // lift the constraint entirely.
-        _ => {
+        6 => {
             if s.model.is_empty() {
                 let mask = 1u8 << rng.gen_range(0..4u32);
                 s.model = model_for_mask(rng, mask);
             } else {
                 s.model.clear();
             }
+        }
+        // Flip to closed-loop: the workload replaces the open-loop
+        // schedule (and the model, which the dispatch sequence may not
+        // satisfy), and the run becomes FIFO over the spec's own line.
+        _ => {
+            let spec = random_closed_loop(rng, None);
+            s.injections.clear();
+            s.faults.clear();
+            s.model.clear();
+            s.protocol = "FIFO".into();
+            s.topology = TopologySpec::Line(spec.path_len.max(1));
+            let last_event = spec.pause.map_or(0, |(_, until)| until);
+            s.horizon = s.horizon.max(last_event + 16);
+            s.closed_loop = Some(spec);
+            return s;
         }
     }
     // A structural tweak can push the schedule past the (possibly
@@ -380,6 +499,45 @@ mod tests {
         for m in [0u8, 1, 2, 4, 8, 3, 5, 9, 12, 15] {
             let s = generate(&mut rng, &cfg, Some(Feature::Model(m)));
             assert_eq!(s.model_mask(), m, "steering must force the model axis");
+        }
+        for shed in 0..4u8 {
+            let s = generate(&mut rng, &cfg, Some(Feature::ClosedLoop(shed)));
+            let spec = s.closed_loop.expect("steering forces a closed loop");
+            assert_eq!(spec.shed.index(), shed);
+            assert!(s.injections.is_empty() && s.faults.is_empty());
+        }
+    }
+
+    #[test]
+    fn steered_closed_loop_scenarios_run_clean_for_every_shed() {
+        let cfg = GeneratorConfig::default();
+        let mut rng = StdRng::seed_from_u64(17);
+        for shed in 0..4u8 {
+            for _ in 0..5 {
+                let s = generate(&mut rng, &cfg, Some(Feature::ClosedLoop(shed)));
+                s.build()
+                    .unwrap_or_else(|e| panic!("closed-loop scenario unbuildable: {e}\n{s:?}"));
+                match run_scenario(&s) {
+                    Outcome::Clean(stats) => {
+                        assert_eq!(stats.steps, s.horizon);
+                        assert!(stats.sentinel_rounds > 0, "sentinel watches the loop");
+                    }
+                    other => panic!("shed {shed}: expected clean, got {other:?}\n{s:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn closed_loop_mutations_stay_closed_loop_and_buildable() {
+        let cfg = GeneratorConfig::default();
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut s = generate(&mut rng, &cfg, Some(Feature::ClosedLoop(0)));
+        for i in 0..40 {
+            s = mutate(&mut rng, &cfg, &s);
+            assert!(s.closed_loop.is_some(), "mutation {i} detached the loop");
+            s.build()
+                .unwrap_or_else(|e| panic!("mutation {i} unbuildable: {e}\n{s:?}"));
         }
     }
 

@@ -51,5 +51,8 @@ pub use corpus::Corpus;
 pub use coverage::{bucket, features_of, CoverageMap, Feature};
 pub use generator::{generate, mutate, GeneratorConfig};
 pub use run::{protocol_index, run_scenario, Outcome, RunStats};
-pub use scenario::{Built, CohortSpec, FaultSpec, InjectSpec, Scenario, TopologySpec};
+pub use scenario::{
+    Built, ClosedLoopSpec, CohortSpec, FaultSpec, InjectSpec, RetrySpec, Scenario, ShedSpec,
+    TopologySpec,
+};
 pub use shrink::{shrink, ShrinkOutcome};

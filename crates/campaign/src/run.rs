@@ -14,8 +14,9 @@ use aqt_protocols::registry;
 use aqt_sim::sentinel::SentinelConfig;
 use aqt_sim::telemetry::{Provenance, TelemetryConfig, TelemetryLevel};
 use aqt_sim::{AdversaryModelSpec, Engine, EngineConfig, EngineError, Protocol, ViolationReport};
+use aqt_workload::{ClosedLoop, WorkloadError};
 
-use crate::scenario::Scenario;
+use crate::scenario::{ClosedLoopSpec, Scenario};
 
 /// What one run actually did — the coverage map's raw material.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -112,8 +113,64 @@ pub fn protocol_index(name: &str) -> Option<u8> {
         .map(|i| i as u8)
 }
 
+/// Run a closed-loop scenario: the workload driver generates the
+/// injections, the scenario's model validates the realized dispatch
+/// sequence, and the same all-halt sentinel stack (certificate
+/// included) watches the engine. Request conservation is enforced by
+/// the driver itself every step, so a ledger breach surfaces exactly
+/// like a sentinel breach: as [`Outcome::Breach`] with a repro bundle.
+fn run_closed_loop(scenario: &Scenario, spec: &ClosedLoopSpec) -> Outcome {
+    if !scenario.injections.is_empty() || !scenario.faults.is_empty() {
+        return Outcome::Invalid(
+            "closed-loop scenario cannot carry an open-loop schedule or faults".into(),
+        );
+    }
+    if !scenario.protocol.eq_ignore_ascii_case("FIFO") {
+        return Outcome::Invalid(format!(
+            "closed-loop service order is FIFO; scenario names '{}'",
+            scenario.protocol
+        ));
+    }
+    let mut cfg = spec.lower(scenario.seed);
+    cfg.validate =
+        (!scenario.model.is_empty()).then(|| AdversaryModelSpec::new(scenario.model.clone()));
+    let mut cl = ClosedLoop::on_line(cfg);
+    let mut sentinel = SentinelConfig::all_halt()
+        .with_cadence(scenario.cadence)
+        .with_seed(scenario.seed);
+    sentinel.deep_stride = scenario.deep_stride.max(1);
+    sentinel.certificate_spec = scenario.certificate;
+    cl.engine_mut().attach_sentinel(sentinel);
+    cl.engine_mut().attach_telemetry(TelemetryConfig {
+        level: TelemetryLevel::Counters,
+        window: 0,
+        provenance: Provenance {
+            seed: Some(scenario.seed),
+            schedule_hash: None,
+            protocol: scenario.protocol.clone(),
+            fault_plan_id: None,
+            model_fingerprint: None, // auto-filled from the engine's model
+        },
+        ..TelemetryConfig::default()
+    });
+    match cl.run(scenario.horizon) {
+        Ok(()) => Outcome::Clean(RunStats::capture(cl.engine())),
+        Err(WorkloadError::Invariant(report))
+        | Err(WorkloadError::Engine(EngineError::Invariant(report))) => {
+            Outcome::Breach(report, RunStats::capture(cl.engine()))
+        }
+        Err(WorkloadError::Engine(EngineError::Rate(v))) => {
+            Outcome::Overrate(v.to_string(), RunStats::capture(cl.engine()))
+        }
+        Err(e) => Outcome::Invalid(e.to_string()),
+    }
+}
+
 /// Build and run `scenario` to its horizon (or first halting breach).
 pub fn run_scenario(scenario: &Scenario) -> Outcome {
+    if let Some(spec) = &scenario.closed_loop {
+        return run_closed_loop(scenario, spec);
+    }
     let built = match scenario.build() {
         Ok(b) => b,
         Err(e) => return Outcome::Invalid(e),
@@ -198,6 +255,7 @@ mod tests {
             faults: vec![],
             model: vec![],
             certificate: None,
+            closed_loop: None,
         }
     }
 

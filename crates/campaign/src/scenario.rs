@@ -247,6 +247,238 @@ impl FaultSpec {
     }
 }
 
+/// A client retry policy, in scenario (plain-data) form. Mirrors
+/// [`aqt_workload::RetryPolicy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetrySpec {
+    /// One attempt, never retried.
+    None,
+    /// Retry on the very next step.
+    Immediate,
+    /// Retry after a fixed delay.
+    Fixed(Time),
+    /// Exponential backoff `(base, cap)` with seeded jitter.
+    ExpBackoff(Time, Time),
+}
+
+impl RetrySpec {
+    /// Lower onto the workload type.
+    pub fn lower(self) -> aqt_workload::RetryPolicy {
+        match self {
+            RetrySpec::None => aqt_workload::RetryPolicy::None,
+            RetrySpec::Immediate => aqt_workload::RetryPolicy::Immediate,
+            RetrySpec::Fixed(delay) => aqt_workload::RetryPolicy::Fixed { delay },
+            RetrySpec::ExpBackoff(base, cap) => aqt_workload::RetryPolicy::ExpBackoff { base, cap },
+        }
+    }
+
+    fn words(self) -> [u64; 3] {
+        match self {
+            RetrySpec::None => [0, 0, 0],
+            RetrySpec::Immediate => [1, 0, 0],
+            RetrySpec::Fixed(d) => [2, d, 0],
+            RetrySpec::ExpBackoff(b, c) => [3, b, c],
+        }
+    }
+
+    fn to_rust(self) -> String {
+        match self {
+            RetrySpec::None => "RetrySpec::None".into(),
+            RetrySpec::Immediate => "RetrySpec::Immediate".into(),
+            RetrySpec::Fixed(d) => format!("RetrySpec::Fixed({d})"),
+            RetrySpec::ExpBackoff(b, c) => format!("RetrySpec::ExpBackoff({b}, {c})"),
+        }
+    }
+}
+
+/// An admission-queue shed discipline, in scenario form. Mirrors
+/// [`aqt_workload::Shed`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedSpec {
+    /// Full queue rejects the incoming attempt (FIFO service).
+    RejectNewest,
+    /// Full queue evicts its oldest entry to admit the incoming one.
+    RejectOldest,
+    /// Serve newest-first (LIFO) — fresh work beats stale work.
+    LifoFlip,
+    /// Drop queued attempts that can no longer meet their deadline.
+    DeadlineDrop,
+}
+
+impl ShedSpec {
+    /// Every discipline, in coverage-index order.
+    pub const ALL: [ShedSpec; 4] = [
+        ShedSpec::RejectNewest,
+        ShedSpec::RejectOldest,
+        ShedSpec::LifoFlip,
+        ShedSpec::DeadlineDrop,
+    ];
+
+    /// Dense index, for coverage bucketing (`Feature::ClosedLoop`).
+    pub fn index(self) -> u8 {
+        match self {
+            ShedSpec::RejectNewest => 0,
+            ShedSpec::RejectOldest => 1,
+            ShedSpec::LifoFlip => 2,
+            ShedSpec::DeadlineDrop => 3,
+        }
+    }
+
+    /// Lower onto the workload type.
+    pub fn lower(self) -> aqt_workload::Shed {
+        match self {
+            ShedSpec::RejectNewest => aqt_workload::Shed::RejectNewest,
+            ShedSpec::RejectOldest => aqt_workload::Shed::RejectOldest,
+            ShedSpec::LifoFlip => aqt_workload::Shed::LifoFlip,
+            ShedSpec::DeadlineDrop => aqt_workload::Shed::DeadlineDrop,
+        }
+    }
+
+    fn to_rust(self) -> String {
+        format!("ShedSpec::{self:?}")
+    }
+}
+
+/// A closed-loop workload: a client population with timeout/retry
+/// driving a bounded admission queue over a `path_len`-edge line, in
+/// place of an open-loop injection schedule. Mirrors
+/// [`aqt_workload::ClosedLoopConfig`]; the scenario's `seed` seeds the
+/// population RNG and its `model` (when nonempty) validates the
+/// realized dispatch sequence exactly like an open-loop schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClosedLoopSpec {
+    /// Client population size.
+    pub num_clients: u32,
+    /// Idle steps between a completed request and the next.
+    pub think_time: Time,
+    /// Steps a client waits on an attempt before retrying.
+    pub timeout: Time,
+    /// Attempts per request before the client abandons it.
+    pub max_attempts: u32,
+    /// Retry policy.
+    pub retry: RetrySpec,
+    /// Admission-queue bound.
+    pub capacity: u32,
+    /// Shed discipline when the queue is full.
+    pub shed: ShedSpec,
+    /// Optional service outage `(from, until)` (half-open, in steps).
+    pub pause: Option<(Time, Time)>,
+    /// Line-topology length in edges (the service path).
+    pub path_len: u32,
+}
+
+impl ClosedLoopSpec {
+    /// Lower onto the workload config (`validate` and `window` are the
+    /// caller's — the campaign derives them from the scenario).
+    pub fn lower(&self, seed: u64) -> aqt_workload::ClosedLoopConfig {
+        aqt_workload::ClosedLoopConfig {
+            seed,
+            clients: aqt_workload::ClientConfig {
+                num_clients: self.num_clients.max(1),
+                think_time: self.think_time,
+                timeout: self.timeout.max(1),
+                max_attempts: self.max_attempts.max(1),
+                retry: self.retry.lower(),
+            },
+            service: aqt_workload::ServicePolicy {
+                capacity: self.capacity,
+                shed: self.shed.lower(),
+                pause: self.pause,
+            },
+            path_len: self.path_len.max(1),
+            validate: None,
+            window: 0,
+        }
+    }
+
+    fn words(&self) -> Vec<u64> {
+        let mut w = vec![
+            u64::from(self.num_clients),
+            self.think_time,
+            self.timeout,
+            u64::from(self.max_attempts),
+        ];
+        w.extend(self.retry.words());
+        w.push(u64::from(self.capacity));
+        w.push(u64::from(self.shed.index()));
+        match self.pause {
+            None => w.push(0),
+            Some((a, b)) => w.extend([1, a, b]),
+        }
+        w.push(u64::from(self.path_len));
+        w
+    }
+
+    /// Size metric for the shrinker: fewer clients, fewer attempts, a
+    /// smaller queue, a shorter path, no outage — all strictly smaller.
+    pub fn weight(&self) -> u64 {
+        u64::from(self.num_clients)
+            + u64::from(self.max_attempts)
+            + u64::from(self.capacity)
+            + u64::from(self.path_len)
+            + self.pause.map_or(0, |(a, b)| 1 + b.saturating_sub(a))
+    }
+
+    /// Strictly smaller variants, for the shrinker's closed-loop pass.
+    pub fn shrink_candidates(&self) -> Vec<ClosedLoopSpec> {
+        let mut out = Vec::new();
+        if self.num_clients > 1 {
+            out.push(ClosedLoopSpec {
+                num_clients: self.num_clients / 2,
+                ..*self
+            });
+            out.push(ClosedLoopSpec {
+                num_clients: self.num_clients - 1,
+                ..*self
+            });
+        }
+        if self.max_attempts > 1 {
+            out.push(ClosedLoopSpec {
+                max_attempts: self.max_attempts - 1,
+                ..*self
+            });
+        }
+        if self.capacity > 0 {
+            out.push(ClosedLoopSpec {
+                capacity: self.capacity / 2,
+                ..*self
+            });
+        }
+        if self.pause.is_some() {
+            out.push(ClosedLoopSpec {
+                pause: None,
+                ..*self
+            });
+        }
+        if self.path_len > 1 {
+            out.push(ClosedLoopSpec {
+                path_len: self.path_len - 1,
+                ..*self
+            });
+        }
+        out
+    }
+
+    fn to_rust(self) -> String {
+        format!(
+            "ClosedLoopSpec {{ num_clients: {}, think_time: {}, timeout: {}, \
+             max_attempts: {}, retry: {}, capacity: {}, shed: {}, pause: {}, path_len: {} }}",
+            self.num_clients,
+            self.think_time,
+            self.timeout,
+            self.max_attempts,
+            self.retry.to_rust(),
+            self.capacity,
+            self.shed.to_rust(),
+            match self.pause {
+                None => "None".into(),
+                Some((a, b)) => format!("Some(({a}, {b}))"),
+            },
+            self.path_len,
+        )
+    }
+}
+
 /// One point of the campaign's search space, as plain data.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
@@ -276,6 +508,12 @@ pub struct Scenario {
     pub model: Vec<ConstraintSpec>,
     /// Optional theorem bound to enforce during the run.
     pub certificate: Option<CertificateSpec>,
+    /// When set, the scenario is *closed-loop*: this client/service
+    /// workload generates the injections and the open-loop `injections`
+    /// and `faults` must be empty (the topology is the spec's own
+    /// line). `seed`, `cadence`, `deep_stride`, `model`, and
+    /// `certificate` apply as usual.
+    pub closed_loop: Option<ClosedLoopSpec>,
 }
 
 /// A scenario lowered onto real engine types, ready to run.
@@ -295,6 +533,9 @@ impl Scenario {
     pub fn build(&self) -> Result<Built, String> {
         if self.cadence == 0 {
             return Err("cadence 0 would disable the sentinel".into());
+        }
+        if self.closed_loop.is_some() && !(self.injections.is_empty() && self.faults.is_empty()) {
+            return Err("closed-loop scenario cannot carry an open-loop schedule or faults".into());
         }
         let graph = Arc::new(self.topology.build());
         let edge_count = graph.edge_count() as u32;
@@ -387,6 +628,13 @@ impl Scenario {
                 u64::from(c.time_priority),
             ]),
         }
+        match &self.closed_loop {
+            None => words.push(0),
+            Some(cl) => {
+                words.push(1);
+                words.extend(cl.words());
+            }
+        }
         fnv1a_u64s(words)
     }
 
@@ -403,6 +651,7 @@ impl Scenario {
                 .sum::<u64>()
             + self.faults.iter().map(FaultSpec::weight).sum::<u64>()
             + self.model.len() as u64
+            + self.closed_loop.as_ref().map_or(0, ClosedLoopSpec::weight)
     }
 
     /// Bitmask of the constraint-member kinds present in the model:
@@ -449,8 +698,12 @@ impl Scenario {
                 c.time_priority
             ),
         };
+        let closed_loop = match &self.closed_loop {
+            None => "None".into(),
+            Some(cl) => format!("Some({})", cl.to_rust()),
+        };
         format!(
-            "Scenario {{\n    topology: {},\n    protocol: \"{}\".into(),\n    seed: {},\n    horizon: {},\n    cadence: {},\n    deep_stride: {},\n    injections: vec![{}],\n    faults: vec![{}],\n    model: vec![{}],\n    certificate: {},\n}}",
+            "Scenario {{\n    topology: {},\n    protocol: \"{}\".into(),\n    seed: {},\n    horizon: {},\n    cadence: {},\n    deep_stride: {},\n    injections: vec![{}],\n    faults: vec![{}],\n    model: vec![{}],\n    certificate: {},\n    closed_loop: {},\n}}",
             self.topology.to_rust(),
             self.protocol,
             self.seed,
@@ -460,7 +713,8 @@ impl Scenario {
             injections.join(", "),
             faults.join(", "),
             model.join(", "),
-            certificate
+            certificate,
+            closed_loop
         )
     }
 }
@@ -488,6 +742,21 @@ mod tests {
             faults: vec![FaultSpec::Drop { edge: 1, time: 4 }],
             model: vec![],
             certificate: None,
+            closed_loop: None,
+        }
+    }
+
+    fn loop_spec() -> ClosedLoopSpec {
+        ClosedLoopSpec {
+            num_clients: 4,
+            think_time: 6,
+            timeout: 5,
+            max_attempts: 4,
+            retry: RetrySpec::ExpBackoff(2, 16),
+            capacity: 8,
+            shed: ShedSpec::RejectNewest,
+            pause: Some((10, 20)),
+            path_len: 2,
         }
     }
 
@@ -522,6 +791,16 @@ mod tests {
         // Non-consecutive edges on a line: Route::new must refuse.
         s.injections[0].cohort.route = vec![0, 2];
         assert!(s.build().is_err());
+
+        let mut s = base();
+        // Closed-loop scenarios generate their own injections; an
+        // open-loop schedule riding along is a generator bug.
+        s.closed_loop = Some(loop_spec());
+        assert!(s.build().is_err());
+        s.injections.clear();
+        assert!(s.build().is_err(), "faults must also be empty");
+        s.faults.clear();
+        assert!(s.build().is_ok());
     }
 
     #[test]
@@ -556,6 +835,34 @@ mod tests {
         let mut u = t.clone();
         u.model = vec![ConstraintSpec::BufferBound { bound: 3 }];
         assert_ne!(t.fingerprint(), u.fingerprint());
+        let mut t = s.clone();
+        t.closed_loop = Some(loop_spec());
+        assert_ne!(f, t.fingerprint());
+        let mut u = t.clone();
+        u.closed_loop = Some(ClosedLoopSpec {
+            shed: ShedSpec::LifoFlip,
+            ..loop_spec()
+        });
+        assert_ne!(t.fingerprint(), u.fingerprint());
+    }
+
+    #[test]
+    fn closed_loop_weight_and_shrinks_are_strictly_smaller() {
+        let spec = loop_spec();
+        let mut s = base();
+        s.injections.clear();
+        s.faults.clear();
+        let open_weight = s.weight();
+        s.closed_loop = Some(spec);
+        assert!(s.weight() > open_weight, "the spec has weight");
+        let cands = spec.shrink_candidates();
+        assert!(!cands.is_empty());
+        for cand in cands {
+            assert!(
+                cand.weight() < spec.weight(),
+                "{cand:?} not smaller than {spec:?}"
+            );
+        }
     }
 
     #[test]
@@ -632,6 +939,18 @@ mod tests {
         assert!(src.contains(
             "model: vec![ConstraintSpec::Rate(Ratio::new(1, 2)), \
              ConstraintSpec::BufferBound { bound: 3 }]"
+        ));
+
+        let mut s = base();
+        s.injections.clear();
+        s.faults.clear();
+        s.closed_loop = Some(loop_spec());
+        let src = s.to_rust();
+        assert!(src.contains(
+            "closed_loop: Some(ClosedLoopSpec { num_clients: 4, think_time: 6, \
+             timeout: 5, max_attempts: 4, retry: RetrySpec::ExpBackoff(2, 16), \
+             capacity: 8, shed: ShedSpec::RejectNewest, pause: Some((10, 20)), \
+             path_len: 2 })"
         ));
     }
 }

@@ -110,12 +110,32 @@ fn candidates(s: &Scenario, breach_time: Time) -> Vec<Scenario> {
         t.model.remove(i);
         out.push(t);
     }
-    // 7. Smaller topologies. Routes that no longer fit simply fail to
-    //    build and the candidate is rejected by its run.
-    for topo in s.topology.shrink_candidates() {
+    // 7. Shrink the closed-loop workload: fewer clients, fewer
+    //    attempts, a smaller queue, no outage, a shorter path (the
+    //    topology follows the path so the lowered config stays
+    //    consistent). Dropping the workload entirely is also offered —
+    //    it never survives re-run unless the breach was independent of
+    //    the loop.
+    if let Some(spec) = &s.closed_loop {
+        for cand in spec.shrink_candidates() {
+            let mut t = s.clone();
+            t.topology = crate::scenario::TopologySpec::Line(cand.path_len.max(1));
+            t.closed_loop = Some(cand);
+            out.push(t);
+        }
         let mut t = s.clone();
-        t.topology = topo;
+        t.closed_loop = None;
         out.push(t);
+    }
+    // 8. Smaller topologies (open-loop: routes that no longer fit
+    //    simply fail to build and the candidate is rejected by its
+    //    run).
+    if s.closed_loop.is_none() {
+        for topo in s.topology.shrink_candidates() {
+            let mut t = s.clone();
+            t.topology = topo;
+            out.push(t);
+        }
     }
     out
 }
@@ -208,6 +228,7 @@ mod tests {
                 initial: 0,
                 time_priority: false,
             }),
+            closed_loop: None,
         }
     }
 

@@ -1,4 +1,4 @@
-//! Typed runners for every reproduced claim (`EXPERIMENTS.md` E1–E16).
+//! Typed runners for every reproduced claim (`EXPERIMENTS.md` E1–E17).
 //!
 //! The integration tests run these at reduced scale, the Criterion
 //! benches at full scale; both print the same table rows so
@@ -15,6 +15,9 @@ use aqt_protocols::{by_name, protocol_names, Fifo};
 use aqt_sim::{
     AdversaryModelSpec, ConstraintSpec, Engine, EngineConfig, FaultPlan, Injection, Protocol,
     Provenance, Ratio, SharedSink, SimError, TelemetryConfig, TelemetryEvent, Time,
+};
+use aqt_workload::{
+    ClientConfig, ClosedLoop, ClosedLoopConfig, GoodputMeter, RetryPolicy, ServicePolicy, Shed,
 };
 
 use crate::instability::{InstabilityConfig, InstabilityConstruction};
@@ -759,7 +762,7 @@ pub fn e12_settling_ablation(
 // ---------------------------------------------------------------------
 
 /// One row of experiment E10.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct E10Row {
     /// Protocol the recorded adversary was replayed against.
     pub protocol: String,
@@ -777,9 +780,13 @@ pub struct E10Row {
 /// The replay is mechanical: injections are identical; the Lemma 3.3
 /// route extensions are re-applied to whatever packets sit in the same
 /// buffers (for non-historic protocols the lemma gives no legality
-/// guarantee, so the replays run without validation — the point is the
-/// *behavioral* contrast: the adversary is tuned to FIFO's scheduling
-/// rule and universally stable protocols shrug it off).
+/// guarantee, so the replays run without *reroute* validation — the
+/// point is the *behavioral* contrast: the adversary is tuned to
+/// FIFO's scheduling rule and universally stable protocols shrug it
+/// off). The injection stream, however, is protocol-independent, so
+/// every replay engine re-validates it against the construction's
+/// identity model `rate(1/2 + ε)` — the `EngineConfig::validate`
+/// convention every other experiment follows.
 pub fn e10_landscape(
     eps_num: u64,
     eps_den: u64,
@@ -793,7 +800,26 @@ pub fn e10_landscape(
 /// [`e10_landscape`] with full control over the construction's scale.
 /// Replays against LIS/NIS/FTG/… scan whole buffers per step, so large
 /// constructions are quadratic for them; tests pass a reduced config.
-pub fn e10_landscape_with(mut cfg: InstabilityConfig) -> Result<Vec<E10Row>, SimError> {
+///
+/// Replays carry the construction's identity model `rate(1/2 + ε)` in
+/// `EngineConfig::validate`; validation can only reject illegal
+/// injections, and the recorded stream is legal by construction, so
+/// the rows are identical to an unvalidated replay
+/// ([`e10_landscape_with_model`] with `None` — pinned by
+/// `tests/instability.rs`).
+pub fn e10_landscape_with(cfg: InstabilityConfig) -> Result<Vec<E10Row>, SimError> {
+    let rate = GadgetParams::new(cfg.eps_num, cfg.eps_den).rate;
+    e10_landscape_with_model(cfg, Some(AdversaryModelSpec::rate(rate)))
+}
+
+/// [`e10_landscape_with`], with explicit control over the adversary
+/// model the replay engines validate injections against (`None` = no
+/// validation — the pre-model behavior, kept for the identity
+/// comparison).
+pub fn e10_landscape_with_model(
+    mut cfg: InstabilityConfig,
+    validate: Option<AdversaryModelSpec>,
+) -> Result<Vec<E10Row>, SimError> {
     cfg.record_ops = true;
     let construction = InstabilityConstruction::new(cfg);
     let run = construction.run()?;
@@ -809,6 +835,7 @@ pub fn e10_landscape_with(mut cfg: InstabilityConfig) -> Result<Vec<E10Row>, Sim
             protocol,
             EngineConfig {
                 sample_every: (horizon / 256).max(1),
+                validate: validate.clone(),
                 ..Default::default()
             },
         );
@@ -1183,6 +1210,188 @@ pub fn e16_model_landscape(
 }
 
 // ---------------------------------------------------------------------
+// E17 — closed-loop congestion collapse: timeout × retry × queue bound.
+// ---------------------------------------------------------------------
+
+/// One cell of the E17 closed-loop sweep.
+#[derive(Debug, Clone)]
+pub struct E17Row {
+    /// Shed / service-order discipline of the admission queue.
+    pub shed: &'static str,
+    /// Client retry policy.
+    pub retry: &'static str,
+    /// Client timeout (steps).
+    pub timeout: Time,
+    /// Admission-queue bound.
+    pub capacity: u32,
+    /// Attempts issued in the measurement window (post-outage).
+    pub offered: u64,
+    /// On-time completions in the measurement window.
+    pub goodput: u64,
+    /// Stale completions (work done for clients that moved on).
+    pub wasted: u64,
+    /// Requests terminally shed or abandoned in the window.
+    pub failed: u64,
+    /// `goodput / offered` over the window (1.0 when nothing was
+    /// offered).
+    pub goodput_ratio: f64,
+    /// The collapse verdict: less than half the offered load became
+    /// goodput.
+    pub collapsed: bool,
+}
+
+/// The closed-loop configuration E17 sweeps: a fixed healthy client
+/// population (the open-loop demand is ~0.6 of the path's unit
+/// capacity) hit by a deterministic service outage, with `timeout`,
+/// `retry`, queue `capacity`, and `shed` as the swept knobs.
+pub fn e17_config(
+    timeout: Time,
+    capacity: u32,
+    retry: RetryPolicy,
+    shed: Shed,
+    seed: u64,
+) -> ClosedLoopConfig {
+    ClosedLoopConfig {
+        seed,
+        clients: ClientConfig {
+            num_clients: 8,
+            think_time: 8,
+            timeout,
+            max_attempts: 8,
+            retry,
+        },
+        service: ServicePolicy {
+            capacity,
+            shed,
+            // The spark: a 30-step outage. Whether the system returns
+            // to health afterwards — or stays collapsed serving stale
+            // work forever — is exactly what the cell measures.
+            pause: Some((40, 70)),
+        },
+        path_len: 2,
+        // The realized closed-loop injections are validated like any
+        // open-loop adversary: at most one dispatch per step, i.e.
+        // within the rate-1 model.
+        validate: Some(AdversaryModelSpec::rate(Ratio::ONE)),
+        window: 0,
+    }
+}
+
+/// Run E17: map the goodput-collapse frontier over timeout ×
+/// retry-policy × queue-bound × shed-discipline. Each cell runs the
+/// same deterministic outage scenario; goodput is measured from step
+/// `horizon/4` (well after the outage clears) to `horizon`, so the
+/// ratio captures the *steady state* the feedback loop settles into,
+/// not the transient.
+///
+/// Expected shape (the congestion-collapse frontier): with FIFO
+/// service and immediate retries, any timeout below the full-queue
+/// round trip (`capacity + path`) locks the system into serving only
+/// stale work — goodput collapses below 50% of offered load and stays
+/// there. LIFO service or deadline-drop shedding break the loop
+/// (fresh work is served within its deadline) and recover ≥ 90%.
+/// Every run enforces the request-conservation sentinel invariant.
+pub fn e17_closed_loop(horizon: Time) -> Result<Vec<E17Row>, SimError> {
+    let mut rows = Vec::new();
+    let retries = [
+        RetryPolicy::Immediate,
+        RetryPolicy::ExpBackoff { base: 4, cap: 32 },
+    ];
+    let sheds = [
+        Shed::RejectNewest,
+        Shed::RejectOldest,
+        Shed::LifoFlip,
+        Shed::DeadlineDrop,
+    ];
+    for &timeout in &[5u64, 12] {
+        for &capacity in &[8u32, 16] {
+            for &retry in &retries {
+                for &shed in &sheds {
+                    rows.push(e17_cell(
+                        e17_config(timeout, capacity, retry, shed, 1700),
+                        horizon,
+                    )?);
+                }
+            }
+        }
+    }
+    Ok(rows)
+}
+
+/// Run one E17 cell and measure its steady-state goodput split.
+fn e17_cell(cfg: ClosedLoopConfig, horizon: Time) -> Result<E17Row, SimError> {
+    let measure_from = horizon / 4;
+    let mut cl = ClosedLoop::on_line(cfg.clone());
+    cl.run(measure_from)?;
+    let base = cl.counters();
+    cl.run(horizon)?;
+    let end = cl.counters();
+    let offered = GoodputMeter::offered_delta(&base, &end);
+    let goodput = GoodputMeter::goodput_delta(&base, &end);
+    let wasted = GoodputMeter::wasted_delta(&base, &end);
+    let failed = (end.requests_abandoned - base.requests_abandoned)
+        + (end.requests_shed - base.requests_shed);
+    let goodput_ratio = if offered == 0 {
+        1.0
+    } else {
+        goodput as f64 / offered as f64
+    };
+    Ok(E17Row {
+        shed: cfg.service.shed.name(),
+        retry: cfg.clients.retry.name(),
+        timeout: cfg.clients.timeout,
+        capacity: cfg.service.capacity,
+        offered,
+        goodput,
+        wasted,
+        failed,
+        goodput_ratio,
+        collapsed: goodput_ratio < 0.5,
+    })
+}
+
+/// The E17 headline in one call: the collapse cell (short timeout,
+/// FIFO, immediate retry) next to the two recovery disciplines at
+/// identical parameters, plus the determinism evidence — the collapse
+/// run repeated from its seed is bit-identical, and its realized
+/// injection schedule replayed open-loop reproduces the same absorbed
+/// count.
+pub fn e17_collapse_demo(horizon: Time) -> Result<(Vec<E17Row>, bool), SimError> {
+    let cell = |shed| e17_config(5, 16, RetryPolicy::Immediate, shed, 1700);
+    let rows = vec![
+        e17_cell(cell(Shed::RejectNewest), horizon)?,
+        e17_cell(cell(Shed::LifoFlip), horizon)?,
+        e17_cell(cell(Shed::DeadlineDrop), horizon)?,
+    ];
+
+    // Determinism evidence for the collapse cell.
+    let mut a = ClosedLoop::on_line(cell(Shed::RejectNewest));
+    let mut b = ClosedLoop::on_line(cell(Shed::RejectNewest));
+    a.run(horizon)?;
+    b.run(horizon)?;
+    let bit_identical = a.counters() == b.counters()
+        && a.state() == b.state()
+        && a.realized().content_hash() == b.realized().content_hash();
+
+    // Open-loop replay: the realized schedule drives a fresh engine to
+    // the same absorption count.
+    let graph = Arc::new(topologies::line(a.config().path_len as usize));
+    let mut open = Engine::new(
+        graph,
+        Fifo,
+        EngineConfig {
+            validate: a.config().validate.clone(),
+            ..Default::default()
+        },
+    );
+    a.realized().replay(&mut open, a.engine().time())?;
+    let replay_identical = open.metrics().absorbed() == a.engine().metrics().absorbed()
+        && open.metrics().injected() == a.engine().metrics().injected();
+
+    Ok((rows, bit_identical && replay_identical))
+}
+
+// ---------------------------------------------------------------------
 // One-command reduced-scale tour.
 // ---------------------------------------------------------------------
 
@@ -1302,6 +1511,28 @@ pub fn quick_report_with_progress(
                      ⌈wr⌉ bound)",
                     total, survived
                 )],
+            ))
+        }),
+        Box::new(|| {
+            let (rows, reproducible) = e17_collapse_demo(600)?;
+            Ok((
+                "E17 — closed-loop congestion collapse and recovery".to_string(),
+                rows.iter()
+                    .map(|r| {
+                        format!(
+                            "{:>13}: goodput {:>3.0}% of offered ({} / {}), wasted {}, {}",
+                            r.shed,
+                            r.goodput_ratio * 100.0,
+                            r.goodput,
+                            r.offered,
+                            r.wasted,
+                            if r.collapsed { "COLLAPSED" } else { "healthy" }
+                        )
+                    })
+                    .chain(std::iter::once(format!(
+                        "bit-identical re-run and open-loop replay: {reproducible}"
+                    )))
+                    .collect(),
             ))
         }),
         Box::new(|| {

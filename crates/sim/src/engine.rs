@@ -152,6 +152,21 @@ pub struct Injection {
     pub count: u32,
 }
 
+/// One absorption event, recorded when [`Engine::record_absorptions`]
+/// is on: the packet's cohort tag plus its injection and absorption
+/// times. This is the reply channel for closed-loop layers (the
+/// `aqt-workload` crate tags each request attempt and matches replies
+/// by tag); the engine itself never reads the log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Absorption {
+    /// The absorbed packet's cohort tag.
+    pub tag: u32,
+    /// When the packet was injected.
+    pub injected_at: Time,
+    /// When the packet reached its destination (was absorbed).
+    pub absorbed_at: Time,
+}
+
 impl Injection {
     /// A single packet.
     pub fn new(route: Route, tag: u32) -> Self {
@@ -251,6 +266,12 @@ pub struct Engine<P: Protocol> {
     /// disabled is two boolean reads and one compare against the
     /// cached `window_next` gate — the same shape as `sentinel_next`.
     telemetry: Telemetry,
+    /// Record an [`Absorption`] per absorbed packet (off by default —
+    /// the hot path then pays one boolean read per absorption and the
+    /// log never allocates).
+    record_absorptions: bool,
+    /// The absorption log, drained by [`Engine::take_absorptions`].
+    absorptions: Vec<Absorption>,
 }
 
 impl<P: Protocol> Engine<P> {
@@ -282,6 +303,8 @@ impl<P: Protocol> Engine<P> {
             sentinel_next: Time::MAX,
             oracle: None,
             telemetry: Telemetry::disabled(),
+            record_absorptions: false,
+            absorptions: Vec::new(),
         }
     }
 
@@ -446,6 +469,22 @@ impl<P: Protocol> Engine<P> {
     #[inline]
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
+    }
+
+    /// Turn the absorption log on or off. While on, every absorbed
+    /// packet appends an [`Absorption`] to a log drained by
+    /// [`Engine::take_absorptions`]. Off by default; closed-loop
+    /// drivers (`aqt-workload`) turn it on to observe replies.
+    pub fn record_absorptions(&mut self, on: bool) {
+        self.record_absorptions = on;
+    }
+
+    /// Drain the absorption log accumulated since the last drain (in
+    /// absorption order; ties broken by receive order, which is
+    /// deterministic). Empty unless [`Engine::record_absorptions`] is
+    /// on.
+    pub fn take_absorptions(&mut self) -> Vec<Absorption> {
+        std::mem::take(&mut self.absorptions)
     }
 
     /// Zero the peak metrics (`max_queue_per_edge`, `max_buffer_wait`,
@@ -1027,6 +1066,13 @@ impl<P: Protocol> Engine<P> {
                     continue;
                 }
                 self.metrics.on_absorb(t - p.injected_at);
+                if self.record_absorptions {
+                    self.absorptions.push(Absorption {
+                        tag: p.tag,
+                        injected_at: p.injected_at,
+                        absorbed_at: t,
+                    });
+                }
             } else {
                 p.hop += 1;
                 p.arrived_at = t;

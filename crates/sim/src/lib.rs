@@ -68,7 +68,7 @@ pub mod trace;
 
 pub use buffer::BufferStore;
 pub use checkpoint::Checkpoint;
-pub use engine::{Engine, EngineConfig, EngineError, Injection};
+pub use engine::{Absorption, Engine, EngineConfig, EngineError, Injection};
 pub use error::SimError;
 pub use fault::{FaultEvent, FaultPlan, FaultPlanError};
 pub use metrics::Metrics;
@@ -95,5 +95,5 @@ pub use source::{run_with_source, TrafficSource};
 pub use telemetry::{
     JsonlSink, Log2Histogram, Provenance, RingSink, SharedSink, StageTimings, StderrSink, TeeSink,
     Telemetry, TelemetryConfig, TelemetryCounters, TelemetryEvent, TelemetryLevel, TelemetrySink,
-    TELEMETRY_SCHEMA_VERSION,
+    WorkloadCounters, TELEMETRY_SCHEMA_VERSION,
 };

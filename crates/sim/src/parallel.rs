@@ -76,8 +76,17 @@ pub struct SweepConfig {
     pub threads: usize,
     /// Retries after the first failed attempt of a job.
     pub max_retries: u32,
-    /// Backoff before retry `k` (0-based): `backoff_base << k`.
+    /// Backoff before retry `k` (0-based): `backoff_base << k`, plus a
+    /// deterministic jitter of up to half that (see
+    /// [`SweepConfig::retry_seed`]). `Duration::ZERO` disables the
+    /// sleep entirely, jitter included.
     pub backoff_base: Duration,
+    /// Seed for the retry jitter. The jitter is a pure function of
+    /// `(retry_seed, job index, attempt)` — two sweeps with the same
+    /// config produce bit-identical backoff sequences, and distinct
+    /// jobs retrying simultaneously are decorrelated instead of
+    /// thundering back in lockstep.
+    pub retry_seed: u64,
 }
 
 impl Default for SweepConfig {
@@ -86,6 +95,7 @@ impl Default for SweepConfig {
             threads: 0,
             max_retries: 2,
             backoff_base: Duration::from_millis(10),
+            retry_seed: 0x5EED_0F57,
         }
     }
 }
@@ -98,8 +108,39 @@ impl SweepConfig {
             threads,
             max_retries: 0,
             backoff_base: Duration::ZERO,
+            retry_seed: 0,
         }
     }
+
+    /// The backoff slept before retry `attempt` (1-based) of job
+    /// `index`: `backoff_base << (attempt - 1)`, plus a deterministic
+    /// jitter in `[0, base/2]` mixed from [`SweepConfig::retry_seed`].
+    /// Public so tests and telemetry consumers can pin the exact
+    /// schedule.
+    pub fn retry_backoff(&self, index: usize, attempt: u32) -> Duration {
+        let base = self
+            .backoff_base
+            .saturating_mul(1u32 << (attempt - 1).min(16));
+        if base.is_zero() {
+            return base;
+        }
+        let h = splitmix64(
+            self.retry_seed
+                ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ u64::from(attempt).wrapping_mul(0xBF58_476D_1CE4_E5B9),
+        );
+        let span = base.as_nanos() as u64 / 2;
+        base + Duration::from_nanos(h % (span + 1))
+    }
+}
+
+/// SplitMix64 finalizer — the standard 64-bit avalanche mix. Used only
+/// to derive retry jitter; not a statistical RNG.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
 }
 
 /// A quarantined job: every attempt panicked, or (under
@@ -259,14 +300,6 @@ where
         let mut last_message = String::new();
         let max_attempts = 1 + cfg.max_retries;
         for attempt in 0..max_attempts {
-            if attempt > 0 {
-                let backoff = cfg
-                    .backoff_base
-                    .saturating_mul(1u32 << (attempt - 1).min(16));
-                if backoff > Duration::ZERO {
-                    std::thread::sleep(backoff);
-                }
-            }
             attempts_total.fetch_add(1, Ordering::Relaxed);
             let attempt_t0 = Instant::now();
             match catch_unwind(AssertUnwindSafe(|| f(i, item))) {
@@ -283,11 +316,16 @@ where
                 Err(payload) => {
                     last_message = panic_message(payload.as_ref());
                     if attempt + 1 < max_attempts {
+                        let backoff = cfg.retry_backoff(i, attempt + 1);
                         if let Some(sink) = progress {
                             sink.record(&TelemetryEvent::JobRetried {
                                 index: i,
                                 attempt: attempt + 1,
+                                backoff_ms: backoff.as_millis() as u64,
                             });
+                        }
+                        if backoff > Duration::ZERO {
+                            std::thread::sleep(backoff);
                         }
                     }
                 }
@@ -551,6 +589,7 @@ mod tests {
             threads: 4,
             max_retries: 2,
             backoff_base: Duration::from_millis(1),
+            retry_seed: 42,
         };
         let report = run_sweep((0..20u64).collect(), &cfg, |_, &x| {
             if x == 13 {
@@ -579,6 +618,7 @@ mod tests {
             threads: 2,
             max_retries: 3,
             backoff_base: Duration::ZERO,
+            retry_seed: 42,
         };
         let report = run_sweep(vec![1u32, 2, 3], &cfg, |_, &x| {
             if x == 2 && flake.fetch_add(1, Ordering::SeqCst) < 2 {
@@ -607,6 +647,37 @@ mod tests {
             }
             other => panic!("expected JobPanicked, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn retry_backoff_is_deterministic_bounded_and_decorrelated() {
+        let cfg = SweepConfig {
+            threads: 1,
+            max_retries: 4,
+            backoff_base: Duration::from_millis(10),
+            retry_seed: 7,
+        };
+        for index in 0..8 {
+            for attempt in 1..=4u32 {
+                let base = Duration::from_millis(10) * (1 << (attempt - 1));
+                let b = cfg.retry_backoff(index, attempt);
+                // Same inputs, same backoff; bounded in [base, 1.5*base].
+                assert_eq!(b, cfg.retry_backoff(index, attempt));
+                assert!(
+                    b >= base && b <= base + base / 2,
+                    "backoff {b:?} out of range"
+                );
+            }
+        }
+        // Different jobs (and a different seed) jitter differently.
+        assert_ne!(cfg.retry_backoff(0, 1), cfg.retry_backoff(1, 1));
+        let other = SweepConfig {
+            retry_seed: 8,
+            ..cfg.clone()
+        };
+        assert_ne!(cfg.retry_backoff(0, 1), other.retry_backoff(0, 1));
+        // Zero base means no sleep at all, jitter included.
+        assert_eq!(SweepConfig::no_retry(1).retry_backoff(0, 1), Duration::ZERO);
     }
 
     #[test]

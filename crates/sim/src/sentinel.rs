@@ -31,6 +31,10 @@
 //! * [`InvariantKind::GadgetInvariant`] — reserved for external
 //!   checkers (`aqt-core`'s `C(S, F_n)` enforcement); the engine never
 //!   raises it itself.
+//! * [`InvariantKind::RequestConservation`] — the closed-loop request
+//!   ledger partition (`aqt-workload`): every issued request is exactly
+//!   one of completed, abandoned, shed, or in-flight. Like the gadget
+//!   invariant, raised by an external checker, never by the engine.
 //!
 //! A violation at [`Severity::Halt`] aborts the run with a typed error
 //! carrying a [`ReproBundle`] — seed, step, state snapshot, and fault
@@ -81,6 +85,10 @@ pub enum InvariantKind {
     OracleDivergence,
     /// A gadget invariant checked by an external verifier (aqt-core).
     GadgetInvariant,
+    /// The closed-loop request ledger partition, checked by an external
+    /// verifier (aqt-workload): issued = completed + abandoned + shed +
+    /// in-flight.
+    RequestConservation,
 }
 
 impl InvariantKind {
@@ -90,7 +98,7 @@ impl InvariantKind {
     /// `INVARIANTS.md` catalog test iterates this array so a newly
     /// added variant without a catalog entry (or vice versa) fails CI,
     /// and the campaign coverage map uses it to label breach features.
-    pub const ALL: [InvariantKind; 7] = [
+    pub const ALL: [InvariantKind; 8] = [
         InvariantKind::Conservation,
         InvariantKind::UnitSpeed,
         InvariantKind::RouteProgress,
@@ -98,6 +106,7 @@ impl InvariantKind {
         InvariantKind::Certificate,
         InvariantKind::OracleDivergence,
         InvariantKind::GadgetInvariant,
+        InvariantKind::RequestConservation,
     ];
 
     /// Stable display name.
@@ -110,6 +119,7 @@ impl InvariantKind {
             InvariantKind::Certificate => "certificate",
             InvariantKind::OracleDivergence => "oracle-divergence",
             InvariantKind::GadgetInvariant => "gadget-invariant",
+            InvariantKind::RequestConservation => "request-conservation",
         }
     }
 }
@@ -288,7 +298,7 @@ impl SentinelConfig {
             InvariantKind::SnapshotRoundTrip => self.snapshot_roundtrip = severity,
             InvariantKind::Certificate => self.certificate = severity,
             InvariantKind::OracleDivergence => self.oracle = severity,
-            InvariantKind::GadgetInvariant => {}
+            InvariantKind::GadgetInvariant | InvariantKind::RequestConservation => {}
         }
         self
     }
@@ -304,7 +314,7 @@ impl SentinelConfig {
             InvariantKind::OracleDivergence => self.oracle,
             // External checkers dispatch their own severity; when one
             // routes through the engine anyway, fail safe.
-            InvariantKind::GadgetInvariant => Severity::Halt,
+            InvariantKind::GadgetInvariant | InvariantKind::RequestConservation => Severity::Halt,
         }
     }
 }
@@ -682,13 +692,18 @@ mod tests {
         assert_eq!(dedup.len(), InvariantKind::ALL.len());
         assert!(names.contains(&"conservation"));
         assert!(names.contains(&"gadget-invariant"));
+        assert!(names.contains(&"request-conservation"));
     }
 
     #[test]
     fn with_severity_overrides_each_configurable_slot() {
         for kind in InvariantKind::ALL {
             let cfg = SentinelConfig::all_halt().with_severity(kind, Severity::Log);
-            let expect = if kind == InvariantKind::GadgetInvariant {
+            let external = matches!(
+                kind,
+                InvariantKind::GadgetInvariant | InvariantKind::RequestConservation
+            );
+            let expect = if external {
                 Severity::Halt // external checkers dispatch their own
             } else {
                 Severity::Log

@@ -52,7 +52,15 @@ use crate::packet::Time;
 ///   [`crate::rate::AdversaryModelSpec::fingerprint`] of the run's
 ///   adversary model), so a record names the exact constraint
 ///   composition its run validated under.
-pub const TELEMETRY_SCHEMA_VERSION: u32 = 3;
+/// * **4** — added the `workload_window` record (the closed-loop
+///   request ledger: `requests_issued` / `requests_completed` /
+///   `requests_abandoned` / `requests_shed` / `requests_in_flight` /
+///   `attempts_issued` / `attempts_retried` / `attempts_shed` /
+///   `completions_wasted` running totals plus the per-window
+///   `goodput` / `wasted` / `offered` split), and `job_retried`
+///   records gained `backoff_ms` (the seeded exponential backoff the
+///   sweep harness sleeps before the retry).
+pub const TELEMETRY_SCHEMA_VERSION: u32 = 4;
 
 /// How much the engine instruments per step.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -239,6 +247,38 @@ impl TelemetryCounters {
     }
 }
 
+/// The closed-loop request ledger (`aqt-workload`): running totals of
+/// the request-conservation partition (`requests_issued =
+/// requests_completed + requests_abandoned + requests_shed +
+/// requests_in_flight`) plus attempt-level activity. Defined here so
+/// [`TelemetryEvent::WorkloadWindow`] can carry it without a
+/// dependency cycle — the workload crate fills it in, the sinks only
+/// serialize it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkloadCounters {
+    /// Requests issued by clients (first attempts only).
+    pub requests_issued: u64,
+    /// Requests whose reply arrived while the client still waited.
+    pub requests_completed: u64,
+    /// Requests whose retry budget ran out waiting.
+    pub requests_abandoned: u64,
+    /// Requests terminally rejected at admission (final attempt shed).
+    pub requests_shed: u64,
+    /// Requests still open (waiting, queued, in transit, or backing
+    /// off).
+    pub requests_in_flight: u64,
+    /// Attempts issued (first tries + retries).
+    pub attempts_issued: u64,
+    /// Attempts beyond each request's first (the retry storm measure).
+    pub attempts_retried: u64,
+    /// Attempts rejected at admission by the [`Shed`] policy (shed
+    /// behaviors live in `aqt-workload`).
+    pub attempts_shed: u64,
+    /// Replies that arrived after their client stopped waiting —
+    /// service capacity spent on throw-away work.
+    pub completions_wasted: u64,
+}
+
 /// A coarse log2-bucketed latency histogram: bucket `i` counts samples
 /// in `[2^i, 2^(i+1))` nanoseconds (bucket 0 includes 0 ns; the last
 /// bucket absorbs everything ≥ 2^31 ns ≈ 2.1 s). Fixed storage, no
@@ -411,6 +451,9 @@ pub enum TelemetryEvent<'a> {
         index: usize,
         /// The attempt that just failed (1-based).
         attempt: u32,
+        /// Milliseconds of seeded exponential backoff slept before the
+        /// retry (0 under a zero base).
+        backoff_ms: u64,
     },
     /// A sweep job was quarantined.
     JobQuarantined {
@@ -432,6 +475,26 @@ pub enum TelemetryEvent<'a> {
         /// estimate.
         eta_secs: f64,
     },
+    /// One closed-loop workload window (`aqt-workload`'s goodput
+    /// meter): the request ledger's running totals at window close plus
+    /// the window's goodput split.
+    WorkloadWindow {
+        /// First step covered (exclusive: the window is `(start, end]`).
+        start: Time,
+        /// Last step covered.
+        end: Time,
+        /// Request-ledger running totals at window close.
+        counters: WorkloadCounters,
+        /// In-time completions within the window.
+        goodput: u64,
+        /// Post-abandonment completions within the window.
+        wasted: u64,
+        /// Attempts admitted to service within the window (offered
+        /// load).
+        offered: u64,
+        /// Run identity.
+        provenance: &'a Provenance,
+    },
 }
 
 impl TelemetryEvent<'_> {
@@ -446,6 +509,7 @@ impl TelemetryEvent<'_> {
             TelemetryEvent::JobRetried { .. } => EventKind::JobRetried,
             TelemetryEvent::JobQuarantined { .. } => EventKind::JobQuarantined,
             TelemetryEvent::SweepProgress { .. } => EventKind::SweepProgress,
+            TelemetryEvent::WorkloadWindow { .. } => EventKind::WorkloadWindow,
         }
     }
 }
@@ -469,6 +533,8 @@ pub enum EventKind {
     JobQuarantined,
     /// [`TelemetryEvent::SweepProgress`].
     SweepProgress,
+    /// [`TelemetryEvent::WorkloadWindow`].
+    WorkloadWindow,
 }
 
 impl EventKind {
@@ -483,6 +549,7 @@ impl EventKind {
             EventKind::JobRetried => "job_retried",
             EventKind::JobQuarantined => "job_quarantined",
             EventKind::SweepProgress => "sweep_progress",
+            EventKind::WorkloadWindow => "workload_window",
         }
     }
 }
@@ -577,6 +644,28 @@ impl JsonlSink {
             c.sentinel_rounds,
             c.oracle_diffs,
             c.windows_emitted
+        )
+        .unwrap();
+    }
+
+    fn workload_fields(line: &mut String, c: &WorkloadCounters) {
+        use std::fmt::Write as _;
+        write!(
+            line,
+            ",\"requests_issued\":{},\"requests_completed\":{},\
+             \"requests_abandoned\":{},\"requests_shed\":{},\
+             \"requests_in_flight\":{},\"attempts_issued\":{},\
+             \"attempts_retried\":{},\"attempts_shed\":{},\
+             \"completions_wasted\":{}",
+            c.requests_issued,
+            c.requests_completed,
+            c.requests_abandoned,
+            c.requests_shed,
+            c.requests_in_flight,
+            c.attempts_issued,
+            c.attempts_retried,
+            c.attempts_shed,
+            c.completions_wasted
         )
         .unwrap();
     }
@@ -687,8 +776,16 @@ impl TelemetrySink for JsonlSink {
                 )
                 .unwrap();
             }
-            TelemetryEvent::JobRetried { index, attempt } => {
-                write!(line, ",\"index\":{index},\"attempt\":{attempt}").unwrap();
+            TelemetryEvent::JobRetried {
+                index,
+                attempt,
+                backoff_ms,
+            } => {
+                write!(
+                    line,
+                    ",\"index\":{index},\"attempt\":{attempt},\"backoff_ms\":{backoff_ms}"
+                )
+                .unwrap();
             }
             TelemetryEvent::JobQuarantined { index, attempts } => {
                 write!(line, ",\"index\":{index},\"attempts\":{attempts}").unwrap();
@@ -705,6 +802,24 @@ impl TelemetrySink for JsonlSink {
                      \"elapsed_secs\":{elapsed_secs:.3},\"eta_secs\":{eta_secs:.3}"
                 )
                 .unwrap();
+            }
+            TelemetryEvent::WorkloadWindow {
+                start,
+                end,
+                counters,
+                goodput,
+                wasted,
+                offered,
+                provenance,
+            } => {
+                write!(line, ",\"start\":{start},\"end\":{end}").unwrap();
+                Self::workload_fields(line, counters);
+                write!(
+                    line,
+                    ",\"goodput\":{goodput},\"wasted\":{wasted},\"offered\":{offered}"
+                )
+                .unwrap();
+                Self::provenance_fields(line, provenance);
             }
         }
         line.push_str("}\n");
@@ -844,11 +959,15 @@ impl TelemetrySink for RingSink {
                 v1: secs.to_bits(),
                 v2: 0,
             },
-            TelemetryEvent::JobRetried { index, attempt } => CompactRecord {
+            TelemetryEvent::JobRetried {
+                index,
+                attempt,
+                backoff_ms,
+            } => CompactRecord {
                 kind: EventKind::JobRetried,
                 time: index as Time,
                 v0: attempt as u64,
-                v1: 0,
+                v1: backoff_ms,
                 v2: 0,
             },
             TelemetryEvent::JobQuarantined { index, attempts } => CompactRecord {
@@ -869,6 +988,19 @@ impl TelemetrySink for RingSink {
                 v0: total as u64,
                 v1: elapsed_secs.to_bits(),
                 v2: eta_secs.to_bits(),
+            },
+            TelemetryEvent::WorkloadWindow {
+                end,
+                goodput,
+                wasted,
+                offered,
+                ..
+            } => CompactRecord {
+                kind: EventKind::WorkloadWindow,
+                time: end,
+                v0: goodput,
+                v1: wasted,
+                v2: offered,
             },
         };
         if self.buf.len() < self.cap {
@@ -928,9 +1060,13 @@ impl TelemetrySink for StderrSink {
                     eprintln!("[sweep] job {} done in {secs:.1}s", index + 1);
                 }
             }
-            TelemetryEvent::JobRetried { index, attempt } => {
+            TelemetryEvent::JobRetried {
+                index,
+                attempt,
+                backoff_ms,
+            } => {
                 eprintln!(
-                    "[sweep] job {} attempt {attempt} failed, retrying",
+                    "[sweep] job {} attempt {attempt} failed, retrying after {backoff_ms}ms",
                     index + 1
                 );
             }
@@ -950,6 +1086,8 @@ impl TelemetrySink for StderrSink {
                     "[sweep] {done}/{total} done, elapsed {elapsed_secs:.1}s, ETA {eta_secs:.1}s"
                 );
             }
+            // Too chatty for a terminal, like engine windows.
+            TelemetryEvent::WorkloadWindow { .. } => {}
         }
     }
 }
@@ -1328,7 +1466,7 @@ mod tests {
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 3);
         for l in &lines {
-            assert!(l.starts_with("{\"schema\":3,\"kind\":\""), "line: {l}");
+            assert!(l.starts_with("{\"schema\":4,\"kind\":\""), "line: {l}");
             assert!(l.ends_with('}'), "line: {l}");
         }
         assert!(lines[0].contains("\"kind\":\"run_start\""));

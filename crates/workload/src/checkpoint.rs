@@ -1,0 +1,115 @@
+//! Checkpointing for closed-loop runs: the engine checkpoint plus the
+//! workload's own state (clients, queue, retry timers, RNG, ledger),
+//! versioned and fail-closed.
+//!
+//! The workload state is plain data with `PartialEq`, so round-trip
+//! tests compare it bit-for-bit. The schema version gates restore the
+//! same way [`aqt_sim::snapshot::SNAPSHOT_SCHEMA_VERSION`] gates
+//! engine snapshots: an unknown version is an error, never a guess.
+
+use aqt_sim::telemetry::WorkloadCounters;
+use aqt_sim::{Checkpoint, Time};
+
+use crate::driver::QueuedAttempt;
+use crate::population::ClientState;
+
+/// Version stamped on every [`WorkloadCheckpoint`]. Bump on any layout
+/// change to the workload state below (the engine part carries its own
+/// snapshot schema version).
+pub const WORKLOAD_SCHEMA_VERSION: u32 = 1;
+
+/// The workload's checkpointable state, engine excluded. Everything
+/// the closed loop needs to resume bit-identically: client state
+/// machines (in-flight request table and retry timers included), the
+/// admission queue, the attempt-ownership map, the RNG state, and the
+/// request ledger.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkloadState {
+    /// Per-client state machines.
+    pub clients: Vec<ClientState>,
+    /// Next request id.
+    pub next_request: u64,
+    /// The admission queue, front first.
+    pub queue: Vec<QueuedAttempt>,
+    /// Attempt id → issuing client for every live attempt.
+    pub owner: Vec<(u32, u32)>,
+    /// The workload RNG state.
+    pub rng: u64,
+    /// The request ledger.
+    pub counters: WorkloadCounters,
+    /// Next attempt id (engine cohort tag).
+    pub next_attempt: u32,
+    /// Goodput-meter window start.
+    pub meter_window_start: Time,
+    /// Ledger totals at the meter window start.
+    pub meter_base: WorkloadCounters,
+}
+
+/// A complete closed-loop capture: workload state plus the engine's
+/// own [`Checkpoint`].
+#[derive(Debug, Clone)]
+pub struct WorkloadCheckpoint {
+    /// [`WORKLOAD_SCHEMA_VERSION`] at capture.
+    pub version: u32,
+    /// The workload state.
+    pub state: WorkloadState,
+    /// The engine state (network, metrics, validators, clock).
+    pub engine: Checkpoint,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{baseline_config, ClosedLoop, WorkloadError};
+
+    #[test]
+    fn round_trip_resumes_bit_identically() {
+        let cfg = baseline_config(21);
+        let mut a = ClosedLoop::on_line(cfg.clone());
+        a.run(120).unwrap();
+        let ck = a.checkpoint();
+        a.run(240).unwrap();
+
+        let mut b = ClosedLoop::on_line(cfg);
+        b.restore(&ck).unwrap();
+        assert_eq!(b.state(), ck.state);
+        b.run(240).unwrap();
+        assert_eq!(a.state(), b.state());
+        assert_eq!(a.counters(), b.counters());
+        assert_eq!(
+            a.engine().metrics().absorbed(),
+            b.engine().metrics().absorbed()
+        );
+    }
+
+    #[test]
+    fn unknown_version_fails_closed() {
+        let cfg = baseline_config(22);
+        let mut a = ClosedLoop::on_line(cfg.clone());
+        a.run(50).unwrap();
+        let mut ck = a.checkpoint();
+        ck.version = WORKLOAD_SCHEMA_VERSION + 1;
+        let mut b = ClosedLoop::on_line(cfg);
+        let before = b.state();
+        match b.restore(&ck) {
+            Err(WorkloadError::SchemaMismatch { found, expected }) => {
+                assert_eq!(found, WORKLOAD_SCHEMA_VERSION + 1);
+                assert_eq!(expected, WORKLOAD_SCHEMA_VERSION);
+            }
+            other => panic!("expected SchemaMismatch, got {other:?}"),
+        }
+        assert_eq!(b.state(), before, "failed restore must not mutate");
+    }
+
+    #[test]
+    fn client_count_mismatch_fails_closed() {
+        let cfg = baseline_config(23);
+        let mut a = ClosedLoop::on_line(cfg.clone());
+        a.run(50).unwrap();
+        let ck = a.checkpoint();
+        let mut other = cfg;
+        other.clients.num_clients += 1;
+        let mut b = ClosedLoop::on_line(other);
+        assert!(matches!(b.restore(&ck), Err(WorkloadError::Checkpoint(_))));
+    }
+}

@@ -1,0 +1,159 @@
+//! Goodput metering: the split of raw throughput into useful and
+//! thrown-away work.
+//!
+//! The engine's own metrics count *absorptions*; under a closed loop
+//! some of those completions arrive after the requesting client has
+//! already timed out — work the network did for nobody. The meter
+//! tracks the request-level ledger ([`WorkloadCounters`]) at window
+//! granularity and emits one [`TelemetryEvent::WorkloadWindow`] per
+//! window: running totals plus the per-window `goodput` (on-time
+//! completions), `wasted` (stale completions), and `offered` (attempts
+//! issued) deltas.
+
+use aqt_sim::telemetry::{Provenance, SharedSink, TelemetryEvent, WorkloadCounters};
+use aqt_sim::Time;
+
+/// Windowed goodput/waste/offered series over the request ledger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GoodputMeter {
+    /// Window length in steps (`0` disables window emission).
+    window: Time,
+    /// Start of the current window.
+    window_start: Time,
+    /// Ledger totals at the start of the current window.
+    base: WorkloadCounters,
+}
+
+impl GoodputMeter {
+    /// A meter emitting every `window` steps (`0` = never).
+    pub fn new(window: Time) -> Self {
+        GoodputMeter {
+            window,
+            window_start: 0,
+            base: WorkloadCounters::default(),
+        }
+    }
+
+    /// Per-window goodput: completions on time.
+    pub fn goodput_delta(base: &WorkloadCounters, now: &WorkloadCounters) -> u64 {
+        now.requests_completed - base.requests_completed
+    }
+
+    /// Per-window wasted work: completions after the client moved on.
+    pub fn wasted_delta(base: &WorkloadCounters, now: &WorkloadCounters) -> u64 {
+        now.completions_wasted - base.completions_wasted
+    }
+
+    /// Per-window offered load: attempts issued.
+    pub fn offered_delta(base: &WorkloadCounters, now: &WorkloadCounters) -> u64 {
+        now.attempts_issued - base.attempts_issued
+    }
+
+    /// Close any windows that ended at or before `now`, emitting one
+    /// record per window through `sink`.
+    pub fn roll(
+        &mut self,
+        now: Time,
+        counters: &WorkloadCounters,
+        sink: Option<&SharedSink>,
+        provenance: &Provenance,
+    ) {
+        if self.window == 0 {
+            return;
+        }
+        while now >= self.window_start + self.window {
+            let end = self.window_start + self.window;
+            if let Some(sink) = sink {
+                sink.record(&TelemetryEvent::WorkloadWindow {
+                    start: self.window_start,
+                    end,
+                    counters: *counters,
+                    goodput: Self::goodput_delta(&self.base, counters),
+                    wasted: Self::wasted_delta(&self.base, counters),
+                    offered: Self::offered_delta(&self.base, counters),
+                    provenance,
+                });
+            }
+            self.window_start = end;
+            self.base = *counters;
+        }
+    }
+
+    /// Checkpoint accessors: `(window_start, base)`.
+    pub(crate) fn state(&self) -> (Time, WorkloadCounters) {
+        (self.window_start, self.base)
+    }
+
+    /// Restore from checkpointed state.
+    pub(crate) fn restore(&mut self, window_start: Time, base: WorkloadCounters) {
+        self.window_start = window_start;
+        self.base = base;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    use aqt_sim::telemetry::TelemetrySink;
+
+    /// `(start, end, goodput, wasted, offered)` of one emitted window.
+    type WindowRow = (Time, Time, u64, u64, u64);
+
+    #[derive(Clone, Default)]
+    struct Capture(Arc<Mutex<Vec<WindowRow>>>);
+
+    impl TelemetrySink for Capture {
+        fn record(&mut self, event: &TelemetryEvent<'_>) {
+            if let TelemetryEvent::WorkloadWindow {
+                start,
+                end,
+                goodput,
+                wasted,
+                offered,
+                ..
+            } = event
+            {
+                self.0
+                    .lock()
+                    .unwrap()
+                    .push((*start, *end, *goodput, *wasted, *offered));
+            }
+        }
+    }
+
+    #[test]
+    fn windows_carry_deltas_not_totals() {
+        let capture = Capture::default();
+        let sink = SharedSink::new(capture.clone());
+        let prov = Provenance::default();
+        let mut meter = GoodputMeter::new(10);
+        let mut c = WorkloadCounters {
+            requests_completed: 3,
+            completions_wasted: 1,
+            attempts_issued: 5,
+            ..WorkloadCounters::default()
+        };
+        meter.roll(10, &c, Some(&sink), &prov);
+        c.requests_completed = 4;
+        c.attempts_issued = 9;
+        meter.roll(20, &c, Some(&sink), &prov);
+        let got = capture.0.lock().unwrap().clone();
+        assert_eq!(got, vec![(0, 10, 3, 1, 5), (10, 20, 1, 0, 4)]);
+    }
+
+    #[test]
+    fn zero_window_never_emits() {
+        let capture = Capture::default();
+        let sink = SharedSink::new(capture.clone());
+        let mut meter = GoodputMeter::new(0);
+        meter.roll(
+            100,
+            &WorkloadCounters::default(),
+            Some(&sink),
+            &Provenance::default(),
+        );
+        assert!(capture.0.lock().unwrap().is_empty());
+    }
+}

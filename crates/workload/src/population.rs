@@ -1,0 +1,441 @@
+//! The client side of the closed loop: a population of request
+//! sources with think times, per-attempt timeouts, and bounded
+//! retries.
+//!
+//! Each client is a three-state machine — `Idle` (thinking),
+//! `Waiting` (an attempt is in the system), `Backoff` (between a
+//! timeout and the next attempt) — advanced once per engine step in
+//! client-index order, so the whole population is deterministic given
+//! the workload seed.
+
+use aqt_sim::telemetry::WorkloadCounters;
+use aqt_sim::Time;
+
+use crate::policy::RetryPolicy;
+use crate::rng::Rng64;
+
+/// Client-side configuration of the closed loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientConfig {
+    /// Population size.
+    pub num_clients: u32,
+    /// Steps a client thinks between finishing one request (however it
+    /// ended) and issuing the next.
+    pub think_time: Time,
+    /// Steps a client waits for a reply before giving up on an
+    /// attempt.
+    pub timeout: Time,
+    /// Total attempts per request (first try included); at least 1.
+    pub max_attempts: u32,
+    /// What to do when an attempt fails and attempts remain.
+    pub retry: RetryPolicy,
+}
+
+/// One client's state. `Idle` carries no request; the other two states
+/// carry the live request and how many attempts it has consumed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClientState {
+    /// Thinking; the next request is issued once `next_request_at`
+    /// arrives.
+    Idle {
+        /// When the next request is issued.
+        next_request_at: Time,
+    },
+    /// An attempt is in the system (admission queue or network).
+    Waiting {
+        /// The live request's id.
+        request: u64,
+        /// Attempts consumed so far (the one in flight included).
+        attempt: u32,
+        /// The in-flight attempt's id (the engine cohort tag).
+        attempt_id: u32,
+        /// When the client gives up on this attempt.
+        timeout_at: Time,
+    },
+    /// Between a failed attempt and the next one.
+    Backoff {
+        /// The live request's id.
+        request: u64,
+        /// Attempts consumed so far.
+        attempt: u32,
+        /// When the next attempt is issued.
+        resume_at: Time,
+    },
+}
+
+/// An attempt the population wants to issue this step. The driver
+/// assigns the attempt id and runs admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Issue {
+    /// Issuing client (index into the population).
+    pub client: u32,
+    /// The request the attempt serves.
+    pub request: u64,
+    /// Attempt number within the request (1-based).
+    pub attempt_no: u32,
+}
+
+/// How a reply (an absorption) was classified against the population.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplyClass {
+    /// The reply completed the request the client was waiting on.
+    Goodput,
+    /// The client had already moved on — thrown-away work.
+    Wasted,
+}
+
+/// The population of closed-loop clients.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientPopulation {
+    clients: Vec<ClientState>,
+    /// Requests currently live (clients not `Idle`) — maintained
+    /// incrementally, re-derived independently by the conservation
+    /// check.
+    in_flight: u64,
+    /// Next request id.
+    next_request: u64,
+}
+
+impl ClientPopulation {
+    /// A population of `cfg.num_clients` idle clients with staggered
+    /// first requests (client `i` starts thinking as if it had just
+    /// finished a request at step `i mod (think_time + 1)`), so the
+    /// initial burst does not exceed the admission queue by
+    /// construction artifacts alone.
+    pub fn new(cfg: &ClientConfig) -> Self {
+        let clients = (0..cfg.num_clients)
+            .map(|i| ClientState::Idle {
+                next_request_at: 1 + Time::from(i) % (cfg.think_time + 1),
+            })
+            .collect();
+        ClientPopulation {
+            clients,
+            in_flight: 0,
+            next_request: 0,
+        }
+    }
+
+    /// Number of clients.
+    pub fn len(&self) -> u32 {
+        self.clients.len() as u32
+    }
+
+    /// True if the population is empty.
+    pub fn is_empty(&self) -> bool {
+        self.clients.is_empty()
+    }
+
+    /// Live requests (clients not idle), maintained incrementally.
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight
+    }
+
+    /// Live requests re-derived from the states — the independent
+    /// count the conservation invariant checks against.
+    pub fn in_flight_derived(&self) -> u64 {
+        self.clients
+            .iter()
+            .filter(|c| !matches!(c, ClientState::Idle { .. }))
+            .count() as u64
+    }
+
+    /// The raw states, for checkpointing.
+    pub fn states(&self) -> &[ClientState] {
+        &self.clients
+    }
+
+    /// Restore from checkpointed states.
+    pub(crate) fn restore(states: Vec<ClientState>, next_request: u64) -> Self {
+        let in_flight = states
+            .iter()
+            .filter(|c| !matches!(c, ClientState::Idle { .. }))
+            .count() as u64;
+        ClientPopulation {
+            clients: states,
+            in_flight,
+            next_request,
+        }
+    }
+
+    /// Next request id, for checkpointing.
+    pub(crate) fn next_request(&self) -> u64 {
+        self.next_request
+    }
+
+    /// Advance every client to `now`: issue new requests whose think
+    /// timers expired, time out overdue attempts (retrying or
+    /// abandoning per the policy), and resume clients whose backoff
+    /// elapsed. New attempts are appended to `issues` in client order.
+    pub fn tick(
+        &mut self,
+        now: Time,
+        cfg: &ClientConfig,
+        rng: &mut Rng64,
+        counters: &mut WorkloadCounters,
+        issues: &mut Vec<Issue>,
+    ) {
+        for i in 0..self.clients.len() {
+            match self.clients[i] {
+                ClientState::Idle { next_request_at } if now >= next_request_at => {
+                    let request = self.next_request;
+                    self.next_request += 1;
+                    counters.requests_issued += 1;
+                    self.in_flight += 1;
+                    issues.push(Issue {
+                        client: i as u32,
+                        request,
+                        attempt_no: 1,
+                    });
+                }
+                ClientState::Waiting {
+                    request,
+                    attempt,
+                    timeout_at,
+                    ..
+                } if now >= timeout_at => {
+                    // The attempt timed out; its packet (if any) keeps
+                    // flowing and will be classified as wasted work.
+                    self.fail_attempt(i, request, attempt, now, cfg, rng, counters, issues);
+                }
+                ClientState::Backoff {
+                    request,
+                    attempt,
+                    resume_at,
+                } if now >= resume_at => {
+                    issues.push(Issue {
+                        client: i as u32,
+                        request,
+                        attempt_no: attempt + 1,
+                    });
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Shared failure path for timeouts and synchronous rejections:
+    /// schedule the next attempt per the retry policy, or retire the
+    /// request. Returns `true` if the request was retired (the caller
+    /// decides whether that is an abandon or a shed).
+    #[allow(clippy::too_many_arguments)]
+    fn fail_attempt(
+        &mut self,
+        i: usize,
+        request: u64,
+        attempt: u32,
+        now: Time,
+        cfg: &ClientConfig,
+        rng: &mut Rng64,
+        counters: &mut WorkloadCounters,
+        issues: &mut Vec<Issue>,
+    ) -> bool {
+        if attempt < cfg.max_attempts {
+            if let Some(delay) = cfg.retry.delay(attempt + 1, rng) {
+                if delay == 0 {
+                    issues.push(Issue {
+                        client: i as u32,
+                        request,
+                        attempt_no: attempt + 1,
+                    });
+                } else {
+                    self.clients[i] = ClientState::Backoff {
+                        request,
+                        attempt,
+                        resume_at: now + delay,
+                    };
+                }
+                return false;
+            }
+        }
+        counters.requests_abandoned += 1;
+        self.retire(i, now, cfg);
+        true
+    }
+
+    /// Mark `issue` as in flight under `attempt_id`, timing out at
+    /// `now + cfg.timeout`. Called by the driver once it has assigned
+    /// the attempt id.
+    pub fn wait(&mut self, issue: &Issue, attempt_id: u32, now: Time, cfg: &ClientConfig) {
+        self.clients[issue.client as usize] = ClientState::Waiting {
+            request: issue.request,
+            attempt: issue.attempt_no,
+            attempt_id,
+            timeout_at: now + cfg.timeout,
+        };
+    }
+
+    /// Classify a reply carrying attempt tag `tag` for `client`. A
+    /// reply for the attempt the client is waiting on completes the
+    /// request (the client goes back to thinking); anything else is
+    /// wasted work.
+    pub fn reply(
+        &mut self,
+        client: u32,
+        tag: u32,
+        now: Time,
+        cfg: &ClientConfig,
+        counters: &mut WorkloadCounters,
+    ) -> ReplyClass {
+        let i = client as usize;
+        match self.clients[i] {
+            ClientState::Waiting { attempt_id, .. } if attempt_id == tag => {
+                counters.requests_completed += 1;
+                self.retire(i, now, cfg);
+                ReplyClass::Goodput
+            }
+            _ => {
+                counters.completions_wasted += 1;
+                ReplyClass::Wasted
+            }
+        }
+    }
+
+    /// The admission queue rejected `client`'s just-issued attempt
+    /// (attempt number `attempt`). The rejection is synchronous, but
+    /// the client reacts next step at the earliest (a zero-delay retry
+    /// against a full queue must not loop within one step). If no
+    /// attempts remain the request is retired as *shed*.
+    #[allow(clippy::too_many_arguments)]
+    pub fn reject(
+        &mut self,
+        client: u32,
+        request: u64,
+        attempt: u32,
+        now: Time,
+        cfg: &ClientConfig,
+        rng: &mut Rng64,
+        counters: &mut WorkloadCounters,
+    ) {
+        let i = client as usize;
+        if attempt < cfg.max_attempts {
+            if let Some(delay) = cfg.retry.delay(attempt + 1, rng) {
+                self.clients[i] = ClientState::Backoff {
+                    request,
+                    attempt,
+                    resume_at: now + delay.max(1),
+                };
+                return;
+            }
+        }
+        counters.requests_shed += 1;
+        self.retire(i, now, cfg);
+    }
+
+    /// Retire client `i`'s live request (counted by the caller) and
+    /// start its think timer.
+    fn retire(&mut self, i: usize, now: Time, cfg: &ClientConfig) {
+        self.in_flight -= 1;
+        self.clients[i] = ClientState::Idle {
+            next_request_at: now + cfg.think_time,
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ClientConfig {
+        ClientConfig {
+            num_clients: 2,
+            think_time: 4,
+            timeout: 3,
+            max_attempts: 2,
+            retry: RetryPolicy::Immediate,
+        }
+    }
+
+    #[test]
+    fn idle_clients_issue_on_schedule() {
+        let cfg = cfg();
+        let mut pop = ClientPopulation::new(&cfg);
+        let mut rng = Rng64::new(0);
+        let mut c = WorkloadCounters::default();
+        let mut issues = Vec::new();
+        pop.tick(1, &cfg, &mut rng, &mut c, &mut issues);
+        // Client 0 starts at step 1, client 1 at step 2 (staggered).
+        assert_eq!(issues.len(), 1);
+        assert_eq!(issues[0].client, 0);
+        assert_eq!(c.requests_issued, 1);
+        assert_eq!(pop.in_flight(), 1);
+    }
+
+    #[test]
+    fn timeout_retries_then_abandons() {
+        let cfg = cfg();
+        let mut pop = ClientPopulation::new(&cfg);
+        let mut rng = Rng64::new(0);
+        let mut c = WorkloadCounters::default();
+        let mut issues = Vec::new();
+        pop.tick(1, &cfg, &mut rng, &mut c, &mut issues);
+        pop.wait(&issues[0], 100, 1, &cfg);
+        // Timeout at 1 + 3 = 4: immediate retry issues attempt 2.
+        issues.clear();
+        pop.tick(4, &cfg, &mut rng, &mut c, &mut issues);
+        let retry = issues.iter().find(|i| i.client == 0).unwrap();
+        assert_eq!(retry.attempt_no, 2);
+        pop.wait(retry, 101, 4, &cfg);
+        // Second timeout exhausts max_attempts = 2: abandon.
+        issues.clear();
+        pop.tick(7, &cfg, &mut rng, &mut c, &mut issues);
+        assert!(issues.iter().all(|i| i.client != 0));
+        assert_eq!(c.requests_abandoned, 1);
+        assert!(matches!(
+            pop.states()[0],
+            ClientState::Idle {
+                next_request_at: 11
+            }
+        ));
+    }
+
+    #[test]
+    fn replies_split_into_goodput_and_waste() {
+        let cfg = cfg();
+        let mut pop = ClientPopulation::new(&cfg);
+        let mut rng = Rng64::new(0);
+        let mut c = WorkloadCounters::default();
+        let mut issues = Vec::new();
+        pop.tick(1, &cfg, &mut rng, &mut c, &mut issues);
+        pop.wait(&issues[0], 7, 1, &cfg);
+        // A stale tag is wasted; the awaited tag completes.
+        assert_eq!(pop.reply(0, 6, 2, &cfg, &mut c), ReplyClass::Wasted);
+        assert_eq!(pop.reply(0, 7, 2, &cfg, &mut c), ReplyClass::Goodput);
+        assert_eq!(c.requests_completed, 1);
+        assert_eq!(c.completions_wasted, 1);
+        assert_eq!(pop.in_flight(), 0);
+        // A reply to an idle client is wasted too.
+        assert_eq!(pop.reply(0, 7, 3, &cfg, &mut c), ReplyClass::Wasted);
+    }
+
+    #[test]
+    fn rejection_of_final_attempt_sheds_the_request() {
+        let mut cfg = cfg();
+        cfg.max_attempts = 1;
+        let mut pop = ClientPopulation::new(&cfg);
+        let mut rng = Rng64::new(0);
+        let mut c = WorkloadCounters::default();
+        let mut issues = Vec::new();
+        pop.tick(1, &cfg, &mut rng, &mut c, &mut issues);
+        pop.wait(&issues[0], 1, 1, &cfg);
+        pop.reject(0, issues[0].request, 1, 1, &cfg, &mut rng, &mut c);
+        assert_eq!(c.requests_shed, 1);
+        assert_eq!(pop.in_flight(), 0);
+    }
+
+    #[test]
+    fn in_flight_derivation_matches_running_count() {
+        let cfg = cfg();
+        let mut pop = ClientPopulation::new(&cfg);
+        let mut rng = Rng64::new(0);
+        let mut c = WorkloadCounters::default();
+        let mut issues = Vec::new();
+        for now in 1..6 {
+            pop.tick(now, &cfg, &mut rng, &mut c, &mut issues);
+            for issue in issues.drain(..) {
+                let tag = issue.request as u32;
+                pop.wait(&issue, tag, now, &cfg);
+            }
+            assert_eq!(pop.in_flight(), pop.in_flight_derived());
+        }
+    }
+}

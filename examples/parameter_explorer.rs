@@ -9,6 +9,7 @@
 
 use adversarial_queuing::adversary::GadgetParams;
 use adversarial_queuing::analysis::Table;
+use adversarial_queuing::sim::AdversaryModelSpec;
 
 fn main() {
     let mut t = Table::new(
@@ -21,6 +22,7 @@ fn main() {
             "M (margin 2)",
             "amp 2(1−R_n)",
             "edges of G_ε",
+            "validated model",
         ],
     );
     for (num, den) in [
@@ -36,6 +38,17 @@ fn main() {
         let p = GadgetParams::new(num, den);
         let m = p.choose_m(2.0);
         let edges = m * (2 * p.n + 1) + 2;
+        // The adversary model the construction's engine validates
+        // against (`EngineConfig::validate`): the identity rate model
+        // at exactly the derived `r`. Its sustained rate must agree
+        // with the parameter algebra — the spec is derived data, so
+        // adding it cannot change any other column.
+        let model = AdversaryModelSpec::rate(p.rate);
+        assert_eq!(
+            model.long_run_rate(),
+            Some(p.rate),
+            "the identity model's sustained rate must equal the derived r"
+        );
         t.row(&[
             format!("{num}/{den}"),
             format!("{} ≈ {:.3}", p.rate, p.rate.as_f64()),
@@ -44,6 +57,7 @@ fn main() {
             m.to_string(),
             format!("{:.4}", p.amplification()),
             edges.to_string(),
+            format!("{model} [{:#018x}]", model.fingerprint()),
         ]);
     }
     println!("{}", t.render());

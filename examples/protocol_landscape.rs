@@ -21,7 +21,11 @@ fn main() {
 
     println!(
         "Recording the Theorem 3.17 adversary against FIFO at r = 1/2 + {num}/{den}, \
-         then replaying the identical injection/reroute sequence against every protocol…\n"
+         then replaying the identical injection/reroute sequence against every protocol.\n\
+         Every replay engine re-validates the injections against the identity model \
+         rate(1/2 + {num}/{den}) (EngineConfig::validate); the stream is legal by \
+         construction, so validation changes nothing — pinned by \
+         e10_identity_model_reproduces_the_unvalidated_landscape.\n"
     );
     let rows = e10_landscape(num, den, 2).expect("legal adversary");
 

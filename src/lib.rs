@@ -17,6 +17,10 @@
 //!   [`core::instability::InstabilityConstruction`] (FIFO unstable at any
 //!   rate `> 1/2`, Theorem 3.17) and [`core::theory::StabilityCertificate`]
 //!   (every greedy protocol stable for `r ≤ 1/(d+1)`, Theorems 4.1/4.3).
+//! * [`workload`] — closed-loop request/reply layer: client populations
+//!   with timeout/retry policies, bounded admission queues with load
+//!   shedding, and goodput metering (the congestion-collapse
+//!   experiments, E17).
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
@@ -37,3 +41,4 @@ pub use aqt_core as core;
 pub use aqt_graph as graph;
 pub use aqt_protocols as protocols;
 pub use aqt_sim as sim;
+pub use aqt_workload as workload;

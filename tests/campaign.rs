@@ -6,8 +6,8 @@
 use std::sync::Arc;
 
 use aqt_campaign::{
-    run_campaign, run_scenario, CampaignConfig, CohortSpec, Corpus, InjectSpec, Outcome, Scenario,
-    TopologySpec,
+    run_campaign, run_scenario, CampaignConfig, CohortSpec, Corpus, Feature, InjectSpec, Outcome,
+    Scenario, TopologySpec,
 };
 use aqt_graph::{topologies, EdgeId, Route};
 use aqt_protocols::Fifo;
@@ -301,6 +301,7 @@ fn sweep_quarantine_bundles_seed_the_corpus() {
         faults: vec![],
         model: vec![],
         certificate: None,
+        closed_loop: None,
     };
     // Jobs 1 and 3 get the unsatisfiable bound; 0 and 2 run clean.
     let inputs: Vec<(u64, bool)> = vec![(10, false), (11, true), (12, false), (13, true)];
@@ -350,6 +351,134 @@ fn sweep_quarantine_bundles_seed_the_corpus() {
     }
     // Seeding again is a no-op: fingerprint dedup.
     assert_eq!(corpus.seed_from_sweep(&sweep, &template), 0);
+}
+
+// ---------------------------------------------------------------------
+// Closed-loop scenarios: coverage axis reached, generated, shrinkable
+// ---------------------------------------------------------------------
+
+/// Within a bounded budget, the unsteered-plus-steered campaign loop
+/// reaches the closed-loop coverage axis: it generates closed-loop
+/// scenarios, runs them under the sentinel stack, and records their
+/// shed discipline as [`Feature::ClosedLoop`] novelty.
+#[test]
+fn campaign_reaches_the_closed_loop_axis_within_budget() {
+    let cfg = CampaignConfig {
+        seed: 0x10_0B,
+        max_runs: 200,
+        shrink: false,
+        ..CampaignConfig::default()
+    };
+    let mut corpus = Corpus::new();
+    let report = run_campaign(&cfg, &mut corpus);
+    let axis_hits: u64 = (0..4u8)
+        .map(|i| report.coverage.hits(Feature::ClosedLoop(i)))
+        .sum();
+    assert!(
+        axis_hits > 0,
+        "closed-loop axis never reached in {} runs: {}",
+        report.runs,
+        report.summary()
+    );
+    assert!(
+        corpus.entries().iter().any(|s| s.closed_loop.is_some()),
+        "no closed-loop scenario was novel enough for the corpus"
+    );
+}
+
+/// A closed-loop scenario runs clean end-to-end through the campaign
+/// runner — sentinel attached, request conservation enforced by the
+/// driver, the rate-1 model validating the realized dispatches.
+/// (Gated off under `demo-corruption`: the planted absorption bug
+/// makes any run with ≥ 6 packets breach conservation, by design.)
+#[cfg(not(feature = "demo-corruption"))]
+#[test]
+fn closed_loop_scenario_runs_clean_under_the_full_stack() {
+    use aqt_campaign::{ClosedLoopSpec, RetrySpec, ShedSpec};
+
+    let s = Scenario {
+        topology: TopologySpec::Line(2),
+        protocol: "FIFO".into(),
+        seed: 0xE17,
+        horizon: 160,
+        cadence: 1,
+        deep_stride: 1,
+        injections: vec![],
+        faults: vec![],
+        model: vec![aqt_sim::ConstraintSpec::Rate(Ratio::new(1, 1))],
+        certificate: None,
+        closed_loop: Some(ClosedLoopSpec {
+            num_clients: 6,
+            think_time: 4,
+            timeout: 5,
+            max_attempts: 4,
+            retry: RetrySpec::Immediate,
+            capacity: 8,
+            shed: ShedSpec::RejectNewest,
+            pause: Some((30, 50)),
+            path_len: 2,
+        }),
+    };
+    let out = run_scenario(&s);
+    let Outcome::Clean(stats) = out else {
+        panic!("expected clean closed-loop run, got {out:?}");
+    };
+    assert_eq!(stats.steps, 160);
+    assert!(stats.injected > 0, "the loop dispatched work");
+    assert!(
+        stats.injected - stats.absorbed <= 2,
+        "at most path_len packets can still be in flight at the horizon \
+         (injected {}, absorbed {})",
+        stats.injected,
+        stats.absorbed
+    );
+    assert!(stats.sentinel_rounds > 0);
+    // Determinism: the scenario is a pure function of its seed.
+    let Outcome::Clean(again) = run_scenario(&s) else {
+        panic!("second run must be clean too");
+    };
+    assert_eq!(stats, again);
+}
+
+/// With the planted absorption bug compiled in, a generated
+/// closed-loop scenario breaches engine conservation (the vanished
+/// packet is also a lost reply), and the shrinker minimizes it within
+/// the closed-loop neighborhood — fewer clients, smaller queue, no
+/// outage — while the repro keeps breaching.
+#[cfg(feature = "demo-corruption")]
+#[test]
+fn campaign_shrinks_a_closed_loop_conservation_breach() {
+    use aqt_campaign::{generate, shrink, GeneratorConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let gcfg = GeneratorConfig::default();
+    let mut rng = StdRng::seed_from_u64(0xC10C);
+    // Steered generation: draw closed-loop scenarios until one pushes
+    // enough attempts through the engine to hit the corrupted packet
+    // id (one in 977 — the 6th injected packet of a run).
+    let mut found = None;
+    for _ in 0..40 {
+        let mut s = generate(&mut rng, &gcfg, Some(Feature::ClosedLoop(0)));
+        s.horizon = s.horizon.max(160);
+        if let Outcome::Breach(report, _) = run_scenario(&s) {
+            assert_eq!(report.violation.kind, InvariantKind::Conservation);
+            found = Some(s);
+            break;
+        }
+    }
+    let s = found.expect("no generated closed-loop scenario tripped the planted bug");
+    let out = shrink(&s, InvariantKind::Conservation);
+    assert!(out.accepted > 0, "nothing was shrunk");
+    assert!(out.scenario.weight() < s.weight());
+    assert!(
+        out.scenario.closed_loop.is_some(),
+        "the breach needs the loop; the shrinker must keep it"
+    );
+    let Outcome::Breach(rerun, _) = run_scenario(&out.scenario) else {
+        panic!("shrunk closed-loop scenario no longer breaches");
+    };
+    assert_eq!(rerun.violation, out.report.violation);
 }
 
 // ---------------------------------------------------------------------

@@ -312,7 +312,7 @@ fn constraint_spec_serialized_forms_are_pinned() {
 
     // The schema stamps that gate persisted payloads carrying models.
     assert_eq!(SNAPSHOT_SCHEMA_VERSION, 4);
-    assert_eq!(TELEMETRY_SCHEMA_VERSION, 3);
+    assert_eq!(TELEMETRY_SCHEMA_VERSION, 4);
 }
 
 /// A checkpoint taken under one adversary model must not restore into
@@ -371,6 +371,96 @@ fn checkpoint_with_mismatched_model_fails_closed() {
     );
     checkpoint::restore(&mut target, &ck).unwrap();
     assert_eq!(target.time(), eng.time());
+}
+
+/// Closed-loop checkpoints round-trip through the full stack: capture
+/// a mid-storm `WorkloadCheckpoint`, restore it into a fresh driver,
+/// and resumed execution is bit-identical to the uninterrupted run —
+/// client state machines, retry timers, RNG, admission queue, the
+/// request ledger, and the engine underneath.
+#[test]
+fn workload_checkpoint_resumes_mid_storm_bit_identically() {
+    use aqt_workload::{ClosedLoop, RetryPolicy, Shed};
+
+    // A stormy configuration (immediate retries through an outage), so
+    // the capture lands with non-trivial queue + retry-timer state.
+    let mut cfg = aqt_workload::baseline_config(0xCCED);
+    cfg.clients.retry = RetryPolicy::Immediate;
+    cfg.clients.timeout = 5;
+    cfg.service.shed = Shed::RejectOldest;
+    cfg.service.pause = Some((40, 70));
+
+    let mut a = ClosedLoop::on_line(cfg.clone());
+    a.run(55).unwrap();
+    let ck = a.checkpoint();
+    assert_eq!(ck.version, aqt_workload::WORKLOAD_SCHEMA_VERSION);
+    assert!(
+        ck.state.counters.attempts_retried > 0,
+        "the fixture must capture a storm in progress"
+    );
+    a.run(200).unwrap();
+
+    let mut b = ClosedLoop::on_line(cfg);
+    b.restore(&ck).unwrap();
+    assert_eq!(b.state(), ck.state, "restore lands exactly on the capture");
+    b.run(200).unwrap();
+
+    assert_eq!(a.state(), b.state(), "resumed run diverged");
+    assert_eq!(a.counters(), b.counters());
+    assert_eq!(
+        snapshot::capture(a.engine()),
+        snapshot::capture(b.engine()),
+        "the engines underneath must also be bit-identical"
+    );
+}
+
+/// A workload checkpoint from an unknown schema version is refused
+/// with the typed `WorkloadError::SchemaMismatch` before any state —
+/// workload or engine — is touched, and the embedded engine
+/// checkpoint's own version gate still fires through the workload
+/// restore path.
+#[test]
+fn workload_checkpoint_schema_gates_fail_closed() {
+    use aqt_workload::{ClosedLoop, WorkloadError, WORKLOAD_SCHEMA_VERSION};
+
+    let cfg = aqt_workload::baseline_config(0xFA11);
+    let mut a = ClosedLoop::on_line(cfg.clone());
+    a.run(80).unwrap();
+
+    // Unknown workload schema version.
+    let mut ck = a.checkpoint();
+    ck.version = WORKLOAD_SCHEMA_VERSION + 1;
+    let mut b = ClosedLoop::on_line(cfg.clone());
+    let state_before = b.state();
+    let engine_before = snapshot::capture(b.engine());
+    match b.restore(&ck) {
+        Err(WorkloadError::SchemaMismatch { found, expected }) => {
+            assert_eq!(found, WORKLOAD_SCHEMA_VERSION + 1);
+            assert_eq!(expected, WORKLOAD_SCHEMA_VERSION);
+        }
+        other => panic!("expected SchemaMismatch, got {other:?}"),
+    }
+    assert_eq!(b.state(), state_before, "refused restore must not mutate");
+    assert_eq!(snapshot::capture(b.engine()), engine_before);
+
+    // Unknown *engine* snapshot version inside a valid workload stamp:
+    // the inner gate fires and surfaces as the same typed error.
+    let mut ck = a.checkpoint();
+    ck.engine.snapshot.schema = SNAPSHOT_SCHEMA_VERSION + 1;
+    let mut b = ClosedLoop::on_line(cfg);
+    let engine_before = snapshot::capture(b.engine());
+    match b.restore(&ck) {
+        Err(WorkloadError::SchemaMismatch { found, expected }) => {
+            assert_eq!(found, SNAPSHOT_SCHEMA_VERSION + 1);
+            assert_eq!(expected, SNAPSHOT_SCHEMA_VERSION);
+        }
+        other => panic!("expected SchemaMismatch, got {other:?}"),
+    }
+    assert_eq!(
+        snapshot::capture(b.engine()),
+        engine_before,
+        "the engine gate must fire before any engine mutation"
+    );
 }
 
 /// The checkpoint path routes the same payload validation: a corrupted

@@ -121,3 +121,23 @@ fn lis_dismantles_the_fifo_adversary() {
         lis.final_backlog
     );
 }
+
+/// The E10 replay engines now validate injections against the
+/// construction's identity model `rate(1/2 + ε)` (the
+/// `EngineConfig::validate` convention). Validation can only reject
+/// illegal streams, and the recorded stream is legal by construction,
+/// so the validated landscape must be row-for-row identical to the
+/// unvalidated one.
+#[test]
+fn e10_identity_model_reproduces_the_unvalidated_landscape() {
+    let mut cfg = aqt_core::instability::InstabilityConfig::new(1, 4);
+    cfg.iterations = 1;
+    cfg.s0_safety = 1.0;
+    cfg.m_override = Some(4);
+    let validated = aqt_core::experiments::e10_landscape_with(cfg.clone()).expect("legal");
+    let unvalidated = aqt_core::experiments::e10_landscape_with_model(cfg, None).expect("legal");
+    assert_eq!(
+        validated, unvalidated,
+        "the identity rate model must not change any replay's behavior"
+    );
+}

@@ -230,6 +230,92 @@ fn jsonl_lines_are_complete_records() {
     );
 }
 
+/// Golden pin of the closed-loop telemetry surface: the JSONL layout
+/// of a `workload_window` record — schema stamp, kind, and every
+/// request-ledger field name — plus the `backoff_ms` field of
+/// `job_retried`. Downstream consumers key on these exact strings;
+/// renaming any of them must bump `TELEMETRY_SCHEMA_VERSION` and this
+/// pin deliberately.
+#[test]
+fn workload_window_jsonl_layout_is_pinned() {
+    use aqt_sim::WorkloadCounters;
+
+    #[derive(Clone)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+    impl std::io::Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    assert_eq!(
+        TELEMETRY_SCHEMA_VERSION, 4,
+        "workload_window entered the schema at version 4; a bump means \
+         the golden line below must be re-pinned"
+    );
+
+    let buf = SharedBuf(Arc::new(Mutex::new(Vec::new())));
+    let mut sink = aqt_sim::JsonlSink::from_writer(buf.clone());
+    let provenance = Provenance {
+        seed: Some(7),
+        protocol: "FIFO".to_string(),
+        ..Provenance::default()
+    };
+    sink.record(&TelemetryEvent::WorkloadWindow {
+        start: 0,
+        end: 64,
+        counters: WorkloadCounters {
+            requests_issued: 10,
+            requests_completed: 5,
+            requests_abandoned: 2,
+            requests_shed: 1,
+            requests_in_flight: 2,
+            attempts_issued: 17,
+            attempts_retried: 7,
+            attempts_shed: 4,
+            completions_wasted: 3,
+        },
+        goodput: 5,
+        wasted: 3,
+        offered: 13,
+        provenance: &provenance,
+    });
+    sink.record(&TelemetryEvent::JobRetried {
+        index: 2,
+        attempt: 1,
+        backoff_ms: 250,
+    });
+
+    let bytes = buf.0.lock().unwrap().clone();
+    let text = String::from_utf8(bytes).expect("utf8");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 2);
+
+    // The full workload_window line, byte for byte (absent provenance
+    // fields serialize as explicit nulls).
+    assert_eq!(
+        lines[0],
+        "{\"schema\":4,\"kind\":\"workload_window\",\"start\":0,\"end\":64,\
+         \"requests_issued\":10,\"requests_completed\":5,\
+         \"requests_abandoned\":2,\"requests_shed\":1,\
+         \"requests_in_flight\":2,\"attempts_issued\":17,\
+         \"attempts_retried\":7,\"attempts_shed\":4,\
+         \"completions_wasted\":3,\"goodput\":5,\"wasted\":3,\
+         \"offered\":13,\"seed\":7,\"schedule_hash\":null,\
+         \"protocol\":\"FIFO\",\"fault_plan_id\":null,\
+         \"model_fingerprint\":null}"
+    );
+    assert_eq!(
+        lines[1],
+        "{\"schema\":4,\"kind\":\"job_retried\",\"index\":2,\"attempt\":1,\
+         \"backoff_ms\":250}"
+    );
+}
+
 /// Sweep progress: start/finish/retry events arrive in order, the
 /// `sweep_progress` ETA decreases to zero, and a flaky job's retry is
 /// visible.
@@ -244,6 +330,7 @@ fn sweep_progress_reports_jobs_and_retries() {
             threads: 1,
             max_retries: 1,
             backoff_base: std::time::Duration::ZERO,
+            retry_seed: 42,
         },
         Some(&progress),
         |i, &x| {
