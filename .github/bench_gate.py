@@ -7,13 +7,19 @@ committed copy (the baseline) and fails when the hot path regresses:
 * ``instability`` pipeline steps/sec must not drop more than 10% below
   the committed baseline (throughput is timing-noise-prone on shared
   runners, hence the generous margin);
-* ``instability`` with full telemetry (counters + stage timing) must
+* **every** workload with full telemetry (counters + stage timing) must
   stay within 10% of the same run's telemetry-off pipeline throughput —
   both sides come from the *fresh* report, so the ratio is immune to
   runner-to-runner speed differences;
 * ``bytes_per_packet`` must not grow more than 2% on any workload that
   records it, and ``packet_struct_bytes`` must not grow at all (both
-  are deterministic — any growth is a real representation regression).
+  are deterministic — any growth is a real representation regression);
+* the ``sharded`` column must report ``identical`` on every row (the
+  bit-identical contract is deterministic — any divergence is a
+  correctness bug, whatever the host), the sequential row must stay
+  within 10% of the committed baseline, and — only when the measuring
+  host has ≥ 4 cores, since a smaller host cannot scale — 4 shards
+  must deliver at least 1.8x the sequential throughput.
 
 Usage: bench_gate.py <fresh.json> <baseline.json>
 
@@ -27,6 +33,8 @@ import sys
 MAX_THROUGHPUT_DROP = 0.10
 MAX_BYTES_GROWTH = 0.02
 MAX_TELEMETRY_OVERHEAD = 0.10
+MIN_SHARDED_4_SCALING = 1.8
+SCALING_MIN_HOST_CORES = 4
 
 
 def workload(doc, name):
@@ -61,20 +69,60 @@ def main():
             f"{fresh_rate:.0f} < {floor:.0f}"
         )
 
-    tele = workload(fresh, "instability").get("telemetry")
-    if tele is None:
-        failures.append("instability telemetry sample missing from fresh report")
-    else:
-        ratio = tele["steps_per_sec"] / fresh_rate
+    for w in fresh["workloads"]:
+        name = w["name"]
+        tele = w.get("telemetry")
+        if tele is None:
+            failures.append(f"{name} telemetry sample missing from fresh report")
+            continue
+        ratio = tele["steps_per_sec"] / w["pipeline"]["steps_per_sec"]
         floor = 1 - MAX_TELEMETRY_OVERHEAD
         print(
-            f"instability telemetry: {tele['steps_per_sec']:.0f} steps/s "
+            f"{name} telemetry: {tele['steps_per_sec']:.0f} steps/s "
             f"({ratio:.3f} of pipeline, floor {floor:.2f})"
         )
         if ratio < floor:
             failures.append(
-                f"telemetry overhead exceeds {MAX_TELEMETRY_OVERHEAD:.0%}: "
+                f"{name} telemetry overhead exceeds {MAX_TELEMETRY_OVERHEAD:.0%}: "
                 f"{ratio:.3f} of telemetry-off pipeline throughput"
+            )
+
+    sharded = fresh.get("sharded")
+    if sharded is None:
+        failures.append("sharded column missing from fresh report")
+    else:
+        for row in sharded["rows"]:
+            if not row["identical"]:
+                failures.append(
+                    f"sharded run at {row['shards']} shards diverged from sequential"
+                )
+        seq = next(r for r in sharded["rows"] if r["shards"] == 1)
+        base_sharded = base.get("sharded")
+        if base_sharded is not None:
+            base_seq = next(r for r in base_sharded["rows"] if r["shards"] == 1)
+            floor = base_seq["steps_per_sec"] * (1 - MAX_THROUGHPUT_DROP)
+            print(
+                f"sharded sequential: {seq['steps_per_sec']:.0f} steps/s "
+                f"(baseline {base_seq['steps_per_sec']:.0f}, floor {floor:.0f})"
+            )
+            if seq["steps_per_sec"] < floor:
+                failures.append(
+                    f"sharded-workload sequential steps/sec dropped "
+                    f">{MAX_THROUGHPUT_DROP:.0%}: {seq['steps_per_sec']:.0f} < {floor:.0f}"
+                )
+        cores = sharded["host_cores"]
+        scaling = sharded["scaling_4_vs_1"]
+        if cores >= SCALING_MIN_HOST_CORES:
+            print(f"sharded scaling (4 shards, {cores} cores): {scaling:.2f}x (floor {MIN_SHARDED_4_SCALING}x)")
+            if scaling < MIN_SHARDED_4_SCALING:
+                failures.append(
+                    f"sharded-4 scaling below {MIN_SHARDED_4_SCALING}x on a "
+                    f"{cores}-core host: {scaling:.2f}x"
+                )
+        else:
+            print(
+                f"sharded scaling: {scaling:.2f}x on a {cores}-core host — "
+                f"floor not applied (needs >= {SCALING_MIN_HOST_CORES} cores)"
             )
 
     if fresh["packet_struct_bytes"] > base["packet_struct_bytes"]:

@@ -26,6 +26,7 @@ use std::time::Instant;
 
 use aqt_adversary::stochastic::{random_routes, InjectionStyle, SaturatingAdversary};
 use aqt_bench::report::Json;
+use aqt_core::experiments::{e18_full, e18_smoke, E18Report};
 use aqt_core::instability::{InstabilityConfig, InstabilityConstruction, InstabilityRun};
 use aqt_graph::{topologies, Route};
 use aqt_protocols::Fifo;
@@ -194,7 +195,55 @@ fn run_drain(mode: Mode) -> Sample {
     }
 }
 
-fn write_json(results: &[(&str, [Sample; 4])]) {
+/// The sharded scaling column: the E18 workload (every-buffer-busy
+/// ring) at 1/2/4(/8) shards. Bit-identity is asserted here — a bench
+/// run that diverges is a correctness bug, not a perf number — and the
+/// host's core count is recorded so the CI gate can tell a genuine
+/// scaling regression from a single-core runner that cannot scale.
+fn run_sharded() -> E18Report {
+    let report = if smoke() {
+        e18_smoke(&[2, 4])
+    } else {
+        e18_full()
+    }
+    .expect("e18 workload");
+    for row in &report.rows {
+        assert!(
+            row.identical,
+            "sharded run at {} shards diverged from sequential",
+            row.shards
+        );
+    }
+    report
+}
+
+fn sharded_json(report: &E18Report) -> Json {
+    let rows: Vec<Json> = report
+        .rows
+        .iter()
+        .map(|r| {
+            Json::object()
+                .field("shards", u64::from(r.shards))
+                .field("steps_per_sec", Json::f(r.steps_per_sec, 0))
+                .field("speedup_vs_sequential", Json::f(r.speedup, 3))
+                .field("identical", r.identical)
+        })
+        .collect();
+    let scaling_4 = report
+        .rows
+        .iter()
+        .find(|r| r.shards == 4)
+        .map_or(0.0, |r| r.speedup);
+    Json::object()
+        .field("workload", "e18 ring, every buffer busy, quiet steps")
+        .field("edges", report.edges as u64)
+        .field("steps", report.steps)
+        .field("host_cores", report.host_cores as u64)
+        .field("scaling_4_vs_1", Json::f(scaling_4, 3))
+        .field("rows", rows)
+}
+
+fn write_json(results: &[(&str, [Sample; 4])], sharded: &E18Report) {
     let mut seed = Json::object().field(
         "note",
         "monolithic Engine::step measured before the layered refactor; \
@@ -264,7 +313,8 @@ fn write_json(results: &[(&str, [Sample; 4])]) {
             "packet_struct_bytes",
             std::mem::size_of::<aqt_sim::Packet>(),
         )
-        .field("workloads", workloads);
+        .field("workloads", workloads)
+        .field("sharded", sharded_json(sharded));
     // Smoke runs use shrunken workloads, so their numbers are not
     // comparable to the full-size file; they get their own baseline,
     // which is what the CI regression gate diffs against.
@@ -346,7 +396,16 @@ fn bench(c: &mut Criterion) {
             rt / rp
         );
     }
-    write_json(&results);
+
+    let sharded = run_sharded();
+    for r in &sharded.rows {
+        println!(
+            "engine/sharded ({} edges, {} host cores): {} shards -> {:.0} steps/s \
+             ({:.2}x of sequential, identical={})",
+            sharded.edges, sharded.host_cores, r.shards, r.steps_per_sec, r.speedup, r.identical
+        );
+    }
+    write_json(&results, &sharded);
 }
 
 criterion_group!(benches, bench);

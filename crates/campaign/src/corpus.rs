@@ -135,6 +135,7 @@ mod tests {
             horizon: 24,
             cadence: 1,
             deep_stride: 1,
+            shards: 1,
             injections: vec![InjectSpec {
                 time: 1,
                 cohort: CohortSpec {

@@ -1,0 +1,133 @@
+//! Edge-partition heuristics for the sharded engine.
+//!
+//! The sharded engine (`aqt-sim`'s `shard` module) partitions the
+//! *edges* of the graph into disjoint shards that step concurrently;
+//! this module computes the assignments. An assignment is plain data —
+//! `shard_of[edge_index]` names the owning shard — so the graph crate
+//! stays free of any engine dependency.
+//!
+//! Two heuristics cover the repository's topology families:
+//!
+//! * [`contiguous`] — balanced blocks of consecutive edge indices.
+//!   Lines, rings, daisy chains, and the `G_ε` instability graph build
+//!   their edges in chain order, so a contiguous cut puts each long
+//!   chain segment in one shard: a packet crosses a shard boundary only
+//!   at the block seams, minimizing cross-shard traffic per step.
+//! * [`striped`] — round-robin by edge index. Grids, tori, hypercubes,
+//!   and random digraphs have no exploitable edge-order locality, but
+//!   their hot sets are spread across the index space; striping
+//!   balances *load* (active edges per shard) even when the backlog
+//!   concentrates in an index range.
+//!
+//! [`auto`] picks between them from the edge/node ratio: chain-like
+//! graphs have `m ≲ n` (every node has out-degree ~1), mesh-like graphs
+//! have `m` well above `n`.
+//!
+//! Any assignment is *correct* — the engine's deterministic cross-shard
+//! exchange makes trajectories independent of the partition (pinned by
+//! the sharded-equivalence proptests). These heuristics only affect
+//! speed.
+
+use crate::graph::Graph;
+
+/// Balanced contiguous blocks: shard `s` owns edge indices
+/// `[s*⌈m/k⌉ … )` rounded so block sizes differ by at most one.
+/// Preferred for chain-ordered edge layouts (lines, rings, `G_ε`).
+///
+/// `shards` is clamped to at least 1; with more shards than edges the
+/// trailing shards own no edges (legal — they simply idle).
+pub fn contiguous(edge_count: usize, shards: usize) -> Vec<u32> {
+    let k = shards.max(1);
+    let base = edge_count / k;
+    let extra = edge_count % k; // first `extra` blocks get one more edge
+    let mut assignment = Vec::with_capacity(edge_count);
+    for s in 0..k {
+        let len = base + usize::from(s < extra);
+        assignment.extend(std::iter::repeat_n(s as u32, len));
+    }
+    assignment
+}
+
+/// Round-robin striping: edge `e` belongs to shard `e mod k`.
+/// Preferred for meshes and random graphs, where the hot edges are
+/// scattered across the index space.
+pub fn striped(edge_count: usize, shards: usize) -> Vec<u32> {
+    let k = shards.max(1) as u32;
+    (0..edge_count).map(|e| e as u32 % k).collect()
+}
+
+/// Pick a partition heuristic for `graph`: [`contiguous`] when the
+/// graph is chain-like (`2m ≤ 3n` — lines, rings, daisy chains, `G_ε`
+/// all build their edges in chain order and sit at `m ≈ n`),
+/// [`striped`] otherwise (grids, tori, hypercubes, random digraphs).
+pub fn auto(graph: &Graph, shards: usize) -> Vec<u32> {
+    let m = graph.edge_count();
+    let n = graph.node_count();
+    if 2 * m <= 3 * n {
+        contiguous(m, shards)
+    } else {
+        striped(m, shards)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topologies;
+
+    fn sizes(assignment: &[u32], shards: usize) -> Vec<usize> {
+        let mut sizes = vec![0usize; shards];
+        for &s in assignment {
+            sizes[s as usize] += 1;
+        }
+        sizes
+    }
+
+    #[test]
+    fn contiguous_blocks_are_balanced_and_ordered() {
+        let a = contiguous(10, 4);
+        assert_eq!(a.len(), 10);
+        // Non-decreasing (contiguous blocks) and balanced within one.
+        assert!(a.windows(2).all(|w| w[0] <= w[1]));
+        let sz = sizes(&a, 4);
+        assert_eq!(sz.iter().sum::<usize>(), 10);
+        assert!(sz.iter().all(|&s| s == 2 || s == 3));
+    }
+
+    #[test]
+    fn striped_is_round_robin_and_balanced() {
+        let a = striped(10, 4);
+        assert_eq!(a, vec![0, 1, 2, 3, 0, 1, 2, 3, 0, 1]);
+        let sz = sizes(&a, 4);
+        assert!(sz.iter().max().unwrap() - sz.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn degenerate_shapes() {
+        assert_eq!(contiguous(0, 3), Vec::<u32>::new());
+        assert_eq!(striped(0, 3), Vec::<u32>::new());
+        assert_eq!(contiguous(5, 1), vec![0; 5]);
+        assert_eq!(striped(5, 1), vec![0; 5]);
+        // More shards than edges: every edge assigned, high shards idle.
+        let a = contiguous(2, 8);
+        assert_eq!(a.len(), 2);
+        assert!(a.iter().all(|&s| s < 8));
+        // Clamp: 0 shards behaves as 1.
+        assert_eq!(contiguous(3, 0), vec![0; 3]);
+        assert_eq!(striped(3, 0), vec![0; 3]);
+    }
+
+    #[test]
+    fn auto_picks_contiguous_for_chains_striped_for_meshes() {
+        let line = topologies::line(50);
+        let a = auto(&line, 4);
+        assert!(a.windows(2).all(|w| w[0] <= w[1]), "line → contiguous");
+
+        let grid = topologies::grid(8, 8);
+        let a = auto(&grid, 4);
+        assert!(
+            a.windows(2).any(|w| w[0] > w[1]),
+            "grid → striped (round-robin is not monotone)"
+        );
+    }
+}

@@ -39,6 +39,10 @@
 //! * [`parallel`] — a crash-safe scoped thread-pool for embarrassingly
 //!   parallel parameter sweeps (per-job panic isolation, bounded
 //!   retry, quarantine).
+//! * [`shard`] — bit-identical in-run parallelism: edge shards step
+//!   the send/receive substages concurrently with a deterministic
+//!   cross-shard exchange, so one large run uses many cores without
+//!   changing a single trajectory.
 //! * [`sentinel`] / [`oracle`] — runtime self-verification: pluggable
 //!   invariants (packet conservation, unit-speed capacity, route
 //!   progress, snapshot integrity, theorem-derived wait bounds)
@@ -61,6 +65,7 @@ pub mod ratio;
 pub mod routes;
 pub mod schedule;
 pub mod sentinel;
+pub mod shard;
 pub mod snapshot;
 pub mod source;
 pub mod telemetry;
@@ -90,6 +95,7 @@ pub use sentinel::{
     CertificateSpec, InvariantKind, ReproBundle, Sentinel, SentinelConfig, SentinelState, Severity,
     Violation, ViolationReport,
 };
+pub use shard::{ShardPlan, ShardStamp};
 pub use snapshot::{Snapshot, SNAPSHOT_SCHEMA_VERSION};
 pub use source::{run_with_source, TrafficSource};
 pub use telemetry::{

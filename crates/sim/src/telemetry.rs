@@ -125,9 +125,10 @@ pub struct TelemetryConfig {
     /// every this-many-th step (0 is treated as 1 = every step). Stage
     /// timing is *sampled*: a full set of per-substage clock reads
     /// costs a sizeable fraction of a fast step, so timing every step
-    /// would distort the quantity being measured. The default of 64
+    /// would distort the quantity being measured. The default of 512
     /// keeps the histograms statistically faithful while the clock
-    /// cost amortizes to noise.
+    /// cost amortizes to noise even on drain-heavy workloads whose
+    /// steps are a handful of nanoseconds.
     pub timing_sample_every: Time,
     /// Run identity stamped on every emitted record.
     pub provenance: Provenance,
@@ -138,7 +139,7 @@ impl Default for TelemetryConfig {
         TelemetryConfig {
             level: TelemetryLevel::Counters,
             window: 4096,
-            timing_sample_every: 64,
+            timing_sample_every: 512,
             provenance: Provenance::default(),
         }
     }

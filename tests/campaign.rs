@@ -290,6 +290,7 @@ fn sweep_quarantine_bundles_seed_the_corpus() {
         horizon: 24,
         cadence: 1,
         deep_stride: 1,
+        shards: 1,
         injections: vec![InjectSpec {
             time: 1,
             cohort: CohortSpec {
@@ -403,6 +404,7 @@ fn closed_loop_scenario_runs_clean_under_the_full_stack() {
         horizon: 160,
         cadence: 1,
         deep_stride: 1,
+        shards: 1,
         injections: vec![],
         faults: vec![],
         model: vec![aqt_sim::ConstraintSpec::Rate(Ratio::new(1, 1))],

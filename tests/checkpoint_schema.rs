@@ -173,8 +173,8 @@ fn pre_interning_schema_2_payload_is_rejected_without_mutation() {
     let mut ck = checkpoint::checkpoint(&eng);
     assert_eq!(ck.snapshot.schema, SNAPSHOT_SCHEMA_VERSION);
     assert_eq!(
-        SNAPSHOT_SCHEMA_VERSION, 4,
-        "composable adversary models bumped the snapshot schema to 4"
+        SNAPSHOT_SCHEMA_VERSION, 5,
+        "the sharded engine's checkpoint shard stamp bumped the snapshot schema to 5"
     );
     ck.snapshot.schema = 2; // the pre-interning format stamp
 
@@ -311,7 +311,7 @@ fn constraint_spec_serialized_forms_are_pinned() {
     );
 
     // The schema stamps that gate persisted payloads carrying models.
-    assert_eq!(SNAPSHOT_SCHEMA_VERSION, 4);
+    assert_eq!(SNAPSHOT_SCHEMA_VERSION, 5);
     assert_eq!(TELEMETRY_SCHEMA_VERSION, 4);
 }
 

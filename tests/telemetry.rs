@@ -165,14 +165,17 @@ fn timing_default_stride_samples_sparsely() {
     let graph = Arc::new(topologies::line(4));
     let mut eng = Engine::new(Arc::clone(&graph), Fifo, EngineConfig::default());
     eng.attach_telemetry(TelemetryConfig::timing());
-    run_line_workload(&mut eng, &graph, 256);
+    run_line_workload(&mut eng, &graph, 2048);
     eng.finish_telemetry();
 
     let t = eng.telemetry().timings();
-    assert!(t.step.count() >= 4, "a 256-step run yields several samples");
+    assert!(
+        t.step.count() >= 2,
+        "a 2048-step run yields several samples"
+    );
     assert!(
         t.step.count() <= 8,
-        "default stride 64 keeps sampling sparse, got {}",
+        "default stride 512 keeps sampling sparse, got {}",
         t.step.count()
     );
     assert_eq!(t.send.count(), t.step.count(), "substages sample together");
