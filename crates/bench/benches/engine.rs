@@ -12,10 +12,12 @@
 //!   255 buffers stay empty (the pure active-set case).
 //!
 //! Besides the criterion output, writes `BENCH_engine.json` at the
-//! repository root with steps/sec for all four modes (the
-//! `sentinel_vs_pipeline` and `telemetry_vs_pipeline` ratios are the
-//! measured overheads of self-checking and of full instrumentation),
-//! so the repo's perf trajectory has a recorded baseline.
+//! repository root with steps/sec for all five modes (the
+//! `sentinel_vs_pipeline`, `telemetry_vs_pipeline`, and
+//! `observe_vs_pipeline` ratios are the measured overheads of
+//! self-checking, of full instrumentation, and of the queue
+//! observatory at its default cadence), so the repo's perf trajectory
+//! has a recorded baseline.
 //! `BENCH_SMOKE=1` shrinks every workload to a single cheap sample and
 //! writes `BENCH_engine_smoke.json` instead — the committed copy of
 //! that file is the baseline the CI regression gate
@@ -30,7 +32,9 @@ use aqt_core::experiments::{e18_full, e18_smoke, E18Report};
 use aqt_core::instability::{InstabilityConfig, InstabilityConstruction, InstabilityRun};
 use aqt_graph::{topologies, Route};
 use aqt_protocols::Fifo;
-use aqt_sim::{Engine, EngineConfig, Ratio, RingSink, SentinelConfig, TelemetryConfig};
+use aqt_sim::{
+    Engine, EngineConfig, ObserveConfig, Ratio, RingSink, SentinelConfig, TelemetryConfig,
+};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 /// Pre-refactor seed measurements (commit 8270fdf, monolithic
@@ -56,7 +60,7 @@ fn smoke() -> bool {
     std::env::var_os("BENCH_SMOKE").is_some()
 }
 
-/// The four engine configurations under comparison.
+/// The five engine configurations under comparison.
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum Mode {
     /// Pre-refactor monolithic loop (`EngineConfig::reference_pipeline`).
@@ -71,6 +75,12 @@ enum Mode {
     /// instrumentation overhead the `.github/bench_gate.py` telemetry
     /// gate bounds.
     Telemetry,
+    /// The staged pipeline with the queue observatory at its defaults
+    /// (backlog ticks every 256 steps, 1-in-64 span sampling, ring
+    /// sink, telemetry level untouched) — isolates the observatory's
+    /// own overhead, which the `.github/bench_gate.py` observe gate
+    /// bounds.
+    Observe,
 }
 
 impl Mode {
@@ -80,6 +90,7 @@ impl Mode {
             Mode::Pipeline => "pipeline",
             Mode::Sentinel => "sentinel",
             Mode::Telemetry => "telemetry",
+            Mode::Observe => "observe",
         }
     }
 
@@ -97,15 +108,20 @@ impl Mode {
             eng.attach_telemetry(TelemetryConfig::timing());
             eng.set_telemetry_sink(Box::new(RingSink::with_capacity(1024)));
         }
+        if self == Mode::Observe {
+            eng.attach_observatory(ObserveConfig::default());
+            eng.set_telemetry_sink(Box::new(RingSink::with_capacity(1024)));
+        }
         eng
     }
 }
 
-const MODES: [Mode; 4] = [
+const MODES: [Mode; 5] = [
     Mode::Reference,
     Mode::Pipeline,
     Mode::Sentinel,
     Mode::Telemetry,
+    Mode::Observe,
 ];
 
 /// One timed measurement: steps simulated, the wall time of the
@@ -243,7 +259,7 @@ fn sharded_json(report: &E18Report) -> Json {
         .field("rows", rows)
 }
 
-fn write_json(results: &[(&str, [Sample; 4])], sharded: &E18Report) {
+fn write_json(results: &[(&str, [Sample; 5])], sharded: &E18Report) {
     let mut seed = Json::object().field(
         "note",
         "monolithic Engine::step measured before the layered refactor; \
@@ -273,7 +289,7 @@ fn write_json(results: &[(&str, [Sample; 4])], sharded: &E18Report) {
     let workloads: Vec<Json> = results
         .iter()
         .map(|(name, samples)| {
-            let [reference, pipeline, sentinel, telemetry] = samples;
+            let [reference, pipeline, sentinel, telemetry, observe] = samples;
             let mut w = Json::object()
                 .field("name", *name)
                 .field("steps", reference.steps);
@@ -298,9 +314,11 @@ fn write_json(results: &[(&str, [Sample; 4])], sharded: &E18Report) {
             let rp = pipeline.steps as f64 / pipeline.secs;
             let rs = sentinel.steps as f64 / sentinel.secs;
             let rt = telemetry.steps as f64 / telemetry.secs;
+            let ro = observe.steps as f64 / observe.secs;
             w.field("speedup", Json::f(rp / rr, 3))
                 .field("sentinel_vs_pipeline", Json::f(rs / rp, 3))
                 .field("telemetry_vs_pipeline", Json::f(rt / rp, 3))
+                .field("observe_vs_pipeline", Json::f(ro / rp, 3))
         })
         .collect();
 
@@ -347,7 +365,7 @@ fn bench(c: &mut Criterion) {
     let run = construction.run().expect("legal adversary");
 
     type Workload<'a> = (&'a str, Box<dyn Fn(Mode) -> Sample + 'a>, u64);
-    let mut results: Vec<(&str, [Sample; 4])> = Vec::new();
+    let mut results: Vec<(&str, [Sample; 5])> = Vec::new();
     let workloads: Vec<Workload> = vec![
         (
             "instability",
@@ -379,21 +397,27 @@ fn bench(c: &mut Criterion) {
             triple.push(best(&batch));
         }
         g.finish();
-        results.push((name, [triple[0], triple[1], triple[2], triple[3]]));
+        results.push((
+            name,
+            [triple[0], triple[1], triple[2], triple[3], triple[4]],
+        ));
     }
 
-    for (name, [reference, pipeline, sentinel, telemetry]) in &results {
+    for (name, [reference, pipeline, sentinel, telemetry, observe]) in &results {
         let rr = reference.steps as f64 / reference.secs;
         let rp = pipeline.steps as f64 / pipeline.secs;
         let rs = sentinel.steps as f64 / sentinel.secs;
         let rt = telemetry.steps as f64 / telemetry.secs;
+        let ro = observe.steps as f64 / observe.secs;
         println!(
             "engine/{name}: {rr:.0} -> {rp:.0} steps/s ({:.2}x); \
              with sentinel {rs:.0} ({:.3} of pipeline); \
-             with telemetry {rt:.0} ({:.3} of pipeline)",
+             with telemetry {rt:.0} ({:.3} of pipeline); \
+             with observatory {ro:.0} ({:.3} of pipeline)",
             rp / rr,
             rs / rp,
-            rt / rp
+            rt / rp,
+            ro / rp
         );
     }
 

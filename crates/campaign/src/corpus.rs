@@ -189,6 +189,7 @@ mod tests {
             step: 5,
             snapshot: empty_snapshot(),
             fault_plan: Some(plan),
+            backlog: vec![],
         };
         let s = Corpus::scenario_from_bundle(&template(), &bundle);
         assert_eq!(s.seed, 77);
@@ -221,6 +222,7 @@ mod tests {
             step: 1,
             snapshot: empty_snapshot(),
             fault_plan: None,
+            backlog: vec![],
         };
         let s = Corpus::scenario_from_bundle(&template(), &bundle);
         assert_eq!(s.seed, template().seed);

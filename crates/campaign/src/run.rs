@@ -20,6 +20,14 @@ use aqt_workload::{ClosedLoop, WorkloadError};
 
 use crate::scenario::{ClosedLoopSpec, Scenario};
 
+/// Backlog-series sampling cadence for campaign runs. Every run
+/// samples `Q(t)` at this stride so a breach's
+/// [`ReproBundle`](aqt_sim::sentinel::ReproBundle) carries the
+/// backlog trajectory leading up to the violation — a finding can be
+/// triaged without replaying it. The series is trajectory-determined,
+/// so it never perturbs the sharded/sequential agreement check.
+const BACKLOG_SAMPLE_EVERY: u64 = 32;
+
 /// What one run actually did — the coverage map's raw material.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RunStats {
@@ -142,6 +150,7 @@ fn run_closed_loop(scenario: &Scenario, spec: &ClosedLoopSpec) -> Outcome {
     cfg.validate =
         (!scenario.model.is_empty()).then(|| AdversaryModelSpec::new(scenario.model.clone()));
     let mut cl = ClosedLoop::on_line(cfg);
+    cl.engine_mut().set_sample_every(BACKLOG_SAMPLE_EVERY);
     let mut sentinel = SentinelConfig::all_halt()
         .with_cadence(scenario.cadence)
         .with_seed(scenario.seed);
@@ -193,6 +202,7 @@ fn run_open_loop(scenario: &Scenario, shards: u32) -> Outcome {
         protocol,
         EngineConfig {
             validate,
+            sample_every: BACKLOG_SAMPLE_EVERY,
             ..EngineConfig::default()
         },
     );

@@ -206,6 +206,7 @@ pub fn enforce_c_invariant<P: Protocol>(
         step: engine.time(),
         snapshot: aqt_sim::snapshot::capture(engine),
         fault_plan: engine.faults().cloned(),
+        backlog: engine.metrics().series().to_vec(),
     };
     Err(SimError::InvariantViolated(Box::new(ViolationReport {
         violation,

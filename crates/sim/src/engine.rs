@@ -46,6 +46,7 @@ use aqt_graph::{EdgeId, Graph, Route, RouteError};
 use crate::buffer::BufferStore;
 use crate::fault::{FaultEvent, FaultPlan};
 use crate::metrics::{BacklogSample, Metrics};
+use crate::observe::{Observe, ObserveConfig, SpanRec};
 use crate::oracle::{Oracle, ReferenceModel};
 use crate::packet::{Packet, PacketId, Time};
 use crate::protocol::{Discipline, Protocol};
@@ -56,7 +57,7 @@ use crate::sentinel::{
     ViolationReport,
 };
 use crate::shard::{ShardPlan, ShardRuntime, ShardStamp};
-use crate::telemetry::{Telemetry, TelemetryConfig, TelemetrySink};
+use crate::telemetry::{SpanKind, Telemetry, TelemetryConfig, TelemetrySink};
 
 /// Engine configuration.
 #[derive(Debug, Clone, Default)]
@@ -267,6 +268,10 @@ pub struct Engine<P: Protocol> {
     /// disabled is two boolean reads and one compare against the
     /// cached `window_next` gate — the same shape as `sentinel_next`.
     telemetry: Telemetry,
+    /// The queue observatory (detached by default). While detached the
+    /// step loop pays one compare against the cached `observe.next`
+    /// tick gate plus one boolean read per span site.
+    observe: Observe,
     /// Record an [`Absorption`] per absorbed packet (off by default —
     /// the hot path then pays one boolean read per absorption and the
     /// log never allocates).
@@ -311,6 +316,7 @@ impl<P: Protocol> Engine<P> {
             sentinel_next: Time::MAX,
             oracle: None,
             telemetry: Telemetry::disabled(),
+            observe: Observe::disabled(),
             record_absorptions: false,
             absorptions: Vec::new(),
             shards: None,
@@ -342,15 +348,16 @@ impl<P: Protocol> Engine<P> {
                 self.protocol.name()
             )));
         }
-        if plan.count() <= 1 {
+        let count = plan.count() as usize;
+        if count <= 1 {
             self.buffers
                 .set_partition(vec![0; self.graph.edge_count()], 1);
             self.shards = None;
         } else {
-            self.buffers
-                .set_partition(plan.shard_of().to_vec(), plan.count() as usize);
+            self.buffers.set_partition(plan.shard_of().to_vec(), count);
             self.shards = Some(ShardRuntime::new(plan));
         }
+        self.observe.reshard(count);
         Ok(())
     }
 
@@ -446,6 +453,45 @@ impl<P: Protocol> Engine<P> {
     /// The telemetry state: level, counter totals, timing histograms.
     pub fn telemetry(&self) -> &Telemetry {
         &self.telemetry
+    }
+
+    /// Attach (or reconfigure) the queue observatory: fixed-cadence
+    /// backlog ticks with a certificate-margin series, and seeded
+    /// 1-in-N packet-lifecycle span sampling. All preallocation
+    /// happens here; the step loop stays heap-free. When
+    /// `cfg.bound` is `None` and a sentinel with an enforceable
+    /// [`crate::CertificateSpec`] is attached, the margin tracker
+    /// inherits the theorem bound — attach the sentinel first.
+    /// Records and spans reach the sink attached via
+    /// [`Engine::set_telemetry_sink`]; without one, the in-memory
+    /// series ([`Engine::observatory`]) still fills.
+    pub fn attach_observatory(&mut self, cfg: ObserveConfig) {
+        let bound = cfg.bound.or_else(|| {
+            self.sentinel
+                .as_ref()
+                .and_then(|s| s.config().certificate_spec)
+                .and_then(|spec| spec.bound())
+        });
+        let shard_count = self.shard_count() as usize;
+        self.observe
+            .configure(cfg, self.time, self.graph.edge_count(), shard_count, bound);
+    }
+
+    /// The observatory state: backlog/margin series, span tallies,
+    /// per-shard load.
+    pub fn observatory(&self) -> &Observe {
+        &self.observe
+    }
+
+    /// Change the backlog-series sampling cadence
+    /// ([`EngineConfig::sample_every`]) after construction. `0`
+    /// disables sampling. Useful when the engine is built by a
+    /// driver with a fixed config (e.g. the closed-loop workload)
+    /// but the caller wants [`crate::sentinel::ReproBundle`]s to
+    /// carry a backlog series.
+    pub fn set_sample_every(&mut self, every: Time) {
+        self.cfg.sample_every = every;
+        self.metrics.sample_every = every;
     }
 
     /// Close out telemetry for the run: emit the final partial window
@@ -824,6 +870,17 @@ impl<P: Protocol> Engine<P> {
         let len = self.buffers.push_back(first.index(), p) as u64;
         self.metrics.injected += 1;
         self.metrics.on_queue_len(first, len);
+        if self.observe.spans_on && self.observe.sampled(id.0) {
+            self.observe.push_span(SpanRec {
+                time: t,
+                op: SpanKind::Inject,
+                packet: id.0,
+                edge: first.index() as u32,
+                hop: 0,
+                wait: 0,
+                shard: 0,
+            });
+        }
         id
     }
 
@@ -861,6 +918,28 @@ impl<P: Protocol> Engine<P> {
         self.metrics.on_queue_len(first, len);
         if self.telemetry.counters_on {
             self.telemetry.counters.cohorts_admitted += 1;
+        }
+        if self.observe.spans_on {
+            // The sampled residue class is arithmetic (every
+            // `mask + 1`-th id), so the cohort's sampled members are
+            // stepped directly instead of testing all n ids.
+            let stride = self.observe.span_mask + 1;
+            let mut id = (base & !self.observe.span_mask) | self.observe.span_residue;
+            if id < base {
+                id += stride;
+            }
+            while id < base + n {
+                self.observe.push_span(SpanRec {
+                    time: t,
+                    op: SpanKind::Inject,
+                    packet: id,
+                    edge: first.index() as u32,
+                    hop: 0,
+                    wait: 0,
+                    shard: 0,
+                });
+                id += stride;
+            }
         }
         first_id
     }
@@ -913,6 +992,15 @@ impl<P: Protocol> Engine<P> {
             // set — duplicate-id assignment is order-dependent).
             let mut rt = self.shards.take().expect("use_sharded checked is_some");
             let mut phases = (std::time::Duration::ZERO, std::time::Duration::ZERO);
+            let span_filter = self
+                .observe
+                .spans_on
+                .then_some((self.observe.span_mask, self.observe.span_residue));
+            let shard_work = if tel_timing {
+                Some(&mut self.telemetry.timings.shard_work)
+            } else {
+                None
+            };
             let res = rt.execute_step(
                 t,
                 &mut self.buffers,
@@ -922,15 +1010,31 @@ impl<P: Protocol> Engine<P> {
                 self.record_absorptions,
                 &mut self.absorptions,
                 tel_timing.then_some(&mut phases),
+                tel_counters,
+                span_filter,
+                shard_work,
             );
+            if self.observe.spans_on {
+                rt.drain_spans(&mut self.observe.span_scratch);
+            }
+            if !self.observe.shard_sent.is_empty() {
+                rt.accumulate_sent(&mut self.observe.shard_sent);
+            }
             self.shards = Some(rt);
             let totals = res.map_err(EngineError::Protocol)?;
             if tel_timing {
                 self.telemetry.timings.send.record_duration(phases.0);
                 self.telemetry.timings.receive.record_duration(phases.1);
+                self.telemetry.timings.barrier.record(totals.barrier_ns);
             }
-            if tel_counters && totals.compacted > 0 {
-                self.telemetry.counters.buffers_compacted += totals.compacted;
+            if tel_counters {
+                let c = &mut self.telemetry.counters;
+                if totals.compacted > 0 {
+                    c.buffers_compacted += totals.compacted;
+                }
+                c.shard_steps += 1;
+                c.shard_msgs_merged += totals.msgs_merged;
+                c.shard_barrier_ns += totals.barrier_ns;
             }
             sent = totals.sent;
             // Fault-free: everything sent was delivered (absorbed or
@@ -1011,15 +1115,75 @@ impl<P: Protocol> Engine<P> {
             // buffer.
             c.packets_forwarded += delivered_len.saturating_sub(absorbed_delta);
             c.packets_injected += self.metrics.injected - injected0;
+            // A sharded engine that stepped sequentially this step
+            // (fault-active or reference pipeline) is a fallback.
+            if !use_sharded && self.shards.is_some() {
+                c.shard_seq_fallbacks += 1;
+            }
         }
         if let Some(t0) = step_t0 {
             self.telemetry.timings.step.record_duration(t0.elapsed());
+        }
+        if self.observe.spans_on && !self.observe.span_scratch.is_empty() {
+            self.flush_spans();
+        }
+        if t >= self.observe.next {
+            self.observe_tick(t);
         }
         if t >= self.telemetry.window_next {
             self.telemetry
                 .emit_window(t, &self.metrics.crossings_per_edge);
         }
         Ok(())
+    }
+
+    /// Flush the step's staged observatory spans through the telemetry
+    /// sink. The scratch is cleared either way, so a sink attached
+    /// mid-run starts clean.
+    fn flush_spans(&mut self) {
+        if self.telemetry.has_sink() {
+            for rec in &self.observe.span_scratch {
+                self.telemetry.emit_span(
+                    rec.time, rec.packet, rec.op, rec.edge, rec.hop, rec.wait, rec.shard,
+                );
+            }
+            let n = self.observe.span_scratch.len() as u64;
+            self.observe.note_flushed(n);
+        }
+        self.observe.span_scratch.clear();
+    }
+
+    /// One observatory backlog tick: capture total-Q(t), the running
+    /// queue/wait peaks, and (within the edge cap) the sparse per-edge
+    /// depths; record the certificate margin; emit the `backlog`
+    /// record.
+    #[cold]
+    fn observe_tick(&mut self, t: Time) {
+        let total = self.metrics.backlog();
+        let max_queue = self.metrics.max_queue();
+        let max_wait = self.metrics.max_buffer_wait;
+        let margin = self.observe.record_tick(t, total, max_queue, max_wait);
+        if self.telemetry.has_sink() {
+            self.observe.depth_scratch.clear();
+            if self.observe.track_depths {
+                for ei in 0..self.buffers.edge_count() {
+                    let depth = self.buffers.len(ei);
+                    if depth > 0 {
+                        self.observe.depth_scratch.push((ei as u32, depth as u32));
+                    }
+                }
+            }
+            self.telemetry.emit_backlog(
+                t,
+                total,
+                max_queue,
+                max_wait,
+                self.observe.bound(),
+                margin,
+                &self.observe.depth_scratch,
+                &self.observe.shard_sent,
+            );
+        }
     }
 
     /// Substep 1: send one packet from each nonempty buffer, unless an
@@ -1112,6 +1276,17 @@ impl<P: Protocol> Engine<P> {
         })?;
         let wait = t - p.arrived_at;
         self.metrics.on_send(edge, wait);
+        if self.observe.spans_on && self.observe.sampled(p.id.0) {
+            self.observe.push_span(SpanRec {
+                time: t,
+                op: SpanKind::Send,
+                packet: p.id.0,
+                edge: ei as u32,
+                hop: p.hop,
+                wait,
+                shard: 0,
+            });
+        }
         self.in_transit.push(p);
         Ok(())
     }
@@ -1140,6 +1315,17 @@ impl<P: Protocol> Engine<P> {
                     edge: crossed,
                     id: p.id,
                 });
+                if self.observe.spans_on && self.observe.sampled(p.id.0) {
+                    self.observe.push_span(SpanRec {
+                        time: t,
+                        op: SpanKind::Drop,
+                        packet: p.id.0,
+                        edge: crossed.index() as u32,
+                        hop: p.hop,
+                        wait: 0,
+                        shard: 0,
+                    });
+                }
                 continue;
             }
             let copy = if copied {
@@ -1152,6 +1338,21 @@ impl<P: Protocol> Engine<P> {
                     original: p.id,
                     clone: id,
                 });
+                // The clone is a fresh sampled-or-not packet: its
+                // lifecycle (enqueue → … → absorb) spans appear iff
+                // *its* id is in the residue class, so the `dup` span
+                // is keyed to the clone, not the original.
+                if self.observe.spans_on && self.observe.sampled(id.0) {
+                    self.observe.push_span(SpanRec {
+                        time: t,
+                        op: SpanKind::Duplicate,
+                        packet: id.0,
+                        edge: crossed.index() as u32,
+                        hop: p.hop,
+                        wait: 0,
+                        shard: 0,
+                    });
+                }
                 Some(Packet { id, ..p })
             } else {
                 None
@@ -1183,6 +1384,18 @@ impl<P: Protocol> Engine<P> {
                     continue;
                 }
                 self.metrics.on_absorb(t - p.injected_at);
+                if self.observe.spans_on && self.observe.sampled(p.id.0) {
+                    let crossed = self.routes.get(p.route)[p.hop as usize];
+                    self.observe.push_span(SpanRec {
+                        time: t,
+                        op: SpanKind::Absorb,
+                        packet: p.id.0,
+                        edge: crossed.index() as u32,
+                        hop: p.hop,
+                        wait: t - p.injected_at,
+                        shard: 0,
+                    });
+                }
                 if self.record_absorptions {
                     self.absorptions.push(Absorption {
                         tag: p.tag,
@@ -1200,6 +1413,17 @@ impl<P: Protocol> Engine<P> {
                 let next = memo[p.hop as usize];
                 let len = self.buffers.push_back(next.index(), p) as u64;
                 self.metrics.on_queue_len(next, len);
+                if self.observe.spans_on && self.observe.sampled(p.id.0) {
+                    self.observe.push_span(SpanRec {
+                        time: t,
+                        op: SpanKind::Enqueue,
+                        packet: p.id.0,
+                        edge: next.index() as u32,
+                        hop: p.hop,
+                        wait: 0,
+                        shard: 0,
+                    });
+                }
             }
         }
         self.delivered = delivered;
@@ -1516,6 +1740,7 @@ impl<P: Protocol> Engine<P> {
             step: t,
             snapshot: crate::snapshot::capture(self),
             fault_plan: self.faults.clone(),
+            backlog: self.metrics.series.clone(),
         }
     }
 

@@ -43,6 +43,11 @@
 //!   the send/receive substages concurrently with a deterministic
 //!   cross-shard exchange, so one large run uses many cores without
 //!   changing a single trajectory.
+//! * [`observe`] — the queue observatory: fixed-cadence per-edge
+//!   backlog series with a certificate-margin tracker, seeded 1-in-N
+//!   packet-lifecycle span sampling, and shard/barrier visibility,
+//!   exported through the telemetry sinks for the offline analyzer
+//!   (`examples/observatory.rs`).
 //! * [`sentinel`] / [`oracle`] — runtime self-verification: pluggable
 //!   invariants (packet conservation, unit-speed capacity, route
 //!   progress, snapshot integrity, theorem-derived wait bounds)
@@ -56,6 +61,7 @@ pub mod engine;
 pub mod error;
 pub mod fault;
 pub mod metrics;
+pub mod observe;
 pub mod oracle;
 pub mod packet;
 pub mod parallel;
@@ -77,6 +83,7 @@ pub use engine::{Absorption, Engine, EngineConfig, EngineError, Injection};
 pub use error::SimError;
 pub use fault::{FaultEvent, FaultPlan, FaultPlanError};
 pub use metrics::Metrics;
+pub use observe::{Observe, ObserveConfig, SpanRec};
 pub use oracle::{Oracle, ReferenceModel};
 pub use packet::{Packet, PacketId, Time};
 pub use parallel::{
@@ -99,7 +106,7 @@ pub use shard::{ShardPlan, ShardStamp};
 pub use snapshot::{Snapshot, SNAPSHOT_SCHEMA_VERSION};
 pub use source::{run_with_source, TrafficSource};
 pub use telemetry::{
-    JsonlSink, Log2Histogram, Provenance, RingSink, SharedSink, StageTimings, StderrSink, TeeSink,
-    Telemetry, TelemetryConfig, TelemetryCounters, TelemetryEvent, TelemetryLevel, TelemetrySink,
-    WorkloadCounters, TELEMETRY_SCHEMA_VERSION,
+    JsonlSink, Log2Histogram, Provenance, RingSink, SharedSink, SpanKind, StageTimings, StderrSink,
+    TeeSink, Telemetry, TelemetryConfig, TelemetryCounters, TelemetryEvent, TelemetryLevel,
+    TelemetrySink, WorkloadCounters, TELEMETRY_SCHEMA_VERSION,
 };

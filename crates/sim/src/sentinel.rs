@@ -50,7 +50,7 @@
 //! crate drives a coverage-directed fuzz campaign over these checks.
 
 use crate::fault::FaultPlan;
-use crate::metrics::Metrics;
+use crate::metrics::{BacklogSample, Metrics};
 use crate::packet::Time;
 use crate::ratio::Ratio;
 use crate::snapshot::Snapshot;
@@ -356,6 +356,11 @@ pub struct ReproBundle {
     pub snapshot: Snapshot,
     /// The installed fault plan, if any.
     pub fault_plan: Option<FaultPlan>,
+    /// The engine's sampled backlog series up to the violation
+    /// (empty when [`crate::EngineConfig::sample_every`] is 0) — the
+    /// queue trajectory that led to the failing state, so a finding
+    /// can be triaged without replaying the run.
+    pub backlog: Vec<BacklogSample>,
 }
 
 impl ReproBundle {
@@ -735,6 +740,7 @@ mod tests {
                     duplicated: 0,
                 },
                 fault_plan: None,
+                backlog: vec![],
             },
         };
         let s = rep.to_string();

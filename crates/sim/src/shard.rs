@@ -59,9 +59,11 @@ use aqt_graph::{partition, Graph};
 use crate::buffer::{BufferStore, ShardedBuffers};
 use crate::engine::Absorption;
 use crate::metrics::Metrics;
+use crate::observe::SpanRec;
 use crate::packet::{Packet, Time};
 use crate::protocol::Discipline;
 use crate::routes::{fnv1a_u64s, RouteId, RouteTable};
+use crate::telemetry::{Log2Histogram, SpanKind};
 
 /// An edge-partition for the sharded engine: `shard_of[e]` names the
 /// shard owning edge index `e`, with `count` shards in total. Any
@@ -206,11 +208,20 @@ struct ShardStats {
     compacted: u64,
     absorbed: u64,
     forwarded: u64,
+    /// Merged packets gathered from *other* shards' outboxes (receive
+    /// phase) — the partition's communication volume.
+    cross_in: u64,
+    /// This shard's own phase work in nanoseconds (send + receive),
+    /// self-timed only on timing-sampled steps.
+    work_ns: u64,
     max_wait: Time,
     max_latency: Time,
     /// `(crossed edge, absorption)` pairs, merged across shards in
     /// crossed-edge order to reproduce the sequential log order.
     absorptions: Vec<(u32, Absorption)>,
+    /// Observatory spans captured by this shard, keyed by the crossed
+    /// edge for the same canonical cross-shard merge order.
+    spans: Vec<(u32, SpanRec)>,
     /// First contract violation seen by this shard (fails the step).
     error: Option<String>,
 }
@@ -218,11 +229,14 @@ struct ShardStats {
 impl ShardStats {
     fn reset(&mut self) {
         let absorptions = std::mem::take(&mut self.absorptions);
+        let spans = std::mem::take(&mut self.spans);
         *self = ShardStats {
             absorptions,
+            spans,
             ..ShardStats::default()
         };
         self.absorptions.clear();
+        self.spans.clear();
     }
 }
 
@@ -236,6 +250,12 @@ pub(crate) struct StepTotals {
     pub forwarded: u64,
     pub absorbed: u64,
     pub compacted: u64,
+    /// Packets that crossed a shard boundary this step (see
+    /// [`crate::TelemetryCounters::shard_msgs_merged`]).
+    pub msgs_merged: u64,
+    /// Nanoseconds the caller (shard 0) spent blocked on the phase
+    /// barrier, both phases combined (0 when not measured).
+    pub barrier_ns: u64,
 }
 
 /// Everything a phase closure needs, shared by `&` across the pool.
@@ -246,6 +266,12 @@ struct StepCtx<'a> {
     shard_count: usize,
     discipline: Discipline,
     record_absorptions: bool,
+    /// Workers self-time their phases into `ShardStats::work_ns`
+    /// (timing-sampled steps only).
+    timed: bool,
+    /// Observatory span filter: `Some((mask, residue))` when packets
+    /// with `id & mask == residue` should emit lifecycle spans.
+    span_filter: Option<(u64, u64)>,
     view: ShardedBuffers,
     routes: &'a RouteTable,
     shard_of: &'a [u32],
@@ -272,6 +298,7 @@ unsafe impl Sync for StepCtx<'_> {}
 /// packet per nonempty owned edge through the discipline fast path,
 /// absorb last-edge packets, outbox the rest.
 fn run_send(ctx: &StepCtx<'_>, s: usize) {
+    let phase_t0 = ctx.timed.then(std::time::Instant::now);
     let stats = unsafe { &mut *ctx.stats.0.add(s) };
     stats.reset();
     let sx = s * ctx.shard_count;
@@ -317,6 +344,24 @@ fn run_send(ctx: &StepCtx<'_>, s: usize) {
             stats.max_wait = wait;
         }
         stats.sent += 1;
+        let span_sampled = match ctx.span_filter {
+            Some((mask, residue)) => p.id.0 & mask == residue,
+            None => false,
+        };
+        if span_sampled {
+            stats.spans.push((
+                ei as u32,
+                SpanRec {
+                    time: t,
+                    op: SpanKind::Send,
+                    packet: p.id.0,
+                    edge: ei as u32,
+                    hop: p.hop,
+                    wait,
+                    shard: s as u32,
+                },
+            ));
+        }
         if p.on_last_edge() {
             // Mirror of the sequential receive path, including the
             // demo-corruption fault the sentinel demo hunts.
@@ -328,6 +373,20 @@ fn run_send(ctx: &StepCtx<'_>, s: usize) {
             stats.absorbed += 1;
             if latency > stats.max_latency {
                 stats.max_latency = latency;
+            }
+            if span_sampled {
+                stats.spans.push((
+                    ei as u32,
+                    SpanRec {
+                        time: t,
+                        op: SpanKind::Absorb,
+                        packet: p.id.0,
+                        edge: ei as u32,
+                        hop: p.hop,
+                        wait: latency,
+                        shard: s as u32,
+                    },
+                ));
             }
             if ctx.record_absorptions {
                 stats.absorptions.push((
@@ -356,12 +415,16 @@ fn run_send(ctx: &StepCtx<'_>, s: usize) {
             });
         }
     }
+    if let Some(t0) = phase_t0 {
+        stats.work_ns += t0.elapsed().as_nanos() as u64;
+    }
 }
 
 /// Receive phase for shard `d`: gather outbox column `d`, sort by
 /// crossed edge (the canonical merge order), enqueue at the owned
 /// destination buffers.
 fn run_recv(ctx: &StepCtx<'_>, d: usize) {
+    let phase_t0 = ctx.timed.then(std::time::Instant::now);
     let stats = unsafe { &mut *ctx.stats.0.add(d) };
     let merge = unsafe { &mut *ctx.merge.0.add(d) };
     merge.clear();
@@ -370,6 +433,9 @@ fn run_recv(ctx: &StepCtx<'_>, d: usize) {
         // the phase barrier ordered those writes before this read.
         let outbox = unsafe { &*ctx.outboxes.0.add(s * ctx.shard_count + d) };
         merge.extend_from_slice(outbox);
+        if s != d {
+            stats.cross_in += outbox.len() as u64;
+        }
     }
     // Unique keys (one send per edge per step), so unstable sort is
     // deterministic and reproduces the sequential arrival order.
@@ -383,8 +449,27 @@ fn run_recv(ctx: &StepCtx<'_>, d: usize) {
         if len > *slot {
             *slot = len;
         }
+        if let Some((mask, residue)) = ctx.span_filter {
+            if m.packet.id.0 & mask == residue {
+                stats.spans.push((
+                    m.crossed,
+                    SpanRec {
+                        time: ctx.t,
+                        op: SpanKind::Enqueue,
+                        packet: m.packet.id.0,
+                        edge: m.dest,
+                        hop: m.packet.hop,
+                        wait: 0,
+                        shard: d as u32,
+                    },
+                ));
+            }
+        }
     }
     stats.forwarded += merge.len() as u64;
+    if let Some(t0) = phase_t0 {
+        stats.work_ns += t0.elapsed().as_nanos() as u64;
+    }
 }
 
 /// The type-erased phase task a [`ShardPool`] dispatches: a borrowed
@@ -452,11 +537,15 @@ impl ShardPool {
 
     /// Run `f(shard)` once per shard, the caller executing shard 0,
     /// and return when every shard has finished — the phase barrier.
+    /// With `measure_barrier`, returns the nanoseconds the caller
+    /// spent blocked waiting for the other shards after finishing its
+    /// own work (0 otherwise) — the straggler signal behind
+    /// [`crate::TelemetryCounters::shard_barrier_ns`].
     ///
     /// # Panics
     /// Propagates a panic from any worker's `f` (after all workers
     /// have finished the phase, so no state is concurrently touched).
-    fn run(&self, f: &(dyn Fn(usize) + Sync)) {
+    fn run(&self, f: &(dyn Fn(usize) + Sync), measure_barrier: bool) -> u64 {
         // Erase the borrow: the pointer is dropped from the shared
         // state before this call returns, and the wait below ensures
         // no worker still holds it.
@@ -476,6 +565,7 @@ impl ShardPool {
             self.shared.work.notify_all();
         }
         f(0);
+        let wait_t0 = measure_barrier.then(std::time::Instant::now);
         let mut st = self.shared.state.lock().unwrap();
         while st.remaining > 0 {
             st = self.shared.done.wait(st).unwrap();
@@ -485,6 +575,7 @@ impl ShardPool {
             drop(st);
             panic!("a shard worker panicked during a sharded step");
         }
+        wait_t0.map_or(0, |t0| t0.elapsed().as_nanos() as u64)
     }
 }
 
@@ -541,6 +632,9 @@ pub(crate) struct ShardRuntime {
     outboxes: Vec<Vec<ShardMsg>>,
     merge: Vec<Vec<ShardMsg>>,
     stats: Vec<ShardStats>,
+    /// Scratch for merging the per-shard observatory span logs into
+    /// canonical crossed-edge order (reused across steps).
+    span_merge: Vec<(u32, SpanRec)>,
 }
 
 impl ShardRuntime {
@@ -556,6 +650,7 @@ impl ShardRuntime {
             outboxes: (0..s * s).map(|_| Vec::new()).collect(),
             merge: (0..s).map(|_| Vec::new()).collect(),
             stats: (0..s).map(|_| ShardStats::default()).collect(),
+            span_merge: Vec::new(),
         }
     }
 
@@ -571,7 +666,11 @@ impl ShardRuntime {
     /// (a protocol contract violation) the engine state is unspecified,
     /// matching the sequential error contract. `timings` receives the
     /// (send, receive) phase durations when the engine sampled this
-    /// step.
+    /// step, and `shard_work` — when given alongside — collects one
+    /// per-shard work sample per phase pair. `measure_barrier` turns on
+    /// the caller-side barrier-wait clock (Counters-level telemetry);
+    /// `span_filter` is the observatory's `(mask, residue)` packet
+    /// sampling predicate.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn execute_step(
         &mut self,
@@ -583,13 +682,19 @@ impl ShardRuntime {
         record_absorptions: bool,
         absorptions: &mut Vec<Absorption>,
         timings: Option<&mut (std::time::Duration, std::time::Duration)>,
+        measure_barrier: bool,
+        span_filter: Option<(u64, u64)>,
+        shard_work: Option<&mut Log2Histogram>,
     ) -> Result<StepTotals, String> {
         let shard_count = self.plan.count() as usize;
+        let timed = timings.is_some();
         let ctx = StepCtx {
             t,
             shard_count,
             discipline,
             record_absorptions,
+            timed,
+            span_filter,
             view: buffers.sharded_view(),
             routes,
             shard_of: self.plan.shard_of(),
@@ -599,17 +704,19 @@ impl ShardRuntime {
             crossings: SharedMut(metrics.crossings_per_edge.as_mut_ptr()),
             max_queue: SharedMut(metrics.max_queue_per_edge.as_mut_ptr()),
         };
-        let timed = timings.is_some();
         let send_t0 = timed.then(std::time::Instant::now);
-        self.pool.run(&|s| run_send(&ctx, s));
+        let mut barrier_ns = self.pool.run(&|s| run_send(&ctx, s), measure_barrier);
         let recv_t0 = timed.then(std::time::Instant::now);
-        self.pool.run(&|d| run_recv(&ctx, d));
+        barrier_ns += self.pool.run(&|d| run_recv(&ctx, d), measure_barrier);
         if let (Some(out), Some(s0), Some(r0)) = (timings, send_t0, recv_t0) {
             out.1 = r0.elapsed();
             out.0 = r0.duration_since(s0);
         }
 
-        let mut totals = StepTotals::default();
+        let mut totals = StepTotals {
+            barrier_ns,
+            ..StepTotals::default()
+        };
         for st in &mut self.stats {
             if let Some(e) = st.error.take() {
                 return Err(e);
@@ -618,11 +725,17 @@ impl ShardRuntime {
             totals.forwarded += st.forwarded;
             totals.absorbed += st.absorbed;
             totals.compacted += st.compacted;
+            totals.msgs_merged += st.cross_in;
             if st.max_wait > metrics.max_buffer_wait {
                 metrics.max_buffer_wait = st.max_wait;
             }
             if st.max_latency > metrics.max_latency {
                 metrics.max_latency = st.max_latency;
+            }
+        }
+        if let Some(hist) = shard_work {
+            for st in &self.stats {
+                hist.record(st.work_ns);
             }
         }
         metrics.absorbed += totals.absorbed;
@@ -640,6 +753,29 @@ impl ShardRuntime {
             debug_assert!(absorptions.len() - start == totals.absorbed as usize);
         }
         Ok(totals)
+    }
+
+    /// Drain the per-shard observatory span logs of the last step into
+    /// `out`, merged in canonical ascending-crossed-edge order (stable,
+    /// so a shard's own event order — send before absorb — survives).
+    pub(crate) fn drain_spans(&mut self, out: &mut Vec<SpanRec>) {
+        if self.stats.iter().all(|s| s.spans.is_empty()) {
+            return;
+        }
+        self.span_merge.clear();
+        for st in &mut self.stats {
+            self.span_merge.append(&mut st.spans);
+        }
+        self.span_merge.sort_by_key(|(crossed, _)| *crossed);
+        out.extend(self.span_merge.iter().map(|(_, rec)| *rec));
+    }
+
+    /// Add the last step's per-shard sent counts into `acc` (index =
+    /// shard id) — the observatory's shard-load accumulator.
+    pub(crate) fn accumulate_sent(&self, acc: &mut [u64]) {
+        for (slot, st) in acc.iter_mut().zip(self.stats.iter()) {
+            *slot += st.sent;
+        }
     }
 }
 
@@ -677,9 +813,12 @@ mod tests {
         let pool = ShardPool::new(4);
         let hits: Vec<AtomicU64> = (0..4).map(|_| AtomicU64::new(0)).collect();
         for round in 1..=10u64 {
-            pool.run(&|s| {
-                hits[s].fetch_add(1, Ordering::Relaxed);
-            });
+            pool.run(
+                &|s| {
+                    hits[s].fetch_add(1, Ordering::Relaxed);
+                },
+                false,
+            );
             // Barrier: after run() returns, every shard has executed.
             assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == round));
         }
@@ -689,11 +828,14 @@ mod tests {
     fn pool_propagates_worker_panics() {
         let res = catch_unwind(AssertUnwindSafe(|| {
             let pool = ShardPool::new(2);
-            pool.run(&|s| {
-                if s == 1 {
-                    panic!("boom");
-                }
-            });
+            pool.run(
+                &|s| {
+                    if s == 1 {
+                        panic!("boom");
+                    }
+                },
+                false,
+            );
         }));
         assert!(res.is_err());
     }

@@ -60,7 +60,15 @@ use crate::packet::Time;
 ///   `goodput` / `wasted` / `offered` split), and `job_retried`
 ///   records gained `backoff_ms` (the seeded exponential backoff the
 ///   sweep harness sleeps before the retry).
-pub const TELEMETRY_SCHEMA_VERSION: u32 = 4;
+/// * **5** — the queue observatory (`crate::observe`): added the
+///   `backlog` record (fixed-cadence queue-depth series with the
+///   certificate-margin tracker and per-shard cumulative sent counts)
+///   and the `span` record (seeded 1-in-N sampled packet-lifecycle
+///   events); counter blocks gained the shard-visibility quartet
+///   `shard_steps` / `shard_seq_fallbacks` / `shard_msgs_merged` /
+///   `shard_barrier_ns`; `run_end` timing blocks gained the
+///   `barrier` and `shard_work` histograms.
+pub const TELEMETRY_SCHEMA_VERSION: u32 = 5;
 
 /// How much the engine instruments per step.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -222,6 +230,21 @@ pub struct TelemetryCounters {
     /// cross a window boundary exercise none of the window-emission
     /// path.
     pub windows_emitted: u64,
+    /// Steps executed on the sharded fast path (parallel send/receive
+    /// over the edge shards).
+    pub shard_steps: u64,
+    /// Steps a shard-attached engine fell back to the sequential
+    /// pipeline (fault-active steps; see `crate::shard`). Nonzero only
+    /// while shards are attached — a high ratio to `shard_steps` means
+    /// the fault plan is eating the parallelism.
+    pub shard_seq_fallbacks: u64,
+    /// Packets that crossed a shard boundary (gathered from another
+    /// shard's outbox during the receive merge). Same-shard forwards
+    /// are excluded, so this is the partition's communication volume.
+    pub shard_msgs_merged: u64,
+    /// Nanoseconds shard 0 (the caller) spent blocked on the phase
+    /// barrier waiting for the other shards — the straggler signal.
+    pub shard_barrier_ns: u64,
 }
 
 impl TelemetryCounters {
@@ -244,6 +267,14 @@ impl TelemetryCounters {
             sentinel_rounds: self.sentinel_rounds.saturating_sub(base.sentinel_rounds),
             oracle_diffs: self.oracle_diffs.saturating_sub(base.oracle_diffs),
             windows_emitted: self.windows_emitted.saturating_sub(base.windows_emitted),
+            shard_steps: self.shard_steps.saturating_sub(base.shard_steps),
+            shard_seq_fallbacks: self
+                .shard_seq_fallbacks
+                .saturating_sub(base.shard_seq_fallbacks),
+            shard_msgs_merged: self
+                .shard_msgs_merged
+                .saturating_sub(base.shard_msgs_merged),
+            shard_barrier_ns: self.shard_barrier_ns.saturating_sub(base.shard_barrier_ns),
         }
     }
 }
@@ -388,6 +419,14 @@ pub struct StageTimings {
     pub sentinel: Log2Histogram,
     /// The whole step.
     pub step: Log2Histogram,
+    /// Shard 0's barrier wait per sampled sharded step (both phases
+    /// combined). Empty on unsharded runs.
+    pub barrier: Log2Histogram,
+    /// Per-shard work time on sampled sharded steps: each shard's
+    /// send + receive phase contributes one sample, so the spread of
+    /// this histogram is the shard-imbalance signal. Empty on
+    /// unsharded runs.
+    pub shard_work: Log2Histogram,
 }
 
 /// One telemetry record. Engine-emitted records borrow the engine's
@@ -496,6 +535,94 @@ pub enum TelemetryEvent<'a> {
         /// Run identity.
         provenance: &'a Provenance,
     },
+    /// One observatory backlog tick (`crate::observe`): the live
+    /// queue-depth state at a fixed cadence, with the
+    /// certificate-margin tracker. The borrowed slices are the
+    /// observatory's preallocated scratch.
+    Backlog {
+        /// Engine step of the tick.
+        time: Time,
+        /// Total packets queued across all edges (live Q(t)).
+        total: u64,
+        /// Deepest single queue ever seen (running peak).
+        max_queue: u64,
+        /// Worst buffer wait ever seen (running peak) — the quantity
+        /// the certificate bound constrains.
+        max_wait: Time,
+        /// The certificate's per-buffer wait bound, when the run
+        /// carries one.
+        bound: Option<u64>,
+        /// `bound - max_wait`: positive while the certificate holds,
+        /// shrinking toward 0 as a near-miss develops, negative after
+        /// a breach. `None` without a bound.
+        margin: Option<i64>,
+        /// Sparse nonzero queue depths as `(edge index, depth)` pairs.
+        /// Empty when the run's edge count exceeds the observatory's
+        /// per-edge tracking cap.
+        depths: &'a [(u32, u32)],
+        /// Cumulative packets sent per shard (index = shard id) —
+        /// max/mean over this is the shard-imbalance ratio. Empty on
+        /// unsharded runs.
+        shard_sent: &'a [u64],
+        /// Run identity.
+        provenance: &'a Provenance,
+    },
+    /// One packet-lifecycle event of a sampled packet
+    /// (`crate::observe`'s seeded 1-in-N span sampling).
+    Span {
+        /// Engine step of the event.
+        time: Time,
+        /// Packet id.
+        packet: u64,
+        /// What happened.
+        op: SpanKind,
+        /// Edge index: the buffer sent from / enqueued at / absorbed
+        /// at, or the edge just crossed for wire-fault events.
+        edge: u32,
+        /// The packet's hop index at the event.
+        hop: u32,
+        /// Steps waited: time since arrival for `Send`, end-to-end
+        /// latency for `Absorb`, 0 otherwise.
+        wait: Time,
+        /// Shard owning the acting edge (0 on unsharded runs and on
+        /// sequential-fallback steps).
+        shard: u32,
+        /// Run identity.
+        provenance: &'a Provenance,
+    },
+}
+
+/// What happened to a sampled packet in a [`TelemetryEvent::Span`]
+/// record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// Admitted into its first buffer.
+    Inject,
+    /// Popped from a buffer by the send substage.
+    Send,
+    /// Enqueued at its next buffer by the receive substage.
+    Enqueue,
+    /// Absorbed at its destination.
+    Absorb,
+    /// Lost to a wire-fault drop in transit.
+    Drop,
+    /// A wire-fault duplicate entering the system (the record's
+    /// packet id is the clone's).
+    Duplicate,
+}
+
+impl SpanKind {
+    /// The JSONL `op` string.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SpanKind::Inject => "inject",
+            SpanKind::Send => "send",
+            SpanKind::Enqueue => "enqueue",
+            SpanKind::Absorb => "absorb",
+            SpanKind::Drop => "drop",
+            SpanKind::Duplicate => "dup",
+        }
+    }
 }
 
 impl TelemetryEvent<'_> {
@@ -511,6 +638,8 @@ impl TelemetryEvent<'_> {
             TelemetryEvent::JobQuarantined { .. } => EventKind::JobQuarantined,
             TelemetryEvent::SweepProgress { .. } => EventKind::SweepProgress,
             TelemetryEvent::WorkloadWindow { .. } => EventKind::WorkloadWindow,
+            TelemetryEvent::Backlog { .. } => EventKind::Backlog,
+            TelemetryEvent::Span { .. } => EventKind::Span,
         }
     }
 }
@@ -536,6 +665,10 @@ pub enum EventKind {
     SweepProgress,
     /// [`TelemetryEvent::WorkloadWindow`].
     WorkloadWindow,
+    /// [`TelemetryEvent::Backlog`].
+    Backlog,
+    /// [`TelemetryEvent::Span`].
+    Span,
 }
 
 impl EventKind {
@@ -551,6 +684,8 @@ impl EventKind {
             EventKind::JobQuarantined => "job_quarantined",
             EventKind::SweepProgress => "sweep_progress",
             EventKind::WorkloadWindow => "workload_window",
+            EventKind::Backlog => "backlog",
+            EventKind::Span => "span",
         }
     }
 }
@@ -632,7 +767,9 @@ impl JsonlSink {
             ",\"steps\":{},\"packets_sent\":{},\"packets_forwarded\":{},\
              \"packets_absorbed\":{},\"packets_injected\":{},\"cohorts_admitted\":{},\
              \"buffers_compacted\":{},\"memo_hits\":{},\"memo_misses\":{},\
-             \"sentinel_rounds\":{},\"oracle_diffs\":{},\"windows_emitted\":{}",
+             \"sentinel_rounds\":{},\"oracle_diffs\":{},\"windows_emitted\":{},\
+             \"shard_steps\":{},\"shard_seq_fallbacks\":{},\"shard_msgs_merged\":{},\
+             \"shard_barrier_ns\":{}",
             c.steps,
             c.packets_sent,
             c.packets_forwarded,
@@ -644,7 +781,11 @@ impl JsonlSink {
             c.memo_misses,
             c.sentinel_rounds,
             c.oracle_diffs,
-            c.windows_emitted
+            c.windows_emitted,
+            c.shard_steps,
+            c.shard_seq_fallbacks,
+            c.shard_msgs_merged,
+            c.shard_barrier_ns
         )
         .unwrap();
     }
@@ -674,7 +815,7 @@ impl JsonlSink {
     fn timing_fields(line: &mut String, t: &StageTimings) {
         use std::fmt::Write as _;
         line.push_str(",\"timings\":{");
-        let stages: [(&str, &Log2Histogram); 7] = [
+        let stages: [(&str, &Log2Histogram); 9] = [
             ("send", &t.send),
             ("compact", &t.compact),
             ("receive", &t.receive),
@@ -682,6 +823,8 @@ impl JsonlSink {
             ("oracle", &t.oracle),
             ("sentinel", &t.sentinel),
             ("step", &t.step),
+            ("barrier", &t.barrier),
+            ("shard_work", &t.shard_work),
         ];
         for (i, (name, h)) in stages.iter().enumerate() {
             if i > 0 {
@@ -818,6 +961,67 @@ impl TelemetrySink for JsonlSink {
                 write!(
                     line,
                     ",\"goodput\":{goodput},\"wasted\":{wasted},\"offered\":{offered}"
+                )
+                .unwrap();
+                Self::provenance_fields(line, provenance);
+            }
+            TelemetryEvent::Backlog {
+                time,
+                total,
+                max_queue,
+                max_wait,
+                bound,
+                margin,
+                depths,
+                shard_sent,
+                provenance,
+            } => {
+                write!(
+                    line,
+                    ",\"time\":{time},\"total\":{total},\"max_queue\":{max_queue},\
+                     \"max_wait\":{max_wait}"
+                )
+                .unwrap();
+                match bound {
+                    Some(b) => write!(line, ",\"bound\":{b}").unwrap(),
+                    None => line.push_str(",\"bound\":null"),
+                }
+                match margin {
+                    Some(m) => write!(line, ",\"margin\":{m}").unwrap(),
+                    None => line.push_str(",\"margin\":null"),
+                }
+                line.push_str(",\"depths\":[");
+                for (i, (e, d)) in depths.iter().enumerate() {
+                    if i > 0 {
+                        line.push(',');
+                    }
+                    write!(line, "[{e},{d}]").unwrap();
+                }
+                line.push_str("],\"shard_sent\":[");
+                for (i, s) in shard_sent.iter().enumerate() {
+                    if i > 0 {
+                        line.push(',');
+                    }
+                    write!(line, "{s}").unwrap();
+                }
+                line.push(']');
+                Self::provenance_fields(line, provenance);
+            }
+            TelemetryEvent::Span {
+                time,
+                packet,
+                op,
+                edge,
+                hop,
+                wait,
+                shard,
+                provenance,
+            } => {
+                write!(
+                    line,
+                    ",\"time\":{time},\"packet\":{packet},\"op\":\"{}\",\"edge\":{edge},\
+                     \"hop\":{hop},\"wait\":{wait},\"shard\":{shard}",
+                    op.as_str()
                 )
                 .unwrap();
                 Self::provenance_fields(line, provenance);
@@ -1003,6 +1207,34 @@ impl TelemetrySink for RingSink {
                 v1: wasted,
                 v2: offered,
             },
+            TelemetryEvent::Backlog {
+                time,
+                total,
+                max_queue,
+                margin,
+                ..
+            } => CompactRecord {
+                kind: EventKind::Backlog,
+                time,
+                v0: total,
+                v1: max_queue,
+                // i64 margin as two's-complement bits; u64::MAX/2+…
+                // never collides with a real depth reading.
+                v2: margin.unwrap_or(i64::MAX) as u64,
+            },
+            TelemetryEvent::Span {
+                time,
+                packet,
+                edge,
+                wait,
+                ..
+            } => CompactRecord {
+                kind: EventKind::Span,
+                time,
+                v0: packet,
+                v1: edge as u64,
+                v2: wait,
+            },
         };
         if self.buf.len() < self.cap {
             self.buf.push(rec);
@@ -1089,6 +1321,8 @@ impl TelemetrySink for StderrSink {
             }
             // Too chatty for a terminal, like engine windows.
             TelemetryEvent::WorkloadWindow { .. } => {}
+            TelemetryEvent::Backlog { .. } => {}
+            TelemetryEvent::Span { .. } => {}
         }
     }
 }
@@ -1313,6 +1547,68 @@ impl Telemetry {
         }
     }
 
+    /// Is a sink attached? (The observatory skips span collection
+    /// when there is nowhere to send the spans.)
+    pub(crate) fn has_sink(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Emit one observatory backlog tick through the attached sink,
+    /// stamped with this run's provenance. No-op without a sink.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn emit_backlog(
+        &mut self,
+        time: Time,
+        total: u64,
+        max_queue: u64,
+        max_wait: Time,
+        bound: Option<u64>,
+        margin: Option<i64>,
+        depths: &[(u32, u32)],
+        shard_sent: &[u64],
+    ) {
+        if let Some(sink) = self.sink.as_mut() {
+            sink.record(&TelemetryEvent::Backlog {
+                time,
+                total,
+                max_queue,
+                max_wait,
+                bound,
+                margin,
+                depths,
+                shard_sent,
+                provenance: &self.provenance,
+            });
+        }
+    }
+
+    /// Emit one sampled packet-lifecycle span through the attached
+    /// sink, stamped with this run's provenance. No-op without a sink.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn emit_span(
+        &mut self,
+        time: Time,
+        packet: u64,
+        op: SpanKind,
+        edge: u32,
+        hop: u32,
+        wait: Time,
+        shard: u32,
+    ) {
+        if let Some(sink) = self.sink.as_mut() {
+            sink.record(&TelemetryEvent::Span {
+                time,
+                packet,
+                op,
+                edge,
+                hop,
+                wait,
+                shard,
+                provenance: &self.provenance,
+            });
+        }
+    }
+
     /// Emit the final partial window (if any steps are pending) and a
     /// [`TelemetryEvent::RunEnd`], then flush the sink.
     pub(crate) fn finish(&mut self, now: Time, crossings: &[u64]) {
@@ -1467,7 +1763,7 @@ mod tests {
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 3);
         for l in &lines {
-            assert!(l.starts_with("{\"schema\":4,\"kind\":\""), "line: {l}");
+            assert!(l.starts_with("{\"schema\":5,\"kind\":\""), "line: {l}");
             assert!(l.ends_with('}'), "line: {l}");
         }
         assert!(lines[0].contains("\"kind\":\"run_start\""));

@@ -36,7 +36,8 @@ use aqt_protocols::Fifo;
 use aqt_sim::rate::AdversaryModelSpec;
 use aqt_sim::sentinel::{InvariantKind, ReproBundle, Violation, ViolationReport};
 use aqt_sim::snapshot;
-use aqt_sim::telemetry::{Provenance, SharedSink, WorkloadCounters};
+use aqt_sim::telemetry::{Provenance, SharedSink, TelemetryConfig, WorkloadCounters};
+use aqt_sim::ObserveConfig;
 use aqt_sim::{Engine, EngineConfig, EngineError, Injection, Protocol, Schedule, Time};
 
 use crate::meter::GoodputMeter;
@@ -179,6 +180,9 @@ impl<P: Protocol> ClosedLoop<P> {
             protocol,
             EngineConfig {
                 validate: cfg.validate.clone(),
+                // Backlog samples share the goodput-window cadence, so
+                // the two series land on the same time axis (0 = off).
+                sample_every: cfg.window,
                 ..EngineConfig::default()
             },
         );
@@ -203,6 +207,31 @@ impl<P: Protocol> ClosedLoop<P> {
 
     /// Route telemetry (the `workload_window` series) through `sink`.
     pub fn set_sink(&mut self, sink: SharedSink) {
+        self.sink = Some(sink);
+    }
+
+    /// Wire one shared sink to both halves of the closed loop: the
+    /// engine's telemetry and queue observatory (backlog ticks,
+    /// lifecycle spans) and the driver's `workload_window` goodput
+    /// series. Both record streams then share the engine's step clock
+    /// in a single JSONL stream, so the offline analyzer
+    /// (`examples/observatory.rs`) can join queue state against
+    /// goodput by `time`. When `telemetry` carries a default
+    /// provenance it is stamped with the driver's (seed, protocol,
+    /// model fingerprint), so every record of the joined stream
+    /// carries the same run identity.
+    pub fn attach_observability(
+        &mut self,
+        mut telemetry: TelemetryConfig,
+        observe: ObserveConfig,
+        sink: SharedSink,
+    ) {
+        if telemetry.provenance == Provenance::default() {
+            telemetry.provenance = self.provenance.clone();
+        }
+        self.engine.attach_telemetry(telemetry);
+        self.engine.attach_observatory(observe);
+        self.engine.set_telemetry_sink(Box::new(sink.clone()));
         self.sink = Some(sink);
     }
 
@@ -397,6 +426,7 @@ impl<P: Protocol> ClosedLoop<P> {
             step: now,
             snapshot: snapshot::capture(&self.engine),
             fault_plan: None,
+            backlog: self.engine.metrics().series().to_vec(),
         };
         Err(WorkloadError::Invariant(Box::new(ViolationReport {
             violation,

@@ -14,7 +14,7 @@
 //!
 //! Writes the per-run telemetry (every record's provenance carries the
 //! model fingerprint printed in the table) to
-//! `telemetry_model_landscape.jsonl`.
+//! `target/telemetry_model_landscape.jsonl`.
 
 use adversarial_queuing::analysis::Table;
 use adversarial_queuing::core::experiments::e16_model_landscape;
@@ -29,8 +29,10 @@ fn main() {
         "E16: saturating each adversary model on torus-4x4 (d={d}, w={w}) for {steps} steps, \
          nominal rate r = f·1/(d+1), engine re-validating the same model…\n"
     );
+    std::fs::create_dir_all("target").expect("create target/");
     let sink = SharedSink::new(
-        JsonlSink::create("telemetry_model_landscape.jsonl").expect("create telemetry JSONL"),
+        JsonlSink::create("target/telemetry_model_landscape.jsonl")
+            .expect("create telemetry JSONL"),
     );
     let rows = e16_model_landscape(d, w, steps, Some(&sink)).expect("legal adversaries");
     sink.flush();
@@ -68,6 +70,6 @@ fn main() {
          thresholds at f ≤ 1; rate and burst-local share its long-run rate and \
          survive; buffer-bound alone caps bursts but admits long-run rate 1, so \
          the threshold result does not transfer; the composition is strictly \
-         tighter than the identity. telemetry: telemetry_model_landscape.jsonl"
+         tighter than the identity. telemetry: target/telemetry_model_landscape.jsonl"
     );
 }

@@ -21,10 +21,17 @@
 //! re-run on the sharded engine at N shards and compared against the
 //! sequential storm — the shard count must be invisible, packet for
 //! packet.
+//!
+//! The collapse cell is also re-run with full observability (backlog
+//! ticks, lifecycle spans, goodput windows on one time axis) into
+//! `target/retry_storm_telemetry.jsonl`, ready for the offline
+//! analyzer: `cargo run --release --example observatory <file>`.
 
 use adversarial_queuing::analysis::Table;
 use adversarial_queuing::core::experiments::{e17_closed_loop, e17_collapse_demo, e17_config};
-use adversarial_queuing::sim::{snapshot, ShardPlan};
+use adversarial_queuing::sim::{
+    snapshot, JsonlSink, ObserveConfig, ShardPlan, SharedSink, TelemetryConfig, TelemetryLevel,
+};
 use adversarial_queuing::workload::{ClosedLoop, RetryPolicy, Shed};
 
 /// Parse `[horizon] [--shards N]` in either order.
@@ -121,6 +128,33 @@ fn main() {
         collapsed,
         rows.len()
     );
+
+    // Re-run the collapse cell instrumented: engine telemetry, the
+    // queue observatory, and the goodput meter share one JSONL sink,
+    // so backlog ticks, lifecycle spans, and goodput windows land on
+    // a single time axis. Analyze the stream offline with
+    // `cargo run --release --example observatory <file>`.
+    let mut cfg = e17_config(5, 16, RetryPolicy::Immediate, Shed::RejectNewest, 1700);
+    cfg.window = 50;
+    let mut cl = ClosedLoop::on_line(cfg);
+    std::fs::create_dir_all("target").expect("create target/");
+    let jsonl = "target/retry_storm_telemetry.jsonl";
+    let sink = SharedSink::new(JsonlSink::create(jsonl).expect("create telemetry JSONL"));
+    cl.attach_observability(
+        TelemetryConfig {
+            level: TelemetryLevel::Counters,
+            window: 50,
+            ..TelemetryConfig::default()
+        },
+        ObserveConfig::default()
+            .with_cadence(25)
+            .with_span_sample_every(64),
+        sink.clone(),
+    );
+    cl.run(horizon).expect("instrumented storm runs");
+    cl.engine_mut().finish_telemetry();
+    sink.flush();
+    println!("\njoined telemetry stream (backlog + spans + goodput windows): {jsonl}");
 
     if shards > 1 {
         let (seq_counters, seq_snap) = storm_at(1, horizon);

@@ -312,7 +312,7 @@ fn constraint_spec_serialized_forms_are_pinned() {
 
     // The schema stamps that gate persisted payloads carrying models.
     assert_eq!(SNAPSHOT_SCHEMA_VERSION, 5);
-    assert_eq!(TELEMETRY_SCHEMA_VERSION, 4);
+    assert_eq!(TELEMETRY_SCHEMA_VERSION, 5);
 }
 
 /// A checkpoint taken under one adversary model must not restore into

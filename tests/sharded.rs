@@ -142,11 +142,22 @@ proptest! {
         prop_assert_eq!(sharded.fault_log(), seq.fault_log());
         assert_counters_equal(sharded.metrics(), seq.metrics());
         // Window records are deltas of these totals, so equal totals
-        // at every window boundary ⇔ equal window sums.
-        prop_assert_eq!(
-            sharded.telemetry().counters(),
-            seq.telemetry().counters()
-        );
+        // at every window boundary ⇔ equal window sums. The shard
+        // observability quartet is *about* the execution strategy, not
+        // the trajectory, so it legitimately differs: normalize it
+        // away after checking it tells the truth on each side.
+        let mut sharded_c = *sharded.telemetry().counters();
+        let seq_c = *seq.telemetry().counters();
+        prop_assert!(sharded_c.shard_steps > 0);
+        prop_assert_eq!(sharded_c.shard_steps + sharded_c.shard_seq_fallbacks, 70);
+        prop_assert_eq!(seq_c.shard_steps, 0);
+        prop_assert_eq!(seq_c.shard_seq_fallbacks, 0);
+        prop_assert_eq!(seq_c.shard_msgs_merged, 0);
+        sharded_c.shard_steps = 0;
+        sharded_c.shard_seq_fallbacks = 0;
+        sharded_c.shard_msgs_merged = 0;
+        sharded_c.shard_barrier_ns = 0;
+        prop_assert_eq!(sharded_c, seq_c);
 
         // packet conservation, independently recounted on the sharded run
         let live: u64 = g.edge_ids().map(|e| sharded.queue_len(e) as u64).sum();

@@ -256,9 +256,9 @@ fn workload_window_jsonl_layout_is_pinned() {
     }
 
     assert_eq!(
-        TELEMETRY_SCHEMA_VERSION, 4,
-        "workload_window entered the schema at version 4; a bump means \
-         the golden line below must be re-pinned"
+        TELEMETRY_SCHEMA_VERSION, 5,
+        "the golden lines below were pinned at version 5 (observatory \
+         backlog/span records); a bump means they must be re-pinned"
     );
 
     let buf = SharedBuf(Arc::new(Mutex::new(Vec::new())));
@@ -302,7 +302,7 @@ fn workload_window_jsonl_layout_is_pinned() {
     // fields serialize as explicit nulls).
     assert_eq!(
         lines[0],
-        "{\"schema\":4,\"kind\":\"workload_window\",\"start\":0,\"end\":64,\
+        "{\"schema\":5,\"kind\":\"workload_window\",\"start\":0,\"end\":64,\
          \"requests_issued\":10,\"requests_completed\":5,\
          \"requests_abandoned\":2,\"requests_shed\":1,\
          \"requests_in_flight\":2,\"attempts_issued\":17,\
@@ -314,8 +314,99 @@ fn workload_window_jsonl_layout_is_pinned() {
     );
     assert_eq!(
         lines[1],
-        "{\"schema\":4,\"kind\":\"job_retried\",\"index\":2,\"attempt\":1,\
+        "{\"schema\":5,\"kind\":\"job_retried\",\"index\":2,\"attempt\":1,\
          \"backoff_ms\":250}"
+    );
+}
+
+/// Golden pin of the observatory's JSONL surface (schema 5): the full
+/// `backlog` record — tick scalars, nullable bound/margin, the sparse
+/// per-edge depth array, per-shard sent counts — and a `span` record.
+/// The offline analyzer (`examples/observatory.rs`) keys on these
+/// exact field names; renaming any of them must bump
+/// `TELEMETRY_SCHEMA_VERSION` and this pin deliberately.
+#[test]
+fn observatory_jsonl_layout_is_pinned() {
+    use aqt_sim::SpanKind;
+
+    #[derive(Clone)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+    impl std::io::Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    let buf = SharedBuf(Arc::new(Mutex::new(Vec::new())));
+    let mut sink = aqt_sim::JsonlSink::from_writer(buf.clone());
+    let provenance = Provenance {
+        seed: Some(7),
+        protocol: "FIFO".to_string(),
+        ..Provenance::default()
+    };
+    sink.record(&TelemetryEvent::Backlog {
+        time: 256,
+        total: 40,
+        max_queue: 9,
+        max_wait: 3,
+        bound: Some(12),
+        margin: Some(9),
+        depths: &[(0, 5), (3, 2)],
+        shard_sent: &[20, 20, 19, 4],
+        provenance: &provenance,
+    });
+    sink.record(&TelemetryEvent::Backlog {
+        time: 512,
+        total: 0,
+        max_queue: 9,
+        max_wait: 3,
+        bound: None,
+        margin: None,
+        depths: &[],
+        shard_sent: &[],
+        provenance: &provenance,
+    });
+    sink.record(&TelemetryEvent::Span {
+        time: 300,
+        packet: 64,
+        op: SpanKind::Send,
+        edge: 3,
+        hop: 1,
+        wait: 2,
+        shard: 1,
+        provenance: &provenance,
+    });
+
+    let bytes = buf.0.lock().unwrap().clone();
+    let text = String::from_utf8(bytes).expect("utf8");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 3);
+    assert_eq!(
+        lines[0],
+        "{\"schema\":5,\"kind\":\"backlog\",\"time\":256,\"total\":40,\
+         \"max_queue\":9,\"max_wait\":3,\"bound\":12,\"margin\":9,\
+         \"depths\":[[0,5],[3,2]],\"shard_sent\":[20,20,19,4],\
+         \"seed\":7,\"schedule_hash\":null,\"protocol\":\"FIFO\",\
+         \"fault_plan_id\":null,\"model_fingerprint\":null}"
+    );
+    assert_eq!(
+        lines[1],
+        "{\"schema\":5,\"kind\":\"backlog\",\"time\":512,\"total\":0,\
+         \"max_queue\":9,\"max_wait\":3,\"bound\":null,\"margin\":null,\
+         \"depths\":[],\"shard_sent\":[],\"seed\":7,\
+         \"schedule_hash\":null,\"protocol\":\"FIFO\",\
+         \"fault_plan_id\":null,\"model_fingerprint\":null}"
+    );
+    assert_eq!(
+        lines[2],
+        "{\"schema\":5,\"kind\":\"span\",\"time\":300,\"packet\":64,\
+         \"op\":\"send\",\"edge\":3,\"hop\":1,\"wait\":2,\"shard\":1,\
+         \"seed\":7,\"schedule_hash\":null,\"protocol\":\"FIFO\",\
+         \"fault_plan_id\":null,\"model_fingerprint\":null}"
     );
 }
 
